@@ -1,0 +1,49 @@
+(* Experiment harness: regenerates every table of EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # all experiment tables + timings
+     dune exec bench/main.exe -- e4 e9   # selected experiments
+     dune exec bench/main.exe -- tables  # all tables, no timings
+     dune exec bench/main.exe -- timing  # only the Bechamel benchmarks *)
+
+let usage () =
+  print_endline "cycle-stealing reproduction harness";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, desc, _) -> Printf.printf "  %-7s %s\n" id desc)
+    Tables.all;
+  Printf.printf "  %-7s %s\n" "timing" "Bechamel micro-benchmarks";
+  Printf.printf "  %-7s %s\n" "tables" "all experiment tables";
+  Printf.printf "  %-7s %s\n" "all" "tables + timing (default)"
+
+let run_one id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) Tables.all with
+  | Some (_, _, f) -> f ()
+  | None -> (
+      match id with
+      | "timing" -> Timing.run ()
+      | "tables" -> List.iter (fun (_, _, f) -> f ()) Tables.all
+      | "all" ->
+          List.iter (fun (_, _, f) -> f ()) Tables.all;
+          Timing.run ()
+      | "help" | "-h" | "--help" -> usage ()
+      | other ->
+          Printf.eprintf "unknown experiment %S\n" other;
+          usage ();
+          exit 2)
+
+let () =
+  print_endline
+    "Reproduction harness: Rosenberg, \"Guidelines for Data-Parallel \
+     Cycle-Stealing in Networks of Workstations, I\" (TR 98-15 / IPPS 1998)";
+  (* --csv DIR mirrors every printed table into DIR/<experiment>.csv. *)
+  let rec split_flags acc = function
+    | "--csv" :: dir :: rest ->
+        Tbl.set_csv_dir (Some dir);
+        split_flags acc rest
+    | id :: rest -> split_flags (id :: acc) rest
+    | [] -> List.rev acc
+  in
+  match split_flags [] (List.tl (Array.to_list Sys.argv)) with
+  | [] -> run_one "all"
+  | ids -> List.iter run_one ids

@@ -1,0 +1,81 @@
+(* Minimal aligned-table printer for the experiment harness, with an
+   optional CSV sink so plots can be made from the same run. *)
+
+let csv_dir : string option ref = ref None
+
+let set_csv_dir d = csv_dir := d
+
+let slug title =
+  (* "E4  geometric-decreasing ..." -> "e4". Fall back to a sanitized
+     prefix for titles without an experiment id. *)
+  let lower = String.lowercase_ascii title in
+  match String.index_opt lower ' ' with
+  | Some i when i > 0 && (lower.[0] = 'e' || lower.[0] = 't') ->
+      String.sub lower 0 i
+  | Some _ | None ->
+      String.map (fun ch -> if ch = ' ' then '-' else ch)
+        (String.sub lower 0 (Int.min 24 (String.length lower)))
+
+let csv_escape cell =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (slug title ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc ("# " ^ title ^ "\n");
+          List.iter
+            (fun row ->
+              output_string oc
+                (String.concat "," (List.map csv_escape row) ^ "\n"))
+            (header :: rows))
+
+let hline widths =
+  let buf = Buffer.create 80 in
+  Buffer.add_char buf '+';
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make (w + 2) '-');
+      Buffer.add_char buf '+')
+    widths;
+  Buffer.contents buf
+
+let render ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell))
+        row)
+    all;
+  let line = hline widths in
+  let print_row row =
+    print_char '|';
+    List.iteri
+      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s\n%s\n" title line;
+  print_row header;
+  print_endline line;
+  List.iter print_row rows;
+  print_endline line;
+  write_csv ~title ~header rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let g4 x = Printf.sprintf "%.4g" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let yes_no b = if b then "yes" else "NO"

@@ -1,0 +1,95 @@
+(* T1 — Bechamel micro-benchmarks of the core algorithms: one Test.make
+   per hot path. Estimated via OLS on monotonic-clock samples. *)
+
+open Bechamel
+open Toolkit
+
+let uniform_lf = Families.uniform ~lifespan:100.0
+let geo_dec_lf = Families.geometric_decreasing ~a:(exp 0.05)
+let geo_inc_lf = Families.geometric_increasing ~lifespan:30.0
+let schedule = (Guideline.plan uniform_lf ~c:1.0).Guideline.schedule
+let sampler = Reclaim.create uniform_lf
+
+let tests =
+  [
+    Test.make ~name:"recurrence-step (uniform)"
+      (Staged.stage (fun () ->
+           Recurrence.next_period uniform_lf ~c:1.0 ~prev_period:10.0
+             ~prev_end:20.0));
+    Test.make ~name:"recurrence-generate (uniform, ~13 periods)"
+      (Staged.stage (fun () ->
+           Recurrence.generate uniform_lf ~c:1.0 ~t0:13.6));
+    Test.make ~name:"expected-work (13 periods)"
+      (Staged.stage (fun () ->
+           Schedule.expected_work ~c:1.0 uniform_lf schedule));
+    Test.make ~name:"t0-bracket (Thm 3.2/3.3, uniform)"
+      (Staged.stage (fun () -> Bounds.bracket uniform_lf ~c:1.0));
+    Test.make ~name:"guideline-plan (uniform)"
+      (Staged.stage (fun () -> Guideline.plan uniform_lf ~c:1.0));
+    Test.make ~name:"guideline-plan (geo-dec)"
+      (Staged.stage (fun () -> Guideline.plan geo_dec_lf ~c:1.0));
+    Test.make ~name:"exact-uniform ([3] closed form)"
+      (Staged.stage (fun () -> Exact.uniform ~c:1.0 ~lifespan:100.0));
+    Test.make ~name:"lambert-t* (geo-dec closed form)"
+      (Staged.stage (fun () ->
+           Closed_forms.geo_dec_t_optimal ~a:(exp 0.05) ~c:1.0));
+    Test.make ~name:"optimizer (geo-inc, coordinate ascent)"
+      (Staged.stage (fun () ->
+           Optimizer.optimal_schedule ~m_max:4 ~patience:1 geo_inc_lf ~c:1.0));
+    Test.make ~name:"episode-run (13 periods)"
+      (Staged.stage
+         (let g = Prng.create ~seed:1L in
+          fun () ->
+            Episode.run schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g)));
+    Test.make ~name:"reclaim-draw (tabulated inverse CDF)"
+      (Staged.stage
+         (let g = Prng.create ~seed:2L in
+          fun () -> Reclaim.draw sampler g));
+    Test.make ~name:"prng-xoshiro256++ (float)"
+      (Staged.stage
+         (let g = Prng.create ~seed:3L in
+          fun () -> Prng.float g));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"cyclesteal" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> Float.nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> r
+        | None -> Float.nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
+  Tbl.render
+    ~title:"T1  Bechamel micro-benchmarks (OLS estimate per call)"
+    ~header:[ "operation"; "time/call"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let time =
+           if Float.is_nan ns then "n/a"
+           else if ns < 1e3 then Printf.sprintf "%.1f ns" ns
+           else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.2f ms" (ns /. 1e6)
+         in
+         [ name; time; (if Float.is_nan r2 then "n/a" else Tbl.f3 r2) ])
+       rows)

@@ -1,0 +1,439 @@
+(* csctl — command-line front end of the cycle-stealing library.
+
+   Subcommands:
+     csctl schedule  --family uniform --lifespan 100 -c 1
+     csctl bounds    --family geo-dec --a 1.05 -c 1
+     csctl simulate  --family geo-inc --lifespan 30 -c 1 --trials 50000
+     csctl admissible --family power-law --d 2 -c 1
+     csctl fit       --model exponential --mean 40 --samples 1000 -c 1
+     csctl checkpoint --work 720 --mtbf 240 -c 1.5 *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Life-function selection flags                                      *)
+
+type family_spec = {
+  family : string;
+  lifespan : float;
+  a : float;
+  rate : float option;
+  d : int;
+  w_shape : float;
+  w_scale : float;
+}
+
+let family_term =
+  let family =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:
+            "Life-function family: uniform | polynomial | geo-dec | geo-inc \
+             | exponential | weibull | power-law.")
+  in
+  let lifespan =
+    Arg.(
+      value & opt float 100.0
+      & info [ "lifespan"; "L" ] ~docv:"L"
+          ~doc:"Potential lifespan for bounded families.")
+  in
+  let a =
+    Arg.(
+      value & opt float (exp 0.05)
+      & info [ "a" ] ~docv:"A" ~doc:"Base of the geometric-decreasing family.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"R" ~doc:"Rate of the exponential family.")
+  in
+  let d =
+    Arg.(
+      value & opt int 2
+      & info [ "d" ] ~docv:"D"
+          ~doc:"Degree for the polynomial / power-law families.")
+  in
+  let w_shape =
+    Arg.(
+      value & opt float 2.0
+      & info [ "shape" ] ~docv:"K" ~doc:"Weibull shape parameter.")
+  in
+  let w_scale =
+    Arg.(
+      value & opt float 50.0
+      & info [ "scale" ] ~docv:"S" ~doc:"Weibull scale parameter.")
+  in
+  Term.(
+    const (fun family lifespan a rate d w_shape w_scale ->
+        { family; lifespan; a; rate; d; w_shape; w_scale })
+    $ family $ lifespan $ a $ rate $ d $ w_shape $ w_scale)
+
+let resolve_family spec =
+  match spec.family with
+  | "uniform" -> Ok (Families.uniform ~lifespan:spec.lifespan)
+  | "polynomial" | "poly" ->
+      Ok (Families.polynomial ~d:spec.d ~lifespan:spec.lifespan)
+  | "geo-dec" | "geometric-decreasing" ->
+      Ok (Families.geometric_decreasing ~a:spec.a)
+  | "geo-inc" | "geometric-increasing" ->
+      Ok (Families.geometric_increasing ~lifespan:spec.lifespan)
+  | "exponential" | "exp" ->
+      let rate = Option.value spec.rate ~default:(1.0 /. spec.lifespan) in
+      Ok (Families.exponential ~rate)
+  | "weibull" -> Ok (Families.weibull ~shape:spec.w_shape ~scale:spec.w_scale)
+  | "power-law" -> Ok (Families.power_law ~d:(float_of_int spec.d))
+  | other -> Error (Printf.sprintf "unknown family %S" other)
+
+let c_term =
+  Arg.(
+    value & opt float 1.0
+    & info [ "c"; "overhead" ] ~docv:"C"
+        ~doc:"Communication overhead per period (the paper's c).")
+
+let with_family spec k =
+  match resolve_family spec with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok lf -> (
+      try k lf
+      with Invalid_argument msg | Failure msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_cmd =
+  let run spec c =
+    with_family spec (fun lf ->
+        let plan = Guideline.plan lf ~c in
+        let lo, hi = plan.Guideline.bracket in
+        Format.printf "life function : %a@." Life_function.pp lf;
+        Format.printf "t0 bracket    : [%.4f, %.4f]@." lo hi;
+        Format.printf "schedule      : %a@." Schedule.pp plan.Guideline.schedule;
+        Format.printf "periods       : ";
+        Array.iter (Format.printf "%.4f ") (Schedule.periods plan.Guideline.schedule);
+        Format.printf "@.expected work : %.6f@." plan.Guideline.expected_work;
+        List.iter
+          (fun chk -> Format.printf "%a@." Theory.pp_check chk)
+          (Theory.full_report lf ~c plan.Guideline.schedule))
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Compute the guideline schedule for a scenario.")
+    Term.(const run $ family_term $ c_term)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+
+let bounds_cmd =
+  let run spec c =
+    with_family spec (fun lf ->
+        let lo, hi = Bounds.bracket lf ~c in
+        Format.printf "life function        : %a@." Life_function.pp lf;
+        Format.printf "Thm 3.2 lower bound  : %.6f@." (Bounds.lower_t0 lf ~c);
+        Format.printf "Thm 3.3 upper (convex) : %.6f@."
+          (Bounds.upper_t0_convex lf ~c);
+        Format.printf "Thm 3.3 upper (concave): %.6f@."
+          (Bounds.upper_t0_concave lf ~c);
+        Format.printf "search bracket       : [%.6f, %.6f]@." lo hi;
+        match Life_function.support lf with
+        | Life_function.Bounded l
+          when Life_function.shape lf = Life_function.Concave
+               || Life_function.shape lf = Life_function.Linear ->
+            Format.printf "Cor 5.5 lower        : %.6f@."
+              (Bounds.lower_t0_concave_lifespan ~c ~lifespan:l);
+            Format.printf "Cor 5.3 max periods  : %d@."
+              (Bounds.max_periods_concave ~c ~lifespan:l)
+        | Life_function.Bounded _ | Life_function.Unbounded -> ())
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Theorem 3.2/3.3 bounds on t0.")
+    Term.(const run $ family_term $ c_term)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let trials =
+    Arg.(
+      value & opt int 20_000
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo episodes.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run spec c trials seed =
+    with_family spec (fun lf ->
+        let plan = Guideline.plan lf ~c in
+        let est =
+          Monte_carlo.estimate ~trials lf ~c ~schedule:plan.Guideline.schedule
+            ~seed:(Int64.of_int seed)
+        in
+        let lo, hi = est.Monte_carlo.ci95 in
+        Format.printf "schedule      : %a@." Schedule.pp plan.Guideline.schedule;
+        Format.printf "analytic E    : %.6f@." est.Monte_carlo.analytic;
+        Format.printf "MC mean (n=%d): %.6f  95%% CI [%.6f, %.6f]@."
+          est.Monte_carlo.trials est.Monte_carlo.mean_work lo hi;
+        Format.printf "interrupted   : %.2f%%@."
+          (100.0 *. est.Monte_carlo.interrupted_fraction);
+        Format.printf "mean overhead : %.6f ; mean work lost: %.6f@."
+          est.Monte_carlo.mean_overhead est.Monte_carlo.mean_lost)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Monte-Carlo-validate the guideline schedule for a scenario.")
+    Term.(const run $ family_term $ c_term $ trials $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* admissible                                                          *)
+
+let admissible_cmd =
+  let run spec c =
+    with_family spec (fun lf ->
+        Format.printf "life function : %a@." Life_function.pp lf;
+        match Admissibility.test lf ~c with
+        | Admissibility.Admissible { witness; margin } ->
+            Format.printf
+              "verdict       : admissible (Cor 3.2 margin %.4g at t = %.4g)@."
+              margin witness
+        | Admissibility.Inadmissible (Admissibility.Unbounded_work { tail_ratio }) ->
+            Format.printf
+              "verdict       : INADMISSIBLE — expected work unbounded (tail \
+               panel ratio %.3f)@."
+              tail_ratio
+        | Admissibility.Inadmissible (Admissibility.Heavy_tail { tail_ratio }) ->
+            Format.printf
+              "verdict       : INADMISSIBLE — polynomial tail (panel ratio \
+               %.3f ~ 2^(1-d))@."
+              tail_ratio
+        | Admissibility.Inadmissible (Admissibility.Negative_margin { max_margin }) ->
+            Format.printf
+              "verdict       : INADMISSIBLE — Cor 3.2 margin negative \
+               everywhere (max %.4g)@."
+              max_margin)
+  in
+  Cmd.v
+    (Cmd.info "admissible"
+       ~doc:"Test whether a life function admits an optimal schedule.")
+    Term.(const run $ family_term $ c_term)
+
+(* ------------------------------------------------------------------ *)
+(* fit                                                                 *)
+
+let fit_cmd =
+  let model =
+    Arg.(
+      value & opt string "exponential"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Owner model to synthesize absences from: exponential | uniform \
+             | weibull | coffee | day-night.")
+  in
+  let mean =
+    Arg.(
+      value & opt float 40.0
+      & info [ "mean" ] ~docv:"M" ~doc:"Mean absence (model parameter).")
+  in
+  let samples =
+    Arg.(
+      value & opt int 1000
+      & info [ "samples" ] ~docv:"N" ~doc:"Number of absences to synthesize.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run c model mean samples seed =
+    let owner =
+      match model with
+      | "exponential" -> Ok (Owner_model.Exponential_absence { mean })
+      | "uniform" -> Ok (Owner_model.Uniform_absence { max = 2.0 *. mean })
+      | "weibull" ->
+          Ok (Owner_model.Weibull_absence { shape = 2.0; scale = mean *. 1.13 })
+      | "coffee" ->
+          Ok (Owner_model.Coffee_break { typical = mean; spread = mean /. 4.0 })
+      | "day-night" ->
+          Ok
+            (Owner_model.Day_night
+               {
+                 short_mean = mean /. 2.0;
+                 long_mean = mean *. 10.0;
+                 long_fraction = 0.15;
+               })
+      | other -> Error (Printf.sprintf "unknown owner model %S" other)
+    in
+    match owner with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok owner ->
+        let rng = Prng.create ~seed:(Int64.of_int seed) in
+        let ds = Array.init samples (fun _ -> Owner_model.sample owner rng) in
+        let est = Survival.of_durations ds in
+        let fit = Fit.best_fit ds in
+        Format.printf "synthesized %d absences, sample mean %.3f@." samples
+          (Stats.mean ds);
+        Format.printf "nonparametric estimate: %a@." Life_function.pp
+          est.Survival.life;
+        Format.printf "best parametric fit   : %s (SSE %.4f)@." fit.Fit.family
+          fit.Fit.sse;
+        List.iter
+          (fun (k, v) -> Format.printf "  %-10s = %.6f@." k v)
+          fit.Fit.params;
+        let plan = Guideline.plan fit.Fit.life ~c in
+        Format.printf "guideline schedule from the fit: %a@." Schedule.pp
+          plan.Guideline.schedule;
+        Format.printf "expected work: %.4f@." plan.Guideline.expected_work
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:
+         "Synthesize owner-absence data, fit a life function, and schedule \
+          with it.")
+    Term.(const run $ c_term $ model $ mean $ samples $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint                                                          *)
+
+let checkpoint_cmd =
+  let work =
+    Arg.(
+      value & opt float 720.0
+      & info [ "work" ] ~docv:"W" ~doc:"Total computation to complete.")
+  in
+  let mtbf =
+    Arg.(
+      value & opt float 240.0
+      & info [ "mtbf" ] ~docv:"T" ~doc:"Mean time between failures.")
+  in
+  let restart =
+    Arg.(
+      value & opt float 10.0
+      & info [ "restart" ] ~docv:"R" ~doc:"Restart cost after a failure.")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run c work mtbf restart seed =
+    try
+      let life = Families.exponential ~rate:(1.0 /. mtbf) in
+      let plan = Checkpoint.plan_saves ~work life ~c in
+      Format.printf "checkpoint every %.4f (first interval); %d intervals@."
+        (Schedule.period plan.Checkpoint.intervals 0)
+        (Schedule.num_periods plan.Checkpoint.intervals);
+      Format.printf "expected committed before first failure: %.3f@."
+        plan.Checkpoint.expected_committed;
+      let g = Prng.create ~seed:(Int64.of_int seed) in
+      let r =
+        Checkpoint.simulate_restarts ~work ~c ~restart_cost:restart life g
+          ~max_failures:1_000_000
+      in
+      Format.printf
+        "one simulated run: makespan %.1f, %d failures, %.1f recomputed, %d \
+         checkpoints written@."
+        r.Checkpoint.makespan r.Checkpoint.failures r.Checkpoint.work_lost_total
+        r.Checkpoint.checkpoints_written
+    with Invalid_argument msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Plan and simulate checkpointing for a fault-prone computation.")
+    Term.(const run $ c_term $ work $ mtbf $ restart $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* worst-case                                                           *)
+
+let worst_case_cmd =
+  let horizon =
+    Arg.(
+      value & opt float 100.0
+      & info [ "horizon" ] ~docv:"H"
+          ~doc:"Latest adversarial kill time designed for.")
+  in
+  let grace =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "grace" ] ~docv:"G"
+          ~doc:"Warm-up before the guarantee applies (default 5c).")
+  in
+  let run c horizon grace =
+    try
+      let w = Worst_case.plan ?grace ~c ~horizon () in
+      Format.printf "schedule : %a@." Schedule.pp w.Worst_case.schedule;
+      Format.printf
+        "guarantee: for every kill time t in [%.4g, %.4g], banked work >= \
+         %.2f%% of the omniscient (t - c)@."
+        w.Worst_case.grace w.Worst_case.horizon
+        (100.0 *. w.Worst_case.ratio);
+      List.iter
+        (fun (name, lf) ->
+          Format.printf "  expected work under %-22s: %8.3f@." name
+            (Schedule.expected_work ~c lf w.Worst_case.schedule))
+        (Families.all_paper_scenarios ~c)
+    with Invalid_argument msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "worst-case"
+       ~doc:
+         "Compute a competitive (adversarial) schedule with a guaranteed \
+          fraction of omniscient work.")
+    Term.(const run $ c_term $ horizon $ grace)
+
+(* ------------------------------------------------------------------ *)
+(* distribution                                                         *)
+
+let distribution_cmd =
+  let run spec c =
+    with_family spec (fun lf ->
+        let plan = Guideline.plan lf ~c in
+        let d = Work_distribution.of_schedule lf ~c plan.Guideline.schedule in
+        Format.printf "schedule : %a@." Schedule.pp plan.Guideline.schedule;
+        Format.printf "mean %.4f, stddev %.4f, P(work = 0) = %.2f%%@."
+          d.Work_distribution.mean d.Work_distribution.stddev
+          (100.0 *. Work_distribution.prob_zero d);
+        Format.printf "quantiles: q10 %.3f | median %.3f | q90 %.3f@."
+          (Work_distribution.quantile d ~q:0.1)
+          (Work_distribution.quantile d ~q:0.5)
+          (Work_distribution.quantile d ~q:0.9);
+        Format.printf "law:@.";
+        Array.iter
+          (fun (w, pr) -> Format.printf "  P(work = %8.3f) = %.4f@." w pr)
+          d.Work_distribution.outcomes)
+  in
+  Cmd.v
+    (Cmd.info "distribution"
+       ~doc:
+         "Print the exact banked-work distribution of the guideline \
+          schedule for a scenario.")
+    Term.(const run $ family_term $ c_term)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "data-parallel cycle-stealing schedules for networks of workstations \
+     (reproduction of Rosenberg, TR 98-15 / IPPS 1998)"
+  in
+  let info = Cmd.info "csctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            schedule_cmd;
+            bounds_cmd;
+            simulate_cmd;
+            admissible_cmd;
+            fit_cmd;
+            checkpoint_cmd;
+            worst_case_cmd;
+            distribution_cmd;
+          ]))

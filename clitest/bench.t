@@ -1,0 +1,51 @@
+The harness lists its experiments.
+
+  $ ../bench/main.exe help | head -8
+  Reproduction harness: Rosenberg, "Guidelines for Data-Parallel Cycle-Stealing in Networks of Workstations, I" (TR 98-15 / IPPS 1998)
+  cycle-stealing reproduction harness
+  experiments:
+    e1      uniform t0 bounds vs optimal (Sec 4.1 d=1)
+    e2      polynomial-family t0 bounds (Sec 4.1)
+    e3      guideline efficiency, uniform risk
+    e4      geometric-decreasing bounds and t* (Sec 4.2)
+    e5      geometric-increasing recurrences (Sec 4.3)
+
+Experiment tables are deterministic.
+
+  $ ../bench/main.exe e1 | sed -n '5,8p'
+  | c    | L      | lower(4.4) | guide t0 | opt t0 | sqrt(2cL) | upper(4.4) | bracketed |
+  +------+--------+------------+----------+--------+-----------+------------+-----------+
+  | 0.50 | 50.00  | 5.000      | 6.821    | 6.821  | 7.071     | 11.000     | yes       |
+  | 0.50 | 100.00 | 7.071      | 9.750    | 9.750  | 10.000    | 15.142     | yes       |
+
+Unknown experiment ids fail cleanly.
+
+  $ ../bench/main.exe e99 2>/dev/null
+  Reproduction harness: Rosenberg, "Guidelines for Data-Parallel Cycle-Stealing in Networks of Workstations, I" (TR 98-15 / IPPS 1998)
+  cycle-stealing reproduction harness
+  experiments:
+    e1      uniform t0 bounds vs optimal (Sec 4.1 d=1)
+    e2      polynomial-family t0 bounds (Sec 4.1)
+    e3      guideline efficiency, uniform risk
+    e4      geometric-decreasing bounds and t* (Sec 4.2)
+    e5      geometric-increasing recurrences (Sec 4.3)
+    e6      period-count bound (Cor 5.3)
+    e7      structural theorem checks (Sec 5)
+    e8      Monte-Carlo validation of eq 2.1
+    e9      policy shoot-out per scenario
+    e10     trace-driven scheduling pipeline
+    e11     admissibility (Cor 3.2)
+    e12     discretization loss (Sec 6)
+    e13     task-farm ablation on a NOW
+    e14     master-link contention ablation
+    e15     worst-case (competitive) scheduling
+    e16     robust scheduling from confidence bands
+    e17     uniqueness of optimal schedules (Sec 6)
+    e18     sensitivity to misspecified inputs
+    e19     the price of the draconian contract
+    e20     renewal throughput vs farm measurement
+    e21     banked-work risk profile by policy
+    timing  Bechamel micro-benchmarks
+    tables  all experiment tables
+    all     tables + timing (default)
+  [2]

@@ -1,0 +1,61 @@
+(* Worst-case cycle-stealing: scheduling against an adversary instead of a
+   distribution — the direction of the paper's announced sequel (§1,
+   footnote 1) and of its reference [2] (Awerbuch-Azar-Fiat-Leighton).
+
+   When no trustworthy life function exists (a brand-new colleague, a
+   machine with no usage history), expected-work scheduling has nothing to
+   optimise. The competitive planner instead guarantees a fraction of the
+   omniscient work at EVERY kill time after a short grace period.
+
+   Run with: dune exec examples/adversarial.exe *)
+
+let () =
+  let c = 1.0 in
+  let horizon = 100.0 in
+  let w = Worst_case.plan ~c ~horizon () in
+  Format.printf
+    "Adversarial plan for horizon %.0f (grace %.0f):@.  %a@.  guarantee: at \
+     every kill time t in [%.0f, %.0f], banked work >= %.1f%% of the \
+     omniscient (t - c)@.@."
+    horizon w.Worst_case.grace Schedule.pp w.Worst_case.schedule
+    w.Worst_case.grace horizon
+    (100.0 *. w.Worst_case.ratio);
+
+  (* What the expected-work guideline would guarantee: nothing, because its
+     first period alone overshoots any early kill. *)
+  let lf = Families.uniform ~lifespan:horizon in
+  let g = Guideline.plan lf ~c in
+  Format.printf
+    "The expected-work guideline for uniform risk starts with a %.1f-long \
+     period, so an adversary killing at %.0f leaves it with %.1f%% of \
+     omniscient work.@.@."
+    g.Guideline.t0 w.Worst_case.grace
+    (100.0
+    *. Worst_case.competitive_ratio g.Guideline.schedule ~c
+         ~grace:w.Worst_case.grace ~horizon);
+
+  (* The price of paranoia, measured under benign distributions. *)
+  Format.printf "The guarantee's price in expected work:@.";
+  List.iter
+    (fun (name, lf) ->
+      let adv = Schedule.expected_work ~c lf w.Worst_case.schedule in
+      let opt = (Guideline.plan lf ~c).Guideline.expected_work in
+      Format.printf "  %-24s adversarial plan banks %6.2f vs guideline %6.2f \
+                     (%.0f%%)@."
+        name adv opt
+        (100.0 *. adv /. Float.max 1e-9 opt))
+    [
+      ("uniform(L=100)", Families.uniform ~lifespan:horizon);
+      ("polynomial(d=2)", Families.polynomial ~d:2 ~lifespan:horizon);
+      ("geometric-inc(L=100)", Families.geometric_increasing ~lifespan:horizon);
+    ];
+
+  (* Adversary simulation: the worst kill times for each plan. *)
+  Format.printf "@.Kill-time sweep (work banked at adversarial instants):@.";
+  Format.printf "  %8s %14s %14s@." "kill t" "adversarial" "guideline";
+  List.iter
+    (fun t ->
+      Format.printf "  %8.1f %14.2f %14.2f@." t
+        (Worst_case.work_if_killed_at w.Worst_case.schedule ~c t)
+        (Worst_case.work_if_killed_at g.Guideline.schedule ~c t))
+    [ 5.0; 10.0; 13.0; 20.0; 40.0; 70.0; 100.0 ]

@@ -1,0 +1,136 @@
+let ln2 = log 2.0
+
+let uniform ~lifespan =
+  if lifespan <= 0.0 then invalid_arg "Families.uniform: lifespan must be > 0";
+  let l = lifespan in
+  Life_function.make
+    ~name:(Printf.sprintf "uniform(L=%g)" l)
+    ~support:(Life_function.Bounded l)
+    ~dp:(fun t -> if t < 0.0 || t > l then 0.0 else -1.0 /. l)
+    ~shape:Life_function.Linear
+    (fun t -> 1.0 -. (t /. l))
+
+let polynomial ~d ~lifespan =
+  if d < 1 then invalid_arg "Families.polynomial: d must be >= 1";
+  if lifespan <= 0.0 then
+    invalid_arg "Families.polynomial: lifespan must be > 0";
+  if d = 1 then uniform ~lifespan
+  else begin
+    let l = lifespan in
+    let df = float_of_int d in
+    Life_function.make
+      ~name:(Printf.sprintf "polynomial(d=%d, L=%g)" d l)
+      ~support:(Life_function.Bounded l)
+      ~dp:(fun t ->
+        if t < 0.0 || t > l then 0.0
+        else -.df *. Float.pow (t /. l) (df -. 1.0) /. l)
+      ~shape:Life_function.Concave
+      (fun t -> 1.0 -. Float.pow (t /. l) df)
+  end
+
+let geometric_decreasing ~a =
+  if a <= 1.0 then
+    invalid_arg "Families.geometric_decreasing: requires a > 1";
+  let lna = log a in
+  Life_function.make
+    ~name:(Printf.sprintf "geometric-decreasing(a=%g)" a)
+    ~support:Life_function.Unbounded
+    ~dp:(fun t -> -.lna *. exp (-.lna *. t))
+    ~shape:Life_function.Convex
+    (fun t -> exp (-.lna *. t))
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Families.exponential: rate must be > 0";
+  Life_function.make
+    ~name:(Printf.sprintf "exponential(rate=%g)" rate)
+    ~support:Life_function.Unbounded
+    ~dp:(fun t -> -.rate *. exp (-.rate *. t))
+    ~shape:Life_function.Convex
+    (fun t -> exp (-.rate *. t))
+
+let geometric_increasing ~lifespan =
+  if lifespan <= 0.0 then
+    invalid_arg "Families.geometric_increasing: lifespan must be > 0";
+  let l = lifespan in
+  (* (2^L - 2^t)/(2^L - 1) = (1 - 2^{t-L})/(1 - 2^{-L}): stable for large L. *)
+  let denom = -.Float.expm1 (-.l *. ln2) in
+  let p t =
+    if t >= l then 0.0 else -.Float.expm1 ((t -. l) *. ln2) /. denom
+  in
+  let dp t =
+    if t < 0.0 || t > l then 0.0
+    else -.ln2 *. exp ((t -. l) *. ln2) /. denom
+  in
+  Life_function.make
+    ~name:(Printf.sprintf "geometric-increasing(L=%g)" l)
+    ~support:(Life_function.Bounded l) ~dp ~shape:Life_function.Concave p
+
+let weibull ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Families.weibull: shape and scale must be > 0";
+  let sh = shape and sc = scale in
+  let declared =
+    if sh <= 1.0 then Life_function.Convex else Life_function.Unknown
+  in
+  Life_function.make
+    ~name:(Printf.sprintf "weibull(shape=%g, scale=%g)" sh sc)
+    ~support:Life_function.Unbounded
+    ~dp:(fun t ->
+      if t <= 0.0 then (if sh < 1.0 then neg_infinity else if sh = 1.0 then -1.0 /. sc else 0.0)
+      else
+        let z = t /. sc in
+        let zs = Float.pow z sh in
+        -.sh /. t *. zs *. exp (-.zs))
+    ~shape:declared
+    (fun t -> if t <= 0.0 then 1.0 else exp (-.Float.pow (t /. sc) sh))
+
+let power_law ~d =
+  if d <= 0.0 then invalid_arg "Families.power_law: d must be > 0";
+  Life_function.make
+    ~name:(Printf.sprintf "power-law(d=%g)" d)
+    ~support:Life_function.Unbounded
+    ~dp:(fun t -> -.d *. Float.pow (t +. 1.0) (-.d -. 1.0))
+    ~shape:Life_function.Convex
+    (fun t -> Float.pow (t +. 1.0) (-.d))
+
+let of_interpolant ~name ip =
+  let lo, hi = Interp.domain ip in
+  if lo <> 0.0 then
+    raise
+      (Life_function.Invalid_life_function
+         (Printf.sprintf "%s: interpolant domain must start at 0 (got %g)"
+            name lo));
+  let p t = Special.smooth_clamp01 (Interp.eval ip t) in
+  Life_function.make ~name
+    ~support:(Life_function.Bounded hi)
+    ~dp:(fun t ->
+      if t < 0.0 || t > hi then 0.0
+      else Float.min 0.0 (Interp.derivative ip t))
+    p
+
+let scale_time ~factor lf =
+  if factor <= 0.0 then
+    invalid_arg "Families.scale_time: factor must be > 0";
+  let support =
+    match Life_function.support lf with
+    | Life_function.Bounded l -> Life_function.Bounded (l *. factor)
+    | Life_function.Unbounded -> Life_function.Unbounded
+  in
+  Life_function.make
+    ~name:(Printf.sprintf "%s (time x%g)" (Life_function.name lf) factor)
+    ~support
+    ~dp:(fun t -> Life_function.deriv lf (t /. factor) /. factor)
+    ~shape:(Life_function.shape lf)
+    ~validate:false
+    (fun t -> Life_function.eval lf (t /. factor))
+
+let all_paper_scenarios ~c =
+  if c <= 0.0 then
+    invalid_arg "Families.all_paper_scenarios: c must be > 0";
+  [
+    ("uniform-risk", uniform ~lifespan:(100.0 *. c));
+    ("polynomial-d2", polynomial ~d:2 ~lifespan:(100.0 *. c));
+    ("polynomial-d3", polynomial ~d:3 ~lifespan:(100.0 *. c));
+    ("geometric-decreasing", geometric_decreasing ~a:(exp (0.05 /. c)));
+    ("geometric-increasing", geometric_increasing ~lifespan:(30.0 *. c));
+  ]

@@ -1,0 +1,141 @@
+
+type support = Bounded of float | Unbounded
+type shape = Concave | Convex | Linear | Unknown
+
+type t = {
+  name : string;
+  support : support;
+  p : float -> float;
+  dp : (float -> float) option;
+  shape : shape;
+}
+
+exception Invalid_life_function of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_life_function s)) fmt
+
+let raw_horizon support p =
+  match support with
+  | Bounded l -> l
+  | Unbounded ->
+      (* Geometric search for the 1e-12 survival point. *)
+      let t = ref 1.0 in
+      let guard = ref 0 in
+      while p !t > 1e-12 && !guard < 80 do
+        incr guard;
+        t := !t *. 2.0
+      done;
+      !t
+
+let validate_fn ~name ~support p =
+  (match support with
+  | Bounded l when not (l > 0.0 && Float.is_finite l) ->
+      fail "%s: bounded lifespan must be finite and positive" name
+  | Bounded _ | Unbounded -> ());
+  let p0 = p 0.0 in
+  if Float.abs (p0 -. 1.0) > 1e-9 then
+    fail "%s: p(0) = %g, expected 1" name p0;
+  let hi = raw_horizon support p in
+  let samples = 128 in
+  let prev = ref p0 in
+  for i = 1 to samples do
+    let t = float_of_int i /. float_of_int samples *. hi in
+    let v = p t in
+    if Float.is_nan v then fail "%s: p(%g) is NaN" name t;
+    if v < -1e-9 || v > 1.0 +. 1e-9 then
+      fail "%s: p(%g) = %g outside [0, 1]" name t v;
+    if v > !prev +. 1e-9 then
+      fail "%s: p increases near t = %g (%g -> %g)" name t !prev v;
+    prev := v
+  done
+
+let make ?dp ?(shape = Unknown) ?(validate = true) ~name ~support p =
+  if validate then validate_fn ~name ~support p;
+  { name; support; p; dp; shape }
+
+let name t = t.name
+let support t = t.support
+let shape t = t.shape
+
+let eval t x =
+  if x <= 0.0 then 1.0
+  else
+    match t.support with
+    | Bounded l when x >= l -> 0.0
+    | Bounded _ | Unbounded -> Float.max 0.0 (t.p x)
+
+let deriv t x =
+  match t.dp with
+  | Some dp -> dp x
+  | None ->
+      let hi = match t.support with Bounded l -> l | Unbounded -> infinity in
+      Diff.derivative_on_support ~lo:0.0 ~hi (eval t) x
+
+let horizon t = raw_horizon t.support t.p
+
+let hazard t x =
+  let v = eval t x in
+  if v <= 0.0 then infinity else -.deriv t x /. v
+
+let conditional_survival t ~elapsed s =
+  let pe = eval t elapsed in
+  if pe <= 0.0 then 0.0 else eval t (elapsed +. s) /. pe
+
+let mean_lifetime t =
+  match t.support with
+  | Bounded l -> Quadrature.adaptive_simpson (eval t) ~lo:0.0 ~hi:l
+  | Unbounded -> Quadrature.integrate_to_infinity (eval t) ~lo:0.0
+
+let quantile_time t ~q =
+  if not (q > 0.0 && q < 1.0) then
+    invalid_arg "Life_function.quantile_time: q must lie in (0, 1)";
+  let hi = horizon t in
+  if eval t hi > q then hi
+  else
+    let r = Rootfind.bisect (fun x -> eval t x -. q) ~lo:0.0 ~hi in
+    r.Rootfind.root
+
+let classify_shape ?(samples = 256) t =
+  let hi = horizon t in
+  (* Stay away from the support edges where one-sided noise dominates. *)
+  let lo = 0.02 *. hi and span = 0.96 *. hi in
+  let tol = 1e-7 in
+  let has_pos = ref false and has_neg = ref false in
+  for i = 0 to samples - 1 do
+    let x = lo +. (float_of_int i /. float_of_int (samples - 1) *. span) in
+    let s = Diff.second (eval t) ~h:(1e-4 *. Float.max 1.0 hi) x in
+    if s > tol then has_pos := true;
+    if s < -.tol then has_neg := true
+  done;
+  match (!has_pos, !has_neg) with
+  | false, false -> Linear
+  | true, false -> Convex
+  | false, true -> Concave
+  | true, true -> Unknown
+
+let is_decreasing_on_grid ?(samples = 256) t =
+  let hi = horizon t in
+  let ok = ref true in
+  let prev = ref (eval t 0.0) in
+  for i = 1 to samples do
+    let x = float_of_int i /. float_of_int samples *. hi in
+    let v = eval t x in
+    if v > !prev +. 1e-9 then ok := false;
+    prev := v
+  done;
+  !ok
+
+let pp ppf t =
+  let support_str =
+    match t.support with
+    | Bounded l -> Printf.sprintf "lifespan %g" l
+    | Unbounded -> "unbounded"
+  in
+  let shape_str =
+    match t.shape with
+    | Concave -> "concave"
+    | Convex -> "convex"
+    | Linear -> "linear"
+    | Unknown -> "unknown shape"
+  in
+  Format.fprintf ppf "%s (%s, %s)" t.name support_str shape_str

@@ -1,0 +1,91 @@
+(** Life functions — the risk model of the paper (§2.1).
+
+    A life function [p] gives, for each time [t], the probability that the
+    borrowed workstation has not yet been reclaimed: [p 0 = 1] and [p]
+    decreases monotonically, to [0] at a finite potential lifespan [L]
+    (bounded episodes) or in the limit (unbounded episodes). The paper's
+    guidelines additionally assume [p] is differentiable ("smooth"), with
+    concavity/convexity unlocking the Theorem 3.3 upper bounds; this module
+    carries that structure explicitly so every scheduler can dispatch on it. *)
+
+type support =
+  | Bounded of float  (** Potential lifespan [L]: [p t = 0] for [t >= L]. *)
+  | Unbounded  (** [p] decreases to 0 only in the limit. *)
+
+type shape =
+  | Concave  (** [p'] nonincreasing (risk of interruption accelerates). *)
+  | Convex  (** [p'] nondecreasing (episodes have a "half-life" flavour). *)
+  | Linear  (** Both concave and convex — the uniform-risk scenario. *)
+  | Unknown  (** No shape certificate; only the general bounds apply. *)
+
+type t
+(** A validated life function. *)
+
+exception Invalid_life_function of string
+(** Raised by {!make} when the candidate violates [p 0 = 1], monotonicity,
+    or range constraints on a sample grid. *)
+
+val make :
+  ?dp:(float -> float) ->
+  ?shape:shape ->
+  ?validate:bool ->
+  name:string ->
+  support:support ->
+  (float -> float) ->
+  t
+(** [make ~name ~support p] wraps [p] as a life function. [?dp] supplies the
+    exact derivative (otherwise finite differences on the support are used).
+    [?shape] declares concavity/convexity — callers are trusted, but
+    [?validate] (default [true]) samples [p] on a grid to check
+    [p 0 = 1] within 1e-9, values in [[0, 1]], and monotone nonincrease.
+    @raise Invalid_life_function on validation failure. *)
+
+val name : t -> string
+val support : t -> support
+val shape : t -> shape
+
+val eval : t -> float -> float
+(** [eval p t] is [p(t)], clamped to [1] for [t <= 0] and to [0] beyond a
+    bounded lifespan, so schedulers may probe slightly outside the support
+    without special-casing. *)
+
+val deriv : t -> float -> float
+(** [deriv p t] is [p'(t)] — exact if supplied to {!make}, otherwise a
+    support-aware finite difference. At a bounded lifespan's edge the
+    one-sided derivative is used. *)
+
+val horizon : t -> float
+(** [horizon p] is the lifespan [L] for bounded support, and for unbounded
+    support the abscissa where [p] first drops below 1e-12 (found by
+    geometric search) — a practical integration/search limit. *)
+
+val hazard : t -> float -> float
+(** [hazard p t] is the instantaneous reclaim rate [-p'(t) / p(t)].
+    Returns [infinity] where [p t = 0]. *)
+
+val conditional_survival : t -> elapsed:float -> float -> float
+(** [conditional_survival p ~elapsed s] is
+    [Pr(alive at elapsed + s | alive at elapsed) = p(elapsed+s)/p(elapsed)].
+    Returns [0] if [p elapsed = 0]. *)
+
+val mean_lifetime : t -> float
+(** [mean_lifetime p] is [E(reclaim time) = ∫₀^∞ p(t) dt], by adaptive
+    quadrature over the support. *)
+
+val quantile_time : t -> q:float -> float
+(** [quantile_time p ~q] is the earliest [t] with [p t <= q], i.e. the
+    [(1-q)]-quantile of the reclaim time; used by inverse-CDF samplers.
+    Requires [0 < q < 1]. *)
+
+val classify_shape : ?samples:int -> t -> shape
+(** [classify_shape p] estimates the shape numerically by testing the sign
+    of [p''] on a grid over the support interior (default 256 samples),
+    ignoring the declared shape. Returns {!Unknown} when the samples mix
+    signs beyond tolerance. Useful for trace-derived functions. *)
+
+val is_decreasing_on_grid : ?samples:int -> t -> bool
+(** [is_decreasing_on_grid p] re-runs the monotonicity validation; exposed
+    for property tests on programmatically-constructed functions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints name, support and shape. *)

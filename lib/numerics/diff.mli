@@ -1,0 +1,35 @@
+(** Numerical differentiation.
+
+    Trace-estimated life functions come without an analytic derivative, yet
+    the recurrence (paper eq. 3.6) and every [t_0] bound consume [p'].
+    These finite-difference schemes supply the fallback derivative; the
+    Richardson variants give near machine-precision accuracy on smooth
+    functions at the cost of extra evaluations. *)
+
+val central : ?h:float -> (float -> float) -> float -> float
+(** [central f x] is the central difference
+    [(f (x+h) - f (x-h)) / 2h] with a step scaled to [x] (default base step
+    [~cbrt eps * max 1 |x|]), the O(h²) workhorse. *)
+
+val forward : ?h:float -> (float -> float) -> float -> float
+(** [forward f x] is the one-sided O(h) difference, for points on the left
+    edge of a function's support where [x - h] would be invalid. *)
+
+val backward : ?h:float -> (float -> float) -> float -> float
+(** [backward f x] is the one-sided O(h) difference from the left, for the
+    right edge of a support interval. *)
+
+val richardson : ?h:float -> ?levels:int -> (float -> float) -> float -> float
+(** [richardson f x] extrapolates central differences at step sizes
+    [h, h/2, h/4, ...] through [levels] (default 4) Richardson levels,
+    achieving O(h^(2·levels)) accuracy on smooth functions. *)
+
+val second : ?h:float -> (float -> float) -> float -> float
+(** [second f x] is the standard O(h²) three-point second derivative,
+    used by the shape classifier to test concavity/convexity. *)
+
+val derivative_on_support :
+  lo:float -> hi:float -> (float -> float) -> float -> float
+(** [derivative_on_support ~lo ~hi f x] picks central, forward or backward
+    differencing so that no evaluation leaves [[lo, hi]]; [hi] may be
+    [infinity]. Steps shrink automatically near the edges. *)

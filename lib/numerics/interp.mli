@@ -1,0 +1,41 @@
+(** Interpolation on sampled grids.
+
+    Trace-estimated survival curves arrive as a monotone sequence of sample
+    points; the scheduler needs a differentiable life function through them.
+    The monotone cubic (Fritsch–Carlson PCHIP) interpolant preserves
+    monotonicity — essential because a life function must decrease — while
+    providing a continuous derivative for the recurrence engine. *)
+
+type t
+(** An interpolant over a fixed strictly-increasing knot grid. *)
+
+exception Bad_grid of string
+(** Raised by constructors on unsorted, duplicated or too-short grids. *)
+
+val linear : xs:float array -> ys:float array -> t
+(** [linear ~xs ~ys] is the piecewise-linear interpolant through the points
+    [(xs.(i), ys.(i))]. Requires [xs] strictly increasing and arrays of equal
+    length >= 2.
+    @raise Bad_grid otherwise. *)
+
+val pchip : xs:float array -> ys:float array -> t
+(** [pchip ~xs ~ys] is the Fritsch–Carlson monotone piecewise-cubic Hermite
+    interpolant: C¹, and monotone on every interval where the data are.
+    Requirements as for {!linear}.
+    @raise Bad_grid otherwise. *)
+
+val eval : t -> float -> float
+(** [eval ip x] evaluates the interpolant. Outside the grid, the boundary
+    segment is extrapolated (linearly for {!linear}; by the boundary cubic
+    for {!pchip}); callers who need clamping should compose with
+    {!val-domain}. *)
+
+val derivative : t -> float -> float
+(** [derivative ip x] is the exact derivative of the interpolant at [x]
+    (piecewise-constant for {!linear}). *)
+
+val domain : t -> float * float
+(** [domain ip] is the [(min, max)] of the knot grid. *)
+
+val knots : t -> (float * float) array
+(** [knots ip] returns a copy of the defining points. *)

@@ -1,0 +1,42 @@
+type t = { mutable sum : float; mutable comp : float }
+
+let create () = { sum = 0.0; comp = 0.0 }
+
+(* Neumaier's improvement on Kahan: swap roles when the addend dominates,
+   so cancellation is captured on whichever operand is smaller. *)
+let add acc x =
+  let t = acc.sum +. x in
+  if Float.abs acc.sum >= Float.abs x then
+    acc.comp <- acc.comp +. ((acc.sum -. t) +. x)
+  else acc.comp <- acc.comp +. ((x -. t) +. acc.sum);
+  acc.sum <- t
+
+let total acc = acc.sum +. acc.comp
+
+let sum a =
+  let acc = create () in
+  Array.iter (add acc) a;
+  total acc
+
+let sum_seq s =
+  let acc = create () in
+  Seq.iter (add acc) s;
+  total acc
+
+let sum_by f a =
+  let acc = create () in
+  Array.iter (fun x -> add acc (f x)) a;
+  total acc
+
+let cumulative a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n 0.0 in
+    let acc = create () in
+    for i = 0 to n - 1 do
+      add acc a.(i);
+      out.(i) <- total acc
+    done;
+    out
+  end

@@ -1,0 +1,237 @@
+type outcome = { root : float; residual : float; iterations : int }
+
+exception No_bracket of string
+exception Did_not_converge of string
+
+let default_tol = 1e-12
+
+let same_sign a b = (a > 0.0 && b > 0.0) || (a < 0.0 && b < 0.0)
+
+let bisect ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then { root = lo; residual = 0.0; iterations = 0 }
+  else if fhi = 0.0 then { root = hi; residual = 0.0; iterations = 0 }
+  else if same_sign flo fhi then
+    raise
+      (No_bracket
+         (Printf.sprintf "Rootfind.bisect: f(%g)=%g and f(%g)=%g agree in sign"
+            lo flo hi fhi))
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if same_sign !flo fmid then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    let root = 0.5 *. (!lo +. !hi) in
+    { root; residual = f root; iterations = !iter }
+  end
+
+(* Brent's method, following the classic Brent (1973) organization:
+   [b] is the current best root estimate, [a] the previous iterate, and
+   [c] chosen so that f(b) and f(c) have opposite signs. *)
+let brent ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
+  let fa = f lo and fb = f hi in
+  if fa = 0.0 then { root = lo; residual = 0.0; iterations = 0 }
+  else if fb = 0.0 then { root = hi; residual = 0.0; iterations = 0 }
+  else if same_sign fa fb then
+    raise
+      (No_bracket
+         (Printf.sprintf "Rootfind.brent: f(%g)=%g and f(%g)=%g agree in sign"
+            lo fa hi fb))
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let iter = ref 0 in
+    let result = ref None in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if !fb = 0.0 || Float.abs (!b -. !a) < tol then
+        result := Some { root = !b; residual = !fb; iterations = !iter }
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* inverse quadratic interpolation *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo_guard = ((3.0 *. !a) +. !b) /. 4.0 in
+        let cond1 =
+          not
+            ((s > Float.min lo_guard !b && s < Float.max lo_guard !b)
+            || (s < Float.min lo_guard !b && s > Float.max lo_guard !b))
+        in
+        let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+        let cond3 =
+          (not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0
+        in
+        let cond4 = !mflag && Float.abs (!b -. !c) < tol in
+        let cond5 = (not !mflag) && Float.abs (!c -. !d) < tol in
+        let s =
+          if cond1 || cond2 || cond3 || cond4 || cond5 then begin
+            mflag := true;
+            0.5 *. (!a +. !b)
+          end
+          else begin
+            mflag := false;
+            s
+          end
+        in
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if same_sign !fa fs then begin
+          a := s;
+          fa := fs
+        end
+        else begin
+          b := s;
+          fb := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None -> { root = !b; residual = !fb; iterations = !iter }
+  end
+
+let secant ?(tol = default_tol) ?(max_iter = 100) f ~x0 ~x1 =
+  let x0 = ref x0 and x1 = ref x1 in
+  let f0 = ref (f !x0) and f1 = ref (f !x1) in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    if !f1 = 0.0 || Float.abs (!x1 -. !x0) < tol then
+      result := Some { root = !x1; residual = !f1; iterations = !iter }
+    else begin
+      let denom = !f1 -. !f0 in
+      if denom = 0.0 then
+        raise (Did_not_converge "Rootfind.secant: flat step (f1 = f0)");
+      let x2 = !x1 -. (!f1 *. (!x1 -. !x0) /. denom) in
+      x0 := !x1;
+      f0 := !f1;
+      x1 := x2;
+      f1 := f x2
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+      raise
+        (Did_not_converge
+           (Printf.sprintf "Rootfind.secant: %d iterations, |f|=%g" !iter
+              (Float.abs !f1)))
+
+let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
+  let x = ref x0 in
+  let fx = ref (f !x) in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    if Float.abs !fx < tol then
+      result := Some { root = !x; residual = !fx; iterations = !iter }
+    else begin
+      let d = df !x in
+      if d = 0.0 then
+        raise (Did_not_converge "Rootfind.newton: derivative vanished");
+      let step = ref (!fx /. d) in
+      (* Damping: halve the step until the residual magnitude decreases. *)
+      let attempts = ref 0 in
+      let accepted = ref false in
+      while (not !accepted) && !attempts < 20 do
+        incr attempts;
+        let cand = !x -. !step in
+        let fc = f cand in
+        if Float.abs fc < Float.abs !fx then begin
+          x := cand;
+          fx := fc;
+          accepted := true
+        end
+        else step := !step /. 2.0
+      done;
+      if not !accepted then begin
+        (* Accept the smallest damped step anyway to escape plateaus. *)
+        x := !x -. !step;
+        fx := f !x
+      end
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+      raise
+        (Did_not_converge
+           (Printf.sprintf "Rootfind.newton: %d iterations, |f|=%g" !iter
+              (Float.abs !fx)))
+
+let expand_bracket ?(grow = 1.6) ?(max_iter = 60) f ~lo ~hi =
+  if not (lo < hi) then
+    invalid_arg "Rootfind.expand_bracket: requires lo < hi";
+  let lo = ref lo and hi = ref hi in
+  let flo = ref (f !lo) and fhi = ref (f !hi) in
+  let iter = ref 0 in
+  while same_sign !flo !fhi && !iter < max_iter do
+    incr iter;
+    let width = !hi -. !lo in
+    if Float.abs !flo < Float.abs !fhi then begin
+      lo := !lo -. (grow *. width);
+      flo := f !lo
+    end
+    else begin
+      hi := !hi +. (grow *. width);
+      fhi := f !hi
+    end
+  done;
+  if same_sign !flo !fhi then
+    raise
+      (No_bracket
+         (Printf.sprintf "Rootfind.expand_bracket: no sign change in [%g, %g]"
+            !lo !hi))
+  else (!lo, !hi)
+
+let find_sign_change f ~lo ~hi ~steps =
+  if steps <= 0 then invalid_arg "Rootfind.find_sign_change: steps must be > 0";
+  let h = (hi -. lo) /. float_of_int steps in
+  let rec scan i x fx =
+    if i > steps then None
+    else
+      let x' = lo +. (float_of_int i *. h) in
+      let fx' = f x' in
+      if fx = 0.0 then Some (x, x)
+      else if not (same_sign fx fx') then Some (x, x')
+      else scan (i + 1) x' fx'
+  in
+  scan 1 lo (f lo)

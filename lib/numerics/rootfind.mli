@@ -1,0 +1,73 @@
+(** One-dimensional root finding.
+
+    The guideline recurrence (paper eq. 3.6) solves
+    [p (T_{k-1} + t_k) = rhs] once per period, and the [t_0] bounds
+    (Theorems 3.2/3.3) are implicit inequalities solved as fixed points, so
+    robust bracketed solvers are on the hot path of every scheduler in this
+    repository. All solvers are derivative-free except [newton]. *)
+
+type outcome = {
+  root : float;  (** Final abscissa. *)
+  residual : float;  (** [f root] at termination. *)
+  iterations : int;  (** Function-evaluation driven iteration count. *)
+}
+
+exception No_bracket of string
+(** Raised when a bracketing precondition [f lo * f hi <= 0] fails or when
+    bracket expansion exhausts its budget. *)
+
+exception Did_not_converge of string
+(** Raised when an iterative method exceeds its iteration budget without
+    meeting its tolerance. *)
+
+val default_tol : float
+(** Absolute abscissa tolerance used when [?tol] is omitted (1e-12). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  outcome
+(** [bisect f ~lo ~hi] finds a sign change of [f] in [[lo, hi]] by interval
+    halving. Requires [f lo] and [f hi] of opposite sign (or one of them
+    zero). Guaranteed to converge; ~60 iterations suffice for [tol] 1e-12
+    on unit-scale intervals.
+    @raise No_bracket if the endpoint signs agree. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  outcome
+(** [brent f ~lo ~hi] is Brent's method: inverse quadratic interpolation and
+    secant steps guarded by bisection, converging superlinearly on smooth
+    [f] while retaining the bisection guarantee.
+    @raise No_bracket if the endpoint signs agree. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> x0:float -> x1:float ->
+  outcome
+(** [secant f ~x0 ~x1] iterates unbracketed secant steps from the two seeds.
+    Fast on locally-linear residuals but may diverge; prefer [brent] when a
+    bracket is available.
+    @raise Did_not_converge on iteration exhaustion or a flat step. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> outcome
+(** [newton ~f ~df x0] is damped Newton iteration: full steps, halved up to
+    20 times whenever the residual fails to decrease.
+    @raise Did_not_converge on iteration exhaustion or a vanishing
+    derivative. *)
+
+val expand_bracket :
+  ?grow:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float ->
+  float * float
+(** [expand_bracket f ~lo ~hi] grows the interval geometrically (factor
+    [grow], default 1.6) alternating on both sides until [f] changes sign,
+    returning the bracketing pair.
+    @raise No_bracket if the budget (default 60 doublings) is exhausted. *)
+
+val find_sign_change :
+  (float -> float) -> lo:float -> hi:float -> steps:int ->
+  (float * float) option
+(** [find_sign_change f ~lo ~hi ~steps] scans the interval left-to-right on a
+    uniform grid of [steps] cells and returns the first cell on which [f]
+    changes sign, or [None]. Useful to seed [brent] when [f] has several
+    roots and the leftmost is wanted. *)

@@ -1,0 +1,200 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let require_nonempty name a =
+  if Array.length a = 0 then
+    invalid_arg (Printf.sprintf "Stats.%s: empty input" name)
+
+let mean a =
+  require_nonempty "mean" a;
+  Kahan.sum a /. float_of_int (Array.length a)
+
+let summarize a =
+  require_nonempty "summarize" a;
+  let n = Array.length a in
+  let mu = mean a in
+  let acc = Kahan.create () in
+  let mn = ref a.(0) and mx = ref a.(0) in
+  Array.iter
+    (fun x ->
+      let d = x -. mu in
+      Kahan.add acc (d *. d);
+      if x < !mn then mn := x;
+      if x > !mx then mx := x)
+    a;
+  let variance =
+    if n < 2 then 0.0 else Kahan.total acc /. float_of_int (n - 1)
+  in
+  { n; mean = mu; variance; stddev = sqrt variance; min = !mn; max = !mx }
+
+let standard_error a =
+  if Array.length a < 2 then
+    invalid_arg "Stats.standard_error: need at least 2 samples";
+  let s = summarize a in
+  s.stddev /. sqrt (float_of_int s.n)
+
+let confidence_interval_95 a =
+  let se = standard_error a in
+  let mu = mean a in
+  (mu -. (1.96 *. se), mu +. (1.96 *. se))
+
+let quantile a ~q =
+  require_nonempty "quantile" a;
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Stats.quantile: q must lie in [0, 1]";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Int.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let histogram a ~bins ~lo ~hi =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if not (lo < hi) then invalid_arg "Stats.histogram: requires lo < hi";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let i = Int.max 0 (Int.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  counts
+
+let ecdf_survival samples =
+  require_nonempty "ecdf_survival" samples;
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let nf = float_of_int n in
+  (* Collapse ties: survival after x = fraction of samples strictly > x. *)
+  let points = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let x = sorted.(!i) in
+    let j = ref !i in
+    while !j < n && sorted.(!j) = x do
+      incr j
+    done;
+    points := (x, float_of_int (n - !j) /. nf) :: !points;
+    i := !j
+  done;
+  Array.of_list (List.rev !points)
+
+let kaplan_meier observations =
+  if Array.length observations = 0 then
+    invalid_arg "Stats.kaplan_meier: empty input";
+  let obs = Array.copy observations in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) obs;
+  let n = Array.length obs in
+  let at_risk = ref n in
+  let survival = ref 1.0 in
+  let steps = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let t, _ = obs.(!i) in
+    (* Gather everyone with this exact time: events first, then censored. *)
+    let events = ref 0 and total = ref 0 in
+    let j = ref !i in
+    while !j < n && fst obs.(!j) = t do
+      incr total;
+      if snd obs.(!j) then incr events;
+      incr j
+    done;
+    if !events > 0 then begin
+      survival :=
+        !survival
+        *. (1.0 -. (float_of_int !events /. float_of_int !at_risk));
+      steps := (t, !survival) :: !steps
+    end;
+    at_risk := !at_risk - !total;
+    i := !j
+  done;
+  Array.of_list (List.rev !steps)
+
+let kaplan_meier_greenwood observations =
+  if Array.length observations = 0 then
+    invalid_arg "Stats.kaplan_meier_greenwood: empty input";
+  let obs = Array.copy observations in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) obs;
+  let n = Array.length obs in
+  let at_risk = ref n in
+  let survival = ref 1.0 in
+  let greenwood_sum = ref 0.0 in
+  let steps = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let t, _ = obs.(!i) in
+    let events = ref 0 and total = ref 0 in
+    let j = ref !i in
+    while !j < n && fst obs.(!j) = t do
+      incr total;
+      if snd obs.(!j) then incr events;
+      incr j
+    done;
+    if !events > 0 then begin
+      let d = float_of_int !events and r = float_of_int !at_risk in
+      survival := !survival *. (1.0 -. (d /. r));
+      if r -. d > 0.0 then
+        greenwood_sum := !greenwood_sum +. (d /. (r *. (r -. d)));
+      let variance = !survival *. !survival *. !greenwood_sum in
+      steps := (t, !survival, sqrt (Float.max 0.0 variance)) :: !steps
+    end;
+    at_risk := !at_risk - !total;
+    i := !j
+  done;
+  Array.of_list (List.rev !steps)
+
+let linear_regression ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Stats.linear_regression: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = Kahan.create () and sxx = Kahan.create () in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    Kahan.add sxy (dx *. (ys.(i) -. my));
+    Kahan.add sxx (dx *. dx)
+  done;
+  let sxx = Kahan.total sxx in
+  if sxx = 0.0 then
+    invalid_arg "Stats.linear_regression: zero-variance abscissae";
+  let slope = Kahan.total sxy /. sxx in
+  (slope, my -. (slope *. mx))
+
+let paired_check name predicted actual =
+  let n = Array.length predicted in
+  if n <> Array.length actual then
+    invalid_arg (Printf.sprintf "Stats.%s: length mismatch" name);
+  if n = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty input" name);
+  n
+
+let rmse ~predicted ~actual =
+  let n = paired_check "rmse" predicted actual in
+  let acc = Kahan.create () in
+  for i = 0 to n - 1 do
+    let d = predicted.(i) -. actual.(i) in
+    Kahan.add acc (d *. d)
+  done;
+  sqrt (Kahan.total acc /. float_of_int n)
+
+let max_abs_error ~predicted ~actual =
+  let n = paired_check "max_abs_error" predicted actual in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (predicted.(i) -. actual.(i)))
+  done;
+  !m

@@ -1,0 +1,77 @@
+type t = { name : string; schedule : Schedule.t; expected_work : float }
+
+let finish name lf ~c schedule =
+  { name; schedule; expected_work = Schedule.expected_work ~c lf schedule }
+
+let repeat_until_horizon ~horizon next =
+  (* Collect periods from [next] until they would overrun the horizon,
+     always keeping at least one. *)
+  let rev = ref [] in
+  let elapsed = ref 0.0 in
+  let continue = ref true in
+  let k = ref 0 in
+  while !continue do
+    let t = next !k in
+    if (!elapsed +. t > horizon && !rev <> []) || !k > 1_000_000 then
+      continue := false
+    else begin
+      rev := t :: !rev;
+      elapsed := !elapsed +. t;
+      incr k;
+      if !elapsed >= horizon then continue := false
+    end
+  done;
+  Schedule.of_periods (Array.of_list (List.rev !rev))
+
+let fixed_chunk lf ~c ~chunk =
+  if chunk <= 0.0 then invalid_arg "Baselines.fixed_chunk: chunk must be > 0";
+  let horizon = Life_function.horizon lf in
+  let s = repeat_until_horizon ~horizon (fun _ -> chunk) in
+  finish (Printf.sprintf "fixed-chunk(%g)" chunk) lf ~c s
+
+let best_fixed_chunk lf ~c =
+  let horizon = Life_function.horizon lf in
+  if c >= horizon then
+    invalid_arg "Baselines.best_fixed_chunk: c >= horizon";
+  let objective chunk =
+    let s = repeat_until_horizon ~horizon (fun _ -> chunk) in
+    Schedule.expected_work ~c lf s
+  in
+  let best =
+    Optimize.grid_then_refine objective ~lo:(c *. (1.0 +. 1e-9)) ~hi:horizon
+      ~steps:256
+  in
+  let s = repeat_until_horizon ~horizon (fun _ -> best.Optimize.x) in
+  finish (Printf.sprintf "best-fixed-chunk(%.4g)" best.Optimize.x) lf ~c s
+
+let equal_split lf ~c ~m =
+  if m < 1 then invalid_arg "Baselines.equal_split: m must be >= 1";
+  let horizon = Life_function.horizon lf in
+  let s = Schedule.of_periods (Array.make m (horizon /. float_of_int m)) in
+  finish (Printf.sprintf "equal-split(m=%d)" m) lf ~c s
+
+let single_period lf ~c =
+  let horizon = Life_function.horizon lf in
+  let s = Schedule.of_periods [| horizon |] in
+  finish "single-period" lf ~c s
+
+let doubling lf ~c ~first =
+  if first <= 0.0 then invalid_arg "Baselines.doubling: first must be > 0";
+  let horizon = Life_function.horizon lf in
+  let s =
+    repeat_until_horizon ~horizon (fun k ->
+        first *. Float.pow 2.0 (float_of_int k))
+  in
+  finish (Printf.sprintf "doubling(from %g)" first) lf ~c s
+
+let all lf ~c =
+  [
+    best_fixed_chunk lf ~c;
+    fixed_chunk lf ~c ~chunk:(2.0 *. c);
+    fixed_chunk lf ~c ~chunk:(5.0 *. c);
+    fixed_chunk lf ~c ~chunk:(10.0 *. c);
+    equal_split lf ~c ~m:4;
+    equal_split lf ~c ~m:16;
+    single_period lf ~c;
+    doubling lf ~c ~first:(2.0 *. c);
+  ]

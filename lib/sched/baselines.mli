@@ -1,0 +1,41 @@
+(** Naive scheduling policies a practitioner might use instead of the
+    guidelines — the comparison set for experiment E9.
+
+    None of these look at the shape of the life function beyond its
+    horizon: fixed chunks, equal splits, a single all-or-nothing period,
+    and geometric (doubling) chunks in the spirit of the randomised
+    commitment strategies of Awerbuch–Azar–Fiat–Leighton (the paper's
+    reference [2]). [best_fixed_chunk] is the strongest member: the optimal
+    policy within the fixed-chunk family, found numerically. *)
+
+type t = {
+  name : string;
+  schedule : Schedule.t;
+  expected_work : float;
+}
+
+val fixed_chunk : Life_function.t -> c:float -> chunk:float -> t
+(** [fixed_chunk p ~c ~chunk] repeats periods of length [chunk] until the
+    horizon is exhausted (at least one period). Requires [chunk > 0]. *)
+
+val best_fixed_chunk : Life_function.t -> c:float -> t
+(** [best_fixed_chunk p ~c] optimises the chunk length of {!fixed_chunk}
+    for expected work by grid + Brent refinement over [(c, horizon]]. *)
+
+val equal_split : Life_function.t -> c:float -> m:int -> t
+(** [equal_split p ~c ~m] divides the horizon into [m] equal periods.
+    Requires [m >= 1]. *)
+
+val single_period : Life_function.t -> c:float -> t
+(** [single_period p ~c] risks everything on one period spanning the whole
+    horizon — maximal work if never reclaimed, zero otherwise. *)
+
+val doubling : Life_function.t -> c:float -> first:float -> t
+(** [doubling p ~c ~first] uses periods [first, 2·first, 4·first, ...]
+    until the horizon is exhausted (at least one period).
+    Requires [first > 0]. *)
+
+val all : Life_function.t -> c:float -> t list
+(** [all p ~c] is the standard comparison set used by E9: best fixed chunk,
+    fixed chunks of [2c], [5c] and [10c], equal splits with 4 and 16
+    periods, the single period, and doubling from [2c]. *)

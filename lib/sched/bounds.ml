@@ -1,0 +1,106 @@
+(* Common core of the Theorem 3.2/3.3 bounds:
+   radical c t = sqrt(c^2/4 - c * p(t) / p'(at t or t/2)). p' < 0 on the
+   support interior, so the radicand is >= c^2/4 and the square root is
+   always defined there. *)
+
+let radical lf ~c ~deriv_at t =
+  let p = Life_function.eval lf t in
+  let dp = Life_function.deriv lf deriv_at in
+  if dp >= 0.0 then
+    (* Flat or invalid derivative: treat the ratio as +infinity, meaning the
+       bound degenerates; callers fall back to support-based limits. *)
+    infinity
+  else sqrt ((c *. c /. 4.0) -. (c *. p /. dp))
+
+let guard_domain name lf ~c =
+  if c <= 0.0 then invalid_arg (name ^ ": c must be > 0");
+  let hi = Life_function.horizon lf in
+  if c >= hi then invalid_arg (name ^ ": c >= horizon");
+  hi
+
+(* Solve t = rhs(t) as the root of g(t) = t - rhs(t), scanning (c, hi) for
+   the sign change requested by [pick] (`First or `Last). *)
+let fixed_point ~pick ~lo ~hi g =
+  let steps = 512 in
+  let h = (hi -. lo) /. float_of_int steps in
+  let changes = ref [] in
+  let prev = ref (g lo) in
+  for i = 1 to steps do
+    let x = lo +. (float_of_int i *. h) in
+    let v = g x in
+    if (!prev <= 0.0 && v > 0.0) || (!prev >= 0.0 && v < 0.0) then
+      changes := (x -. h, x) :: !changes;
+    prev := v
+  done;
+  let bracket =
+    match (pick, List.rev !changes) with
+    | _, [] -> None
+    | `First, b :: _ -> Some b
+    | `Last, l -> Some (List.hd (List.rev l))
+  in
+  Option.map
+    (fun (a, b) ->
+      let r = Rootfind.brent g ~lo:a ~hi:b in
+      r.Rootfind.root)
+    bracket
+
+let lower_t0 lf ~c =
+  let hi = guard_domain "Bounds.lower_t0" lf ~c in
+  let g t =
+    let r = radical lf ~c ~deriv_at:t t in
+    if Float.is_finite r then t -. r -. (c /. 2.0) else neg_infinity
+  in
+  (* g < 0 just above c and g > 0 near the horizon; take the first root so
+     the bracket stays conservative (every optimal t0 is above it). *)
+  match fixed_point ~pick:`First ~lo:(c *. (1.0 +. 1e-9)) ~hi g with
+  | Some t -> t
+  | None -> c
+
+let upper_generic name lf ~c ~deriv_of =
+  let hi = guard_domain name lf ~c in
+  let g t =
+    let r = radical lf ~c ~deriv_at:(deriv_of t) t in
+    if Float.is_finite r then t -. (2.0 *. r) -. c else neg_infinity
+  in
+  (* The theorem says the optimal t0 (if > 2c) satisfies g(t0) <= 0; the
+     bound is the last crossing, above which g stays positive. *)
+  match fixed_point ~pick:`Last ~lo:(c *. (1.0 +. 1e-9)) ~hi g with
+  | Some t -> Float.max (2.0 *. c) t
+  | None -> hi
+
+let upper_t0_convex lf ~c =
+  upper_generic "Bounds.upper_t0_convex" lf ~c ~deriv_of:(fun t -> t)
+
+let upper_t0_concave lf ~c =
+  upper_generic "Bounds.upper_t0_concave" lf ~c ~deriv_of:(fun t -> t /. 2.0)
+
+let bracket lf ~c =
+  let hi = guard_domain "Bounds.bracket" lf ~c in
+  let lower = Float.max (lower_t0 lf ~c) (c *. (1.0 +. 1e-12)) in
+  let upper =
+    match Life_function.shape lf with
+    | Life_function.Convex -> upper_t0_convex lf ~c
+    | Life_function.Concave -> upper_t0_concave lf ~c
+    | Life_function.Linear ->
+        Float.min (upper_t0_convex lf ~c) (upper_t0_concave lf ~c)
+    | Life_function.Unknown -> hi
+  in
+  let upper = Float.min upper hi in
+  if upper <= lower then (lower, Float.min (2.0 *. lower) hi) else (lower, upper)
+
+let lower_t0_concave_lifespan ~c ~lifespan =
+  if c <= 0.0 || lifespan <= 0.0 then
+    invalid_arg "Bounds.lower_t0_concave_lifespan: c and lifespan must be > 0";
+  sqrt (c *. lifespan /. 2.0) +. (0.75 *. c)
+
+let lower_t0_concave_periods ~c ~lifespan ~m =
+  if m < 1 then invalid_arg "Bounds.lower_t0_concave_periods: m must be >= 1";
+  if c <= 0.0 || lifespan <= 0.0 then
+    invalid_arg "Bounds.lower_t0_concave_periods: c and lifespan must be > 0";
+  (lifespan /. float_of_int m) +. (float_of_int (m - 1) *. c /. 2.0)
+
+let max_periods_concave ~c ~lifespan =
+  if c <= 0.0 || lifespan <= 0.0 then
+    invalid_arg "Bounds.max_periods_concave: c and lifespan must be > 0";
+  int_of_float
+    (Float.ceil (sqrt ((2.0 *. lifespan /. c) +. 0.25) +. 0.5))

@@ -1,0 +1,127 @@
+type t = {
+  schedule : Schedule.t;
+  expected_work : float;
+  t0 : float;
+  description : string;
+}
+
+let arithmetic_schedule ~c ~lifespan ~m =
+  (* m periods summing exactly to L with decrement c:
+     t_0 = L/m + (m-1)c/2, t_i = t_0 - i*c. Valid iff t_{m-1} > 0. *)
+  let mf = float_of_int m in
+  let t0 = (lifespan /. mf) +. ((mf -. 1.0) *. c /. 2.0) in
+  let last = t0 -. ((mf -. 1.0) *. c) in
+  if last <= 0.0 then None
+  else
+    Some (Schedule.of_periods (Array.init m (fun i -> t0 -. (float_of_int i *. c))))
+
+let uniform ~c ~lifespan =
+  if not (c > 0.0 && c < lifespan) then
+    invalid_arg "Exact.uniform: requires 0 < c < lifespan";
+  let lf = Families.uniform ~lifespan in
+  let m_formula = Closed_forms.uniform_optimal_m ~c ~lifespan in
+  (* The closed-form m is optimal; evaluating m-2 .. m+2 guards against the
+     floor/ceil boundary and costs nothing. *)
+  let best = ref None in
+  for m = Int.max 1 (m_formula - 2) to m_formula + 2 do
+    match arithmetic_schedule ~c ~lifespan ~m with
+    | None -> ()
+    | Some s ->
+        let ew = Schedule.expected_work ~c lf s in
+        (match !best with
+        | Some (_, best_ew, _) when best_ew >= ew -> ()
+        | Some _ | None -> best := Some (s, ew, m))
+  done;
+  match !best with
+  | None ->
+      (* c so large that even a single period cannot be positive: cannot
+         happen since m = 1 always yields t_0 = L > 0. *)
+      assert false
+  | Some (s, ew, m) ->
+      {
+        schedule = s;
+        expected_work = ew;
+        t0 = Schedule.period s 0;
+        description =
+          Printf.sprintf
+            "uniform-risk optimal: %d arithmetic periods, decrement c" m;
+      }
+
+let geometric_decreasing ~c ~a =
+  if a <= 1.0 then invalid_arg "Exact.geometric_decreasing: requires a > 1";
+  if c <= 0.0 then invalid_arg "Exact.geometric_decreasing: requires c > 0";
+  let t_star = Closed_forms.geo_dec_t_optimal ~a ~c in
+  if t_star <= c then
+    invalid_arg
+      "Exact.geometric_decreasing: optimal period does not exceed c (no \
+       productive schedule exists)";
+  let q = Float.pow a (-.t_star) in
+  (* Exact E for the infinite equal-period schedule:
+     sum_{k>=1} (t*-c) q^k = (t*-c) q / (1-q). *)
+  let exact_ew = (t_star -. c) *. q /. (1.0 -. q) in
+  let n_periods =
+    (* q^n < 1e-15: periods beyond this contribute nothing at double
+       precision. *)
+    Int.max 1 (int_of_float (Float.ceil (log 1e-15 /. log q)))
+  in
+  let n_periods = Int.min n_periods 2_000_000 in
+  let schedule = Schedule.of_periods (Array.make n_periods t_star) in
+  {
+    schedule;
+    expected_work = exact_ew;
+    t0 = t_star;
+    description =
+      Printf.sprintf
+        "geometric-decreasing optimal: equal periods t* = %.6g (Lambert W)"
+        t_star;
+  }
+
+let geo_inc_schedule ~c ~lifespan ~t0 =
+  (* Follow [3]'s recurrence while periods are productive and fit in L. *)
+  let rev = ref [] in
+  let elapsed = ref 0.0 in
+  let t = ref t0 in
+  let continue = ref true in
+  while !continue do
+    if !t <= 0.0 || !elapsed +. !t > lifespan +. 1e-12 then continue := false
+    else begin
+      rev := !t :: !rev;
+      elapsed := !elapsed +. !t;
+      match Closed_forms.geo_inc_next_period_optimal ~t_prev:!t ~c with
+      | None -> continue := false
+      | Some next -> t := next
+    end
+  done;
+  match !rev with
+  | [] -> None
+  | l -> Some (Schedule.of_periods (Array.of_list (List.rev l)))
+
+let geometric_increasing ~c ~lifespan =
+  if not (c > 0.0 && c < lifespan) then
+    invalid_arg "Exact.geometric_increasing: requires 0 < c < lifespan";
+  let lf = Families.geometric_increasing ~lifespan in
+  let objective t0 =
+    match geo_inc_schedule ~c ~lifespan ~t0 with
+    | None -> neg_infinity
+    | Some s -> Schedule.expected_work ~c lf s
+  in
+  let best =
+    Optimize.grid_then_refine objective ~lo:(c *. (1.0 +. 1e-9)) ~hi:lifespan
+      ~steps:512
+  in
+  match geo_inc_schedule ~c ~lifespan ~t0:best.Optimize.x with
+  | None ->
+      invalid_arg
+        "Exact.geometric_increasing: no productive schedule exists for these \
+         parameters"
+  | Some s ->
+      {
+        schedule = s;
+        expected_work = Schedule.expected_work ~c lf s;
+        t0 = best.Optimize.x;
+        description =
+          Printf.sprintf
+            "geometric-increasing optimal structure: recurrence t' = \
+             log2(t - c + 2), %d periods"
+            (Schedule.num_periods s);
+      }

@@ -1,0 +1,41 @@
+(** Provably-optimal comparator schedules, re-derived from
+    Bhatt–Chung–Leighton–Rosenberg, "On optimal strategies for
+    cycle-stealing in networks of workstations" (IEEE Trans. Computers 46,
+    1997) — the paper's reference [3] and the yardstick of §4.
+
+    These constructions are independent of the guideline machinery; the E3–E5
+    experiments (and the test suite) compare both against each other and
+    against the brute-force {!Optimizer}. *)
+
+type t = {
+  schedule : Schedule.t;
+  expected_work : float;
+  t0 : float;
+  description : string;
+}
+
+val uniform : c:float -> lifespan:float -> t
+(** Optimal schedule for the uniform-risk scenario [p(t) = 1 − t/L]:
+    periods in arithmetic progression with decrement exactly [c]
+    ([3]; eq. 4.1 here), [m] periods with
+    [t_0 = L/m + (m−1)c/2] so they exactly exhaust [L]. The period count is
+    [⌊sqrt(2L/c + 1/4) + 1/2⌋], cross-checked by evaluating neighbouring
+    [m]; requires [0 < c < lifespan]. *)
+
+val geometric_decreasing : c:float -> a:float -> t
+(** Optimal schedule for [p_a(t) = a^{−t}]: all periods equal to the
+    Lambert-W closed form of {!Closed_forms.geo_dec_t_optimal} ([3] proves
+    equal periods are optimal because the conditional risk is time-
+    invariant). The schedule is infinite; the returned truncation stops
+    once the surviving probability is below 1e-15, and [expected_work] uses
+    the exact geometric-series closed form
+    [(t* − c)·a^{−t*}/(1 − a^{−t*})]. Requires [a > 1] and [c > 0], with
+    [t* > c] (i.e. [c] small enough for any work to be possible). *)
+
+val geometric_increasing : c:float -> lifespan:float -> t
+(** Optimal-structure schedule for the geometric-increasing scenario:
+    period lengths follow [3]'s recurrence [t_{k+1} = log₂(t_k − c + 2)]
+    (§4.3), with the initial period chosen by exhaustive 1-D optimisation
+    of expected work subject to the total fitting in [L]. [3] gives no
+    closed-form [t_0]; within its recurrence family this search is exact to
+    numerical tolerance. Requires [0 < c < lifespan]. *)

@@ -1,0 +1,39 @@
+type t = { schedule : Schedule.t; expected_work : float }
+
+let first_period lf ~c ~elapsed =
+  let hi =
+    match Life_function.support lf with
+    | Life_function.Bounded l -> l -. elapsed
+    | Life_function.Unbounded -> Life_function.horizon lf -. elapsed
+  in
+  if hi <= c then None
+  else begin
+    let objective t = (t -. c) *. Life_function.eval lf (elapsed +. t) in
+    let best = Optimize.grid_then_refine objective ~lo:c ~hi ~steps:256 in
+    if best.Optimize.fx > 0.0 then Some best.Optimize.x else None
+  end
+
+let plan ?(max_periods = 100_000) lf ~c =
+  if c <= 0.0 then invalid_arg "Greedy.plan: c must be > 0";
+  if c >= Life_function.horizon lf then invalid_arg "Greedy.plan: c >= horizon";
+  let rev = ref [] in
+  let elapsed = ref 0.0 in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < max_periods do
+    if Life_function.eval lf !elapsed < 1e-15 then continue := false
+    else begin
+      match first_period lf ~c ~elapsed:!elapsed with
+      | None -> continue := false
+      | Some t ->
+          rev := t :: !rev;
+          elapsed := !elapsed +. t;
+          incr count
+    end
+  done;
+  match !rev with
+  | [] ->
+      invalid_arg "Greedy.plan: no productive greedy period exists"
+  | l ->
+      let schedule = Schedule.of_periods (Array.of_list (List.rev l)) in
+      { schedule; expected_work = Schedule.expected_work ~c lf schedule }

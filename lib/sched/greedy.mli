@@ -1,0 +1,25 @@
+(** The §6 "greedy" scheduling recipe.
+
+    Choose each period myopically: [t_k] maximises that period's own
+    expected contribution [(t − c)·p(T_{k−1} + t)], ignoring everything
+    after it. The paper poses as an open question how good greedy schedules
+    are, noting they are optimal for the geometric-decreasing scenario but
+    not for uniform risk; experiment E9 quantifies both claims. *)
+
+type t = {
+  schedule : Schedule.t;
+  expected_work : float;
+}
+
+val plan : ?max_periods:int -> Life_function.t -> c:float -> t
+(** [plan p ~c] builds the greedy schedule, stopping when no remaining
+    period has positive expected contribution, when survival falls below
+    1e-15, or at [max_periods] (default 100_000).
+    Requires [0 < c < horizon p].
+    @raise Invalid_argument if even the first greedy period cannot be
+    productive (i.e. [c] at or beyond the horizon). *)
+
+val first_period : Life_function.t -> c:float -> elapsed:float -> float option
+(** [first_period p ~c ~elapsed] is the single greedy step from time
+    [elapsed]: the maximiser of [(t − c)·p(elapsed + t)] over [t > c], or
+    [None] when no choice has positive value. *)

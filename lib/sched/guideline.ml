@@ -1,0 +1,85 @@
+type result = {
+  schedule : Schedule.t;
+  t0 : float;
+  expected_work : float;
+  bracket : float * float;
+  stop : Recurrence.stop_reason;
+}
+
+let evaluate ?finish lf ~c ~t0 =
+  let g = Recurrence.generate ?finish lf ~c ~t0 in
+  (g, Schedule.expected_work ~c lf g.Recurrence.schedule)
+
+let plan_with_t0 ?finish lf ~c ~t0 =
+  let g, ew = evaluate ?finish lf ~c ~t0 in
+  {
+    schedule = g.Recurrence.schedule;
+    t0;
+    expected_work = ew;
+    bracket = (t0, t0);
+    stop = g.Recurrence.stop;
+  }
+
+let plan ?(t0_steps = 128) ?finish lf ~c =
+  let lo, hi = Bounds.bracket lf ~c in
+  let objective t0 = snd (evaluate ?finish lf ~c ~t0) in
+  let best = Optimize.grid_then_refine objective ~lo ~hi ~steps:t0_steps in
+  let g, ew = evaluate ?finish lf ~c ~t0:best.Optimize.x in
+  {
+    schedule = g.Recurrence.schedule;
+    t0 = best.Optimize.x;
+    expected_work = ew;
+    bracket = (lo, hi);
+    stop = g.Recurrence.stop;
+  }
+
+let plan_risk_averse ?(t0_steps = 128) ~lambda_ lf ~c =
+  if lambda_ < 0.0 then
+    invalid_arg "Guideline.plan_risk_averse: lambda_ must be >= 0";
+  let lo, hi = Bounds.bracket lf ~c in
+  let score t0 =
+    let g = Recurrence.generate lf ~c ~t0 in
+    let d = Work_distribution.of_schedule lf ~c g.Recurrence.schedule in
+    d.Work_distribution.mean -. (lambda_ *. d.Work_distribution.stddev)
+  in
+  let best = Optimize.grid_then_refine score ~lo ~hi ~steps:t0_steps in
+  let g, ew = evaluate lf ~c ~t0:best.Optimize.x in
+  {
+    schedule = g.Recurrence.schedule;
+    t0 = best.Optimize.x;
+    expected_work = ew;
+    bracket = (lo, hi);
+    stop = g.Recurrence.stop;
+  }
+
+let next_period_online ?t0_steps lf ~c ~elapsed =
+  if elapsed < 0.0 then
+    invalid_arg "Guideline.next_period_online: elapsed must be >= 0";
+  let p_elapsed = Life_function.eval lf elapsed in
+  if p_elapsed <= 0.0 then None
+  else begin
+    (* Conditional life function given survival to [elapsed]. Shape is
+       inherited: conditioning rescales p by a constant and shifts time,
+       both of which preserve concavity/convexity. *)
+    let support =
+      match Life_function.support lf with
+      | Life_function.Bounded l ->
+          if l -. elapsed <= c then None
+          else Some (Life_function.Bounded (l -. elapsed))
+      | Life_function.Unbounded -> Some Life_function.Unbounded
+    in
+    match support with
+    | None -> None
+    | Some support ->
+        let conditional =
+          Life_function.make
+            ~name:(Life_function.name lf ^ " | survived")
+            ~support
+            ~dp:(fun s -> Life_function.deriv lf (elapsed +. s) /. p_elapsed)
+            ~shape:(Life_function.shape lf)
+            ~validate:false
+            (fun s -> Life_function.eval lf (elapsed +. s) /. p_elapsed)
+        in
+        let r = plan ?t0_steps conditional ~c in
+        if r.expected_work > 0.0 && r.t0 > c then Some r.t0 else None
+  end

@@ -1,0 +1,60 @@
+(** The paper's scheduling guidelines assembled into a scheduler.
+
+    The recipe (§3, applied in §4): bracket the optimal initial period with
+    Theorems 3.2/3.3, search that "manageably narrow" interval for the
+    [t_0] whose recurrence-generated schedule has maximal expected work,
+    and emit that schedule. This is exactly the workflow the paper
+    prescribes to a practitioner; the independent {!Optimizer} exists to
+    measure how close it lands. *)
+
+type result = {
+  schedule : Schedule.t;  (** The guideline-generated schedule. *)
+  t0 : float;  (** The chosen initial period. *)
+  expected_work : float;  (** [E(schedule; p)] per eq. 2.1. *)
+  bracket : float * float;  (** The Theorem 3.2/3.3 search interval. *)
+  stop : Recurrence.stop_reason;  (** Why generation ended. *)
+}
+
+val plan :
+  ?t0_steps:int ->
+  ?finish:Recurrence.finish ->
+  Life_function.t -> c:float ->
+  result
+(** [plan p ~c] runs the full guideline pipeline. [t0_steps] (default 128)
+    is the grid resolution of the [t_0] search inside the bracket before
+    Brent refinement. Requires [0 < c < horizon p].
+    @raise Invalid_argument when [c] is out of range. *)
+
+val plan_with_t0 :
+  ?finish:Recurrence.finish ->
+  Life_function.t -> c:float -> t0:float ->
+  result
+(** [plan_with_t0 p ~c ~t0] skips the search and generates from a caller-
+    chosen initial period — used when comparing specific [t_0] choices
+    (e.g. the closed-form §4 values) under the same machinery. *)
+
+val plan_risk_averse :
+  ?t0_steps:int ->
+  lambda_:float ->
+  Life_function.t -> c:float ->
+  result
+(** [plan_risk_averse ~lambda_ p ~c] searches the same Theorem 3.2/3.3
+    bracket and recurrence family as {!plan}, but scores each candidate
+    schedule by the mean–deviation objective
+    [mean − lambda_ · stddev] of its exact banked-work law
+    ({!Work_distribution}). [lambda_ = 0] reduces to {!plan} (the reported
+    [expected_work] is always the plain eq. 2.1 mean); larger [lambda_]
+    trades expected work for a thinner low tail — e.g. a smaller
+    probability of a wasted episode. Requires [lambda_ >= 0] and
+    [0 < c < horizon p]. *)
+
+val next_period_online :
+  ?t0_steps:int ->
+  Life_function.t -> c:float -> elapsed:float ->
+  float option
+(** [next_period_online p ~c ~elapsed] supports the §6 "progressive"
+    mode: given that the workstation has survived to [elapsed], it plans
+    against the conditional life function
+    [s ↦ p(elapsed + s)/p(elapsed)] and returns only the first period of
+    that plan, or [None] when no productive period remains. The simulator's
+    adaptive policy calls this after every completed period. *)

@@ -1,0 +1,101 @@
+type t = {
+  schedule : Schedule.t;
+  expected_work : float;
+  m : int;
+  sweeps : int;
+}
+
+let expected_work_of_vector lf ~c ts =
+  let acc = Kahan.create () in
+  let elapsed = ref 0.0 in
+  Array.iter
+    (fun ti ->
+      let ti = Float.max 0.0 ti in
+      elapsed := !elapsed +. ti;
+      let w = Schedule.positive_sub ti c in
+      if w > 0.0 then Kahan.add acc (w *. Life_function.eval lf !elapsed))
+    ts;
+  Kahan.total acc
+
+(* Deterministic multi-start: expected work has local optima in which a
+   prefix of periods already exhausts a bounded lifespan and the rest sit
+   dead beyond it, so we ascend from several qualitatively different
+   splits — flat over the horizon, flat over half of it, arithmetic
+   decreasing, and geometric decreasing — and keep the best. *)
+let seeds ~horizon ~m =
+  let mf = float_of_int m in
+  let flat frac = Array.make m (frac *. horizon /. mf) in
+  let arithmetic =
+    let total = mf *. (mf +. 1.0) /. 2.0 in
+    Array.init m (fun i -> float_of_int (m - i) /. total *. horizon)
+  in
+  let geometric =
+    let total = 2.0 -. Float.pow 2.0 (-.float_of_int (m - 1)) in
+    Array.init m (fun i -> Float.pow 2.0 (-.float_of_int i) /. total *. horizon)
+  in
+  [ flat 1.0; flat 0.5; arithmetic; geometric ]
+
+let ascend lf ~c ~horizon ~m ~tol =
+  let eps = 1e-9 in
+  let lower = Array.make m eps in
+  let upper = Array.make m horizon in
+  let objective ts = expected_work_of_vector lf ~c ts in
+  let run init =
+    Optimize.coordinate_ascent ~tol ~f:objective ~lower ~upper init
+  in
+  let candidates = List.map run (seeds ~horizon ~m) in
+  List.fold_left
+    (fun (bx, bew) (x, ew) -> if ew > bew then (x, ew) else (bx, bew))
+    (List.hd candidates) (List.tl candidates)
+
+let optimal_schedule ?m_max ?(patience = 3) ?(tol = 1e-10) lf ~c =
+  if c <= 0.0 then invalid_arg "Optimizer.optimal_schedule: c must be > 0";
+  let horizon = Life_function.horizon lf in
+  if c >= horizon then
+    invalid_arg "Optimizer.optimal_schedule: c >= horizon";
+  let m_cap =
+    match m_max with
+    | Some m -> m
+    | None -> begin
+        match Life_function.shape lf with
+        | Life_function.Concave | Life_function.Linear ->
+            Bounds.max_periods_concave ~c ~lifespan:horizon
+        | Life_function.Convex | Life_function.Unknown -> 64
+      end
+  in
+  let best = ref None in
+  let stale = ref 0 in
+  let m = ref 1 in
+  let sweeps = ref 0 in
+  while !m <= m_cap && !stale < patience do
+    let xs, ew = ascend lf ~c ~horizon ~m:!m ~tol in
+    incr sweeps;
+    let improved =
+      match !best with
+      | Some (_, best_ew, _) -> ew > best_ew +. tol
+      | None -> true
+    in
+    if improved then begin
+      best := Some (xs, ew, !m);
+      stale := 0
+    end
+    else incr stale;
+    incr m
+  done;
+  match !best with
+  | None -> assert false (* m = 1 always evaluated *)
+  | Some (xs, _, m) ->
+      (* Clean the raw vector: clamp positives, drop zeros, normalise. *)
+      let positive = Array.of_list (List.filter (fun t -> t > 1e-9) (Array.to_list xs)) in
+      let schedule =
+        if Array.length positive = 0 then
+          Schedule.of_periods [| Float.min horizon (Float.max c 1.0) |]
+        else
+          Schedule.productive_normal_form ~c (Schedule.of_periods positive)
+      in
+      {
+        schedule;
+        expected_work = Schedule.expected_work ~c lf schedule;
+        m;
+        sweeps = !sweeps;
+      }

@@ -1,0 +1,113 @@
+type stop_reason =
+  | Exhausted_support
+  | Unproductive
+  | Tail_negligible
+  | Period_cap
+
+type generated = { schedule : Schedule.t; stop : stop_reason }
+
+let tail_threshold = 1e-15
+
+let next_period lf ~c ~prev_period ~prev_end =
+  if c < 0.0 then invalid_arg "Recurrence.next_period: c must be >= 0";
+  if prev_period <= 0.0 then
+    invalid_arg "Recurrence.next_period: prev_period must be > 0";
+  if prev_end < prev_period -. 1e-9 then
+    invalid_arg "Recurrence.next_period: prev_end < prev_period";
+  let p_end = Life_function.eval lf prev_end in
+  let rhs =
+    p_end +. ((prev_period -. c) *. Life_function.deriv lf prev_end)
+  in
+  if rhs <= 0.0 || rhs >= p_end then None
+  else begin
+    (* p is monotone decreasing, so p(prev_end + t) = rhs has a unique
+       positive root; bracket it inside the support. *)
+    let f t = Life_function.eval lf (prev_end +. t) -. rhs in
+    let hi =
+      match Life_function.support lf with
+      | Life_function.Bounded l -> l -. prev_end
+      | Life_function.Unbounded ->
+          (* Expand until p drops below rhs. *)
+          let h = ref (Float.max prev_period 1.0) in
+          let guard = ref 0 in
+          while f !h > 0.0 && !guard < 200 do
+            incr guard;
+            h := !h *. 2.0
+          done;
+          !h
+    in
+    if hi <= 0.0 || f hi > 0.0 then None
+    else begin
+      let r = Rootfind.brent f ~lo:0.0 ~hi in
+      let t = r.Rootfind.root in
+      if t <= 0.0 then None else Some t
+    end
+  end
+
+type finish = Faithful | Greedy_tail
+
+let greedy_tail lf ~c ~elapsed =
+  (* Best single final period: maximize (t - c) p(elapsed + t) over t > c. *)
+  let objective t = (t -. c) *. Life_function.eval lf (elapsed +. t) in
+  let hi =
+    match Life_function.support lf with
+    | Life_function.Bounded l -> l -. elapsed
+    | Life_function.Unbounded -> Life_function.horizon lf -. elapsed
+  in
+  if hi <= c then None
+  else begin
+    let best = Optimize.grid_then_refine objective ~lo:c ~hi ~steps:256 in
+    if best.Optimize.fx > 0.0 then Some best.Optimize.x else None
+  end
+
+let generate ?(max_periods = 100_000) ?(finish = Faithful) lf ~c ~t0 =
+  if t0 <= 0.0 then invalid_arg "Recurrence.generate: t0 must be > 0";
+  if c < 0.0 then invalid_arg "Recurrence.generate: c must be >= 0";
+  let rev_periods = ref [ t0 ] in
+  let count = ref 1 in
+  let prev_period = ref t0 in
+  let prev_end = ref t0 in
+  let stop = ref None in
+  while !stop = None do
+    if !count >= max_periods then stop := Some Period_cap
+    else if Life_function.eval lf !prev_end < tail_threshold then
+      stop := Some Tail_negligible
+    else if !prev_period <= c then stop := Some Unproductive
+    else begin
+      match next_period lf ~c ~prev_period:!prev_period ~prev_end:!prev_end with
+      | None -> stop := Some Exhausted_support
+      | Some t ->
+          rev_periods := t :: !rev_periods;
+          incr count;
+          prev_period := t;
+          prev_end := !prev_end +. t
+    end
+  done;
+  let stop = Option.get !stop in
+  (* Optional ad-hoc improvement: fill leftover lifespan with one greedy
+     period when the recurrence stopped early. *)
+  let rev_periods =
+    match (finish, stop) with
+    | Greedy_tail, (Exhausted_support | Unproductive) -> begin
+        match greedy_tail lf ~c ~elapsed:!prev_end with
+        | Some t -> t :: !rev_periods
+        | None -> !rev_periods
+      end
+    | Greedy_tail, (Tail_negligible | Period_cap)
+    | Faithful, _ ->
+        !rev_periods
+  in
+  let schedule =
+    Schedule.of_periods (Array.of_list (List.rev rev_periods))
+  in
+  { schedule; stop }
+
+let residuals lf ~c s =
+  let periods = Schedule.periods s in
+  let ends = Schedule.completion_times s in
+  let n = Array.length periods in
+  Array.init (Int.max 0 (n - 1)) (fun k ->
+      (* defect of eq. 3.6 at step k+1 *)
+      Life_function.eval lf ends.(k + 1)
+      -. Life_function.eval lf ends.(k)
+      -. ((periods.(k) -. c) *. Life_function.deriv lf ends.(k)))

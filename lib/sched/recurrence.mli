@@ -1,0 +1,65 @@
+(** The guideline recurrence — Theorem 3.1 / Corollary 3.1 (eq. 3.6).
+
+    If a schedule is optimal for a differentiable life function [p], its
+    period lengths obey
+
+    [p(T_k) = p(T_{k-1}) + (t_{k-1} − c) · p'(T_{k-1})],
+
+    which determines each non-initial period from its predecessor: given the
+    previous period's length and end time, the next period [t_k] is the
+    unique positive solution of [p(T_{k-1} + t_k) = rhs]. This module solves
+    that equation robustly (bracketed Brent on the monotone [p]) and iterates
+    it into full schedules; choosing [t_0] is {!Guideline}'s job. *)
+
+type stop_reason =
+  | Exhausted_support
+      (** The recurrence's right-hand side dropped to [<= 0]: the next
+          period would have to end beyond the potential lifespan. *)
+  | Unproductive
+      (** The previous period was [<= c], so the right-hand side is at
+          least [p(T_{k-1})] and no positive solution exists. *)
+  | Tail_negligible
+      (** [p(T_{k-1})] fell below the truncation threshold (1e-15); further
+          periods contribute nothing measurable to expected work. *)
+  | Period_cap  (** The [max_periods] budget was hit. *)
+
+type generated = {
+  schedule : Schedule.t;
+  stop : stop_reason;
+}
+
+val next_period :
+  Life_function.t -> c:float -> prev_period:float -> prev_end:float ->
+  float option
+(** [next_period p ~c ~prev_period ~prev_end] solves eq. 3.6 for [t_k],
+    where the previous period had length [prev_period] and completed at
+    [prev_end]. Returns [None] when the equation has no positive solution
+    (right-hand side [<= 0] or [>= p prev_end]). Requires [c >= 0],
+    [prev_period > 0], [prev_end >= prev_period]. *)
+
+type finish =
+  | Faithful
+      (** Stop exactly when the recurrence stops — the paper's guideline. *)
+  | Greedy_tail
+      (** When the recurrence stops with usable lifespan left, append one
+          final period chosen to maximise its own expected contribution
+          [(t − c) · p(T + t)] — one of the "ad hoc improvements" the paper
+          invites in §5. *)
+
+val generate :
+  ?max_periods:int ->
+  ?finish:finish ->
+  Life_function.t -> c:float -> t0:float ->
+  generated
+(** [generate p ~c ~t0] iterates {!next_period} from the initial period
+    [t0], truncating unbounded tails at survival 1e-15 and capping at
+    [max_periods] (default 100_000). Periods that come out [<= c] end the
+    iteration ({!Unproductive}) but the final sub-[c] period is kept only
+    if it still contributes work ([> c] check), matching the Prop 2.1
+    normal form. Requires [t0 > 0] and [c >= 0]. *)
+
+val residuals : Life_function.t -> c:float -> Schedule.t -> float array
+(** [residuals p ~c s] evaluates, for each consecutive pair of periods, the
+    defect [p(T_k) − p(T_{k-1}) − (t_{k-1} − c)·p'(T_{k-1})] — zero (to
+    solver tolerance) exactly when the schedule satisfies the guideline
+    system. Length is [num_periods s − 1]. *)

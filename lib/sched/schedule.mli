@@ -1,0 +1,86 @@
+(** Cycle-stealing schedules and the expected-work functional (§2.1).
+
+    A schedule is the sequence of period lengths [t_0, t_1, ...] into which
+    workstation A partitions workstation B's potential availability. Each
+    period of length [t] yields [t ⊖ c] work if B survives to the period's
+    end, where [c] is the combined communication overhead and [⊖] is
+    positive subtraction. The paper's objective (eq. 2.1) is
+
+    [E(S; p) = Σ_i (t_i ⊖ c) · p(T_i)],   [T_i = t_0 + ... + t_i].
+
+    Infinite schedules (needed by the geometric-decreasing scenario) are
+    represented by finite truncations: generators in this library cut the
+    tail once [p(T_i)] falls below 1e-15, whose contribution to [E] is below
+    any tolerance used elsewhere. *)
+
+type t
+(** A finite schedule; immutable. *)
+
+exception Invalid_schedule of string
+
+val of_periods : float array -> t
+(** [of_periods ts] validates that every period is finite and strictly
+    positive and copies the array.
+    @raise Invalid_schedule otherwise (including on the empty array). *)
+
+val of_list : float list -> t
+(** List counterpart of {!of_periods}. *)
+
+val periods : t -> float array
+(** A copy of the period lengths. *)
+
+val num_periods : t -> int
+
+val period : t -> int -> float
+(** [period s k] is [t_k]. @raise Invalid_argument when out of range. *)
+
+val completion_times : t -> float array
+(** [completion_times s] is the array of [T_i = t_0 + ... + t_i]
+    (compensated prefix sums). *)
+
+val total_duration : t -> float
+(** [total_duration s] is [T_{m-1}], the episode time the schedule uses. *)
+
+val positive_sub : float -> float -> float
+(** [positive_sub x y] is the paper's [x ⊖ y = max 0 (x - y)]. *)
+
+val work_capacity : c:float -> t -> float
+(** [work_capacity ~c s] is [Σ (t_i ⊖ c)] — the work accomplished if the
+    workstation is never reclaimed. *)
+
+val expected_work : c:float -> Life_function.t -> t -> float
+(** [expected_work ~c p s] is the paper's objective (eq. 2.1), computed with
+    compensated summation. Requires [c >= 0]. *)
+
+val expected_work_detail :
+  c:float -> Life_function.t -> t -> (float * float * float) array
+(** [expected_work_detail ~c p s] returns per-period rows
+    [(t_i, T_i, (t_i ⊖ c)·p(T_i))] — the summands of {!expected_work} —
+    for reporting and debugging. *)
+
+val productive_normal_form : c:float -> t -> t
+(** [productive_normal_form ~c s] applies the Proposition 2.1
+    transformation: every period of length [<= c] (which can complete no
+    work) is merged into its successor, so that all periods except possibly
+    the last exceed [c]. The result satisfies
+    [expected_work ~c p s' >= expected_work ~c p s] for every life function
+    [p], because merging preserves later completion times and can only
+    lengthen the productive part of the absorbing period. *)
+
+val is_productive : c:float -> t -> bool
+(** [is_productive ~c s] checks the Proposition 2.1 normal form: all periods
+    strictly exceed [c], except possibly the last. *)
+
+val truncate_after : t -> duration:float -> t option
+(** [truncate_after s ~duration] keeps the maximal prefix of periods that
+    complete within [duration]; [None] if even the first period does not. *)
+
+val append : t -> float -> t
+(** [append s t] extends the schedule with one final period of length [t].
+    @raise Invalid_schedule if [t <= 0] or not finite. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Period-wise comparison within absolute tolerance [tol] (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints up to the first 8 periods and the total duration. *)

@@ -1,0 +1,60 @@
+type outcome = {
+  work_done : float;
+  work_lost : float;
+  overhead : float;
+  periods_completed : int;
+  interrupted : bool;
+  elapsed : float;
+}
+
+let run s ~c ~reclaim_at =
+  if c < 0.0 then invalid_arg "Episode.run: c must be >= 0";
+  if reclaim_at < 0.0 then invalid_arg "Episode.run: reclaim_at must be >= 0";
+  let periods = Schedule.periods s in
+  let ends = Schedule.completion_times s in
+  let n = Array.length periods in
+  let done_acc = Kahan.create () in
+  let overhead = Kahan.create () in
+  let completed = ref 0 in
+  let interrupted = ref false in
+  let work_lost = ref 0.0 in
+  let i = ref 0 in
+  while (not !interrupted) && !i < n do
+    let t = periods.(!i) in
+    let t_end = ends.(!i) in
+    if t_end <= reclaim_at then begin
+      (* Period completed before (or exactly at) the owner's return. *)
+      Kahan.add done_acc (Schedule.positive_sub t c);
+      Kahan.add overhead (Float.min t c);
+      incr completed;
+      incr i
+    end
+    else begin
+      let t_start = t_end -. t in
+      if t_start < reclaim_at then begin
+        (* Kill mid-period: all of this period's productive time is lost. *)
+        interrupted := true;
+        let in_flight = reclaim_at -. t_start in
+        Kahan.add overhead (Float.min in_flight c);
+        work_lost := Schedule.positive_sub in_flight c
+      end
+      else begin
+        (* The reclaim arrived in the gap at t_start = reclaim_at: episode
+           over before this period started. *)
+        interrupted := true
+      end
+    end
+  done;
+  let elapsed =
+    if !interrupted then reclaim_at else Schedule.total_duration s
+  in
+  {
+    work_done = Kahan.total done_acc;
+    work_lost = !work_lost;
+    overhead = Kahan.total overhead;
+    periods_completed = !completed;
+    interrupted = !interrupted;
+    elapsed;
+  }
+
+let work_if_reclaimed_at s ~c t = (run s ~c ~reclaim_at:t).work_done

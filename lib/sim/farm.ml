@@ -1,0 +1,287 @@
+type policy = {
+  policy_name : string;
+  fresh_episode : Life_function.t -> c:float -> (elapsed:float -> float option);
+}
+
+let static_policy ~name plan =
+  {
+    policy_name = name;
+    fresh_episode =
+      (fun lf ~c ->
+        let schedule = plan lf ~c in
+        let periods = Schedule.periods schedule in
+        let ends = Schedule.completion_times schedule in
+        let idx = ref 0 in
+        fun ~elapsed ->
+          ignore elapsed;
+          if !idx >= Array.length periods then None
+          else begin
+            let t = periods.(!idx) in
+            ignore ends;
+            incr idx;
+            Some t
+          end);
+  }
+
+let guideline_policy =
+  static_policy ~name:"guideline" (fun lf ~c ->
+      (Guideline.plan lf ~c).Guideline.schedule)
+
+let adaptive_policy =
+  {
+    policy_name = "adaptive-conditional";
+    fresh_episode =
+      (fun lf ~c ->
+        fun ~elapsed -> Guideline.next_period_online lf ~c ~elapsed);
+  }
+
+let greedy_policy =
+  {
+    policy_name = "greedy";
+    fresh_episode =
+      (fun lf ~c -> fun ~elapsed -> Greedy.first_period lf ~c ~elapsed);
+  }
+
+let fixed_chunk_policy ~chunk =
+  if chunk <= 0.0 then
+    invalid_arg "Farm.fixed_chunk_policy: chunk must be > 0";
+  {
+    policy_name = Printf.sprintf "fixed-chunk(%g)" chunk;
+    fresh_episode =
+      (fun lf ~c ->
+        ignore c;
+        let horizon = Life_function.horizon lf in
+        fun ~elapsed -> if elapsed >= horizon then None else Some chunk);
+  }
+
+type workstation_config = {
+  ws_life : Life_function.t;
+  ws_presence_mean : float;
+}
+
+type config = {
+  c : float;
+  total_work : float;
+  workstations : workstation_config list;
+  policy : policy;
+  max_time : float;
+}
+
+type ws_stats = {
+  ws_id : int;
+  work_done : float;
+  work_lost : float;
+  overhead : float;
+  episodes : int;
+  periods_completed : int;
+  periods_killed : int;
+}
+
+type report = {
+  finished : bool;
+  makespan : float;
+  pool_remaining : float;
+  total_done : float;
+  total_lost : float;
+  total_overhead : float;
+  per_workstation : ws_stats list;
+}
+
+(* Mutable per-workstation simulation state. *)
+type ws_state = {
+  cfg : workstation_config;
+  sampler : Reclaim.sampler;
+  rng : Prng.t;
+  mutable epoch : int;  (** Bumped on every owner transition to invalidate
+                            stale period-end events. *)
+  mutable episode_start : float;
+  mutable next_period : (elapsed:float -> float option) option;
+      (** The policy closure for the live episode, if any. *)
+  mutable in_flight : float;  (** Work assigned to the running period. *)
+  mutable stats_done : Kahan.t;
+  mutable stats_lost : Kahan.t;
+  mutable stats_overhead : Kahan.t;
+  mutable stats_episodes : int;
+  mutable stats_completed : int;
+  mutable stats_killed : int;
+}
+
+type event =
+  | Period_end of { ws : int; epoch : int; assigned : float; period : float }
+  | Owner_return of { ws : int; epoch : int }
+  | Owner_leave of { ws : int }
+
+(* Tie ranks: period completions strictly before owner returns at the same
+   instant, so an exactly-on-time period still banks its work. *)
+let tie_of = function
+  | Period_end _ -> 0
+  | Owner_return _ -> 1
+  | Owner_leave _ -> 2
+
+type link_model = Unlimited | Serialized
+
+let run ?(link = Unlimited) config ~seed =
+  if config.c <= 0.0 then invalid_arg "Farm.run: c must be > 0";
+  if config.total_work <= 0.0 then
+    invalid_arg "Farm.run: total_work must be > 0";
+  if config.max_time <= 0.0 then invalid_arg "Farm.run: max_time must be > 0";
+  if config.workstations = [] then
+    invalid_arg "Farm.run: need at least one workstation";
+  List.iter
+    (fun w ->
+      if w.ws_presence_mean <= 0.0 then
+        invalid_arg "Farm.run: presence mean must be > 0")
+    config.workstations;
+  let root = Prng.create ~seed in
+  let states =
+    Array.of_list
+      (List.map
+         (fun cfg ->
+           {
+             cfg;
+             sampler = Reclaim.create cfg.ws_life;
+             rng = Prng.split root;
+             epoch = 0;
+             episode_start = 0.0;
+             next_period = None;
+             in_flight = 0.0;
+             stats_done = Kahan.create ();
+             stats_lost = Kahan.create ();
+             stats_overhead = Kahan.create ();
+             stats_episodes = 0;
+             stats_completed = 0;
+             stats_killed = 0;
+           })
+         config.workstations)
+  in
+  let q = Event_queue.create () in
+  let push time ev =
+    if time <= config.max_time then Event_queue.push q ~time ~tie:(tie_of ev) ev
+  in
+  (* Pool accounting: work not yet banked and not currently assigned. *)
+  let unassigned = ref config.total_work in
+  let banked = ref 0.0 in
+  let finished_at = ref None in
+  (* Master-link availability under the Serialized model. *)
+  let link_free = ref 0.0 in
+  (* Start a new period on workstation [i] at absolute time [now]; returns
+     nothing, enqueues the period end if one is started. *)
+  let start_period i now =
+    let st = states.(i) in
+    match st.next_period with
+    | None -> ()
+    | Some next -> (
+        if !unassigned > 1e-12 then
+          match next ~elapsed:(now -. st.episode_start) with
+          | None -> st.next_period <- None
+          | Some t ->
+              (* Clip the bundle to the work left in the pool. *)
+              let productive = Float.max 0.0 (t -. config.c) in
+              let assigned = Float.min productive !unassigned in
+              let t = if assigned < productive then config.c +. assigned else t in
+              if assigned > 0.0 then begin
+                unassigned := !unassigned -. assigned;
+                st.in_flight <- assigned;
+                (* Under a serialized link the c-long dispatch queues for
+                   the master; the period starts when the link frees. *)
+                let dispatch =
+                  match link with
+                  | Unlimited -> now
+                  | Serialized ->
+                      let d = Float.max now !link_free in
+                      link_free := d +. config.c;
+                      d
+                in
+                push (dispatch +. t)
+                  (Period_end { ws = i; epoch = st.epoch; assigned; period = t })
+              end
+              else st.next_period <- None)
+  in
+  let handle now = function
+    | Owner_leave { ws } ->
+        let st = states.(ws) in
+        st.epoch <- st.epoch + 1;
+        let absence = Reclaim.draw st.sampler st.rng in
+        push (now +. absence) (Owner_return { ws; epoch = st.epoch });
+        st.episode_start <- now;
+        st.stats_episodes <- st.stats_episodes + 1;
+        st.next_period <-
+          Some (config.policy.fresh_episode st.cfg.ws_life ~c:config.c);
+        start_period ws now
+    | Owner_return { ws; epoch } ->
+        let st = states.(ws) in
+        if epoch = st.epoch then begin
+          (* Kill any in-flight period: its work returns to the pool. *)
+          if st.in_flight > 0.0 then begin
+            Kahan.add st.stats_lost st.in_flight;
+            unassigned := !unassigned +. st.in_flight;
+            st.in_flight <- 0.0;
+            st.stats_killed <- st.stats_killed + 1
+          end;
+          st.next_period <- None;
+          st.epoch <- st.epoch + 1;
+          let presence =
+            Prng.exponential st.rng ~rate:(1.0 /. st.cfg.ws_presence_mean)
+          in
+          push (now +. presence) (Owner_leave { ws })
+        end
+    | Period_end { ws; epoch; assigned; period } ->
+        let st = states.(ws) in
+        if epoch = st.epoch then begin
+          st.in_flight <- 0.0;
+          Kahan.add st.stats_done assigned;
+          Kahan.add st.stats_overhead (Float.min period config.c);
+          banked := !banked +. assigned;
+          st.stats_completed <- st.stats_completed + 1;
+          if !banked >= config.total_work -. 1e-9 && !finished_at = None then
+            finished_at := Some now
+          else start_period ws now
+        end
+  in
+  (* All owners initially present; each leaves after an exponential hold. *)
+  Array.iteri
+    (fun i st ->
+      let presence =
+        Prng.exponential st.rng ~rate:(1.0 /. st.cfg.ws_presence_mean)
+      in
+      push presence (Owner_leave { ws = i }))
+    states;
+  let rec loop () =
+    if !finished_at = None then
+      match Event_queue.pop q with
+      | None -> ()
+      | Some (now, ev) ->
+          handle now ev;
+          loop ()
+  in
+  loop ();
+  let per_workstation =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           {
+             ws_id = i;
+             work_done = Kahan.total st.stats_done;
+             work_lost = Kahan.total st.stats_lost;
+             overhead = Kahan.total st.stats_overhead;
+             episodes = st.stats_episodes;
+             periods_completed = st.stats_completed;
+             periods_killed = st.stats_killed;
+           })
+         states)
+  in
+  (* Work still assigned to in-flight periods when the clock stopped is
+     counted back into the pool for conservation. *)
+  let in_flight_total =
+    Array.fold_left (fun acc st -> acc +. st.in_flight) 0.0 states
+  in
+  {
+    finished = !finished_at <> None;
+    makespan = (match !finished_at with Some t -> t | None -> config.max_time);
+    pool_remaining = !unassigned +. in_flight_total;
+    total_done = !banked;
+    total_lost = List.fold_left (fun a w -> a +. w.work_lost) 0.0 per_workstation;
+    total_overhead =
+      List.fold_left (fun a w -> a +. w.overhead) 0.0 per_workstation;
+    per_workstation;
+  }

@@ -1,0 +1,99 @@
+(** A data-parallel task farm over a network of workstations — the
+    motivating deployment of §1, built as a discrete-event simulation.
+
+    A master (workstation A) owns a pool of independent work and steals
+    cycles from a fleet of borrowed workstations. Each workstation's owner
+    alternates presence (exponentially distributed) with absence; an
+    absence is a cycle-stealing episode whose duration is distributed
+    according to that workstation's life function. During an episode the
+    master supplies one bundle per period under a pluggable policy; a
+    period that completes banks its work, and an owner's return kills the
+    in-flight period, whose work returns to the pool (the draconian
+    contract).
+
+    A period completing exactly at the owner's return counts as completed,
+    consistent with {!Episode.run}. Communication is charged [c] per
+    started period; by default there is no link contention — the same
+    architecture-independence assumption as the paper's model ([9]) — but
+    {!run} can serialize the master's link to measure when that assumption
+    breaks (experiment E14). *)
+
+type policy = {
+  policy_name : string;
+  fresh_episode : Life_function.t -> c:float -> (elapsed:float -> float option);
+      (** Called at each episode start; the returned closure yields the
+          next period length given the elapsed episode time, or [None] to
+          idle for the rest of the episode. Periods are clipped to the
+          work remaining in the pool. *)
+}
+
+val static_policy : name:string -> (Life_function.t -> c:float -> Schedule.t)
+  -> policy
+(** [static_policy ~name plan] computes one schedule per episode up front
+    and plays it out period by period. *)
+
+val guideline_policy : policy
+(** Plays the {!Guideline.plan} schedule for each episode. *)
+
+val adaptive_policy : policy
+(** Re-plans after every completed period via
+    {!Guideline.next_period_online} — the §6 "progressive" scheduler using
+    conditional probabilities. *)
+
+val greedy_policy : policy
+(** Myopic per-period maximisation ({!Greedy.first_period} at each step). *)
+
+val fixed_chunk_policy : chunk:float -> policy
+(** Constant period length regardless of risk. Requires [chunk > 0]. *)
+
+type workstation_config = {
+  ws_life : Life_function.t;  (** Absence-duration survival function. *)
+  ws_presence_mean : float;  (** Mean of the exponential presence time. *)
+}
+
+type config = {
+  c : float;  (** Communication overhead per period. *)
+  total_work : float;  (** Task-pool size to complete. *)
+  workstations : workstation_config list;
+  policy : policy;
+  max_time : float;  (** Simulation cutoff. *)
+}
+
+type ws_stats = {
+  ws_id : int;
+  work_done : float;
+  work_lost : float;
+  overhead : float;
+  episodes : int;
+  periods_completed : int;
+  periods_killed : int;
+}
+
+type report = {
+  finished : bool;  (** [true] iff the pool emptied before [max_time]. *)
+  makespan : float;  (** Time the pool emptied, or [max_time]. *)
+  pool_remaining : float;
+  total_done : float;
+  total_lost : float;
+  total_overhead : float;
+  per_workstation : ws_stats list;
+}
+
+type link_model =
+  | Unlimited
+      (** The paper's architecture-independent assumption: any number of
+          simultaneous dispatches. *)
+  | Serialized
+      (** The master's link admits one [c]-long dispatch at a time; a
+          period whose dispatch must wait starts (and ends) later, and an
+          owner returning during the wait kills it like any in-flight
+          period. Collection is folded into the same [c], per the model's
+          combined-overhead convention. *)
+
+val run : ?link:link_model -> config -> seed:int64 -> report
+(** [run config ~seed] simulates the farm deterministically from [seed];
+    [?link] (default {!Unlimited}) selects the contention model.
+    Conservation: [total_done + pool_remaining = total_work] up to float
+    tolerance (lost work returns to the pool).
+    @raise Invalid_argument on nonpositive [c], [total_work], [max_time],
+    presence means, or an empty workstation list. *)

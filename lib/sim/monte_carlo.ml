@@ -1,0 +1,68 @@
+type estimate = {
+  trials : int;
+  mean_work : float;
+  ci95 : float * float;
+  mean_overhead : float;
+  mean_lost : float;
+  interrupted_fraction : float;
+  analytic : float;
+}
+
+let estimate ?(trials = 20_000) lf ~c ~schedule ~seed =
+  if trials < 2 then invalid_arg "Monte_carlo.estimate: trials must be >= 2";
+  let g = Prng.create ~seed in
+  let sampler = Reclaim.create lf in
+  let works = Array.make trials 0.0 in
+  let overhead = Kahan.create () in
+  let lost = Kahan.create () in
+  let interrupted = ref 0 in
+  for i = 0 to trials - 1 do
+    let reclaim_at = Reclaim.draw sampler g in
+    let o = Episode.run schedule ~c ~reclaim_at in
+    works.(i) <- o.Episode.work_done;
+    Kahan.add overhead o.Episode.overhead;
+    Kahan.add lost o.Episode.work_lost;
+    if o.Episode.interrupted then incr interrupted
+  done;
+  let tf = float_of_int trials in
+  {
+    trials;
+    mean_work = Stats.mean works;
+    ci95 = Stats.confidence_interval_95 works;
+    mean_overhead = Kahan.total overhead /. tf;
+    mean_lost = Kahan.total lost /. tf;
+    interrupted_fraction = float_of_int !interrupted /. tf;
+    analytic = Schedule.expected_work ~c lf schedule;
+  }
+
+type policy_run = {
+  policy_name : string;
+  mean_work_per_episode : float;
+  episodes : int;
+}
+
+let compare_policies ?(trials = 20_000) lf ~c ~policies ~seed =
+  if trials < 1 then
+    invalid_arg "Monte_carlo.compare_policies: trials must be >= 1";
+  let sampler = Reclaim.create lf in
+  let g = Prng.create ~seed in
+  (* Common random numbers: one shared stream of reclaim times. *)
+  let reclaims = Array.init trials (fun _ -> Reclaim.draw sampler g) in
+  let runs =
+    List.map
+      (fun (policy_name, schedule) ->
+        let acc = Kahan.create () in
+        Array.iter
+          (fun r ->
+            Kahan.add acc (Episode.run schedule ~c ~reclaim_at:r).Episode.work_done)
+          reclaims;
+        {
+          policy_name;
+          mean_work_per_episode = Kahan.total acc /. float_of_int trials;
+          episodes = trials;
+        })
+      policies
+  in
+  List.sort
+    (fun a b -> Float.compare b.mean_work_per_episode a.mean_work_per_episode)
+    runs

@@ -1,0 +1,38 @@
+(** Monte-Carlo estimation of a schedule's expected work — the empirical
+    side of eq. 2.1, used by experiment E8 to validate the analytic
+    expectation and by users whose life functions come from traces rather
+    than formulas. *)
+
+type estimate = {
+  trials : int;
+  mean_work : float;
+  ci95 : float * float;  (** Normal-approximation 95% confidence interval. *)
+  mean_overhead : float;
+  mean_lost : float;
+  interrupted_fraction : float;
+  analytic : float;  (** [Schedule.expected_work] for the same inputs. *)
+}
+
+val estimate :
+  ?trials:int ->
+  Life_function.t -> c:float -> schedule:Schedule.t -> seed:int64 ->
+  estimate
+(** [estimate p ~c ~schedule ~seed] runs [trials] (default 20_000)
+    independent episodes with reclaim times drawn from [p] and summarises
+    the outcomes. Deterministic in [seed]. Requires [trials >= 2]. *)
+
+type policy_run = {
+  policy_name : string;
+  mean_work_per_episode : float;
+  episodes : int;
+}
+
+val compare_policies :
+  ?trials:int ->
+  Life_function.t -> c:float ->
+  policies:(string * Schedule.t) list -> seed:int64 ->
+  policy_run list
+(** [compare_policies p ~c ~policies ~seed] runs every named schedule
+    against the {e same} stream of sampled reclaim times (common random
+    numbers, so policy differences are not drowned in sampling noise) and
+    reports mean work per episode, sorted best-first. *)

@@ -1,0 +1,22 @@
+type t = {
+  work_per_cycle : float;
+  cycle_length : float;
+  rate : float;
+  utilisation : float;
+}
+
+let analytic lf ~c ~presence_mean s =
+  if c < 0.0 then invalid_arg "Throughput.analytic: c must be >= 0";
+  if presence_mean <= 0.0 then
+    invalid_arg "Throughput.analytic: presence_mean must be > 0";
+  let work_per_cycle = Schedule.expected_work ~c lf s in
+  let cycle_length = presence_mean +. Life_function.mean_lifetime lf in
+  let rate = work_per_cycle /. cycle_length in
+  { work_per_cycle; cycle_length; rate; utilisation = rate }
+
+let of_guideline lf ~c ~presence_mean =
+  analytic lf ~c ~presence_mean (Guideline.plan lf ~c).Guideline.schedule
+
+let measured_rate r =
+  if r.Farm.makespan <= 0.0 then 0.0
+  else r.Farm.total_done /. r.Farm.makespan

@@ -1,0 +1,40 @@
+(** Steady-state throughput of a borrowed workstation — the renewal-theory
+    bridge between the paper's single-episode objective and farm-level
+    performance.
+
+    A workstation alternates owner-presence (mean [presence_mean]) and
+    absence (distributed by the life function); each absence hosts one
+    cycle-stealing episode executed under a fixed schedule. By the renewal
+    reward theorem the long-run work rate is
+
+    [rate = E(S; p) / (presence_mean + mean_lifetime p)]
+
+    — expected episode work over expected cycle length (the full absence
+    is part of the cycle whether or not the schedule uses all of it).
+    {!Farm} realises exactly this process, so the analytic rate predicts
+    farm throughput per workstation; experiment E20 validates the match
+    and the test suite enforces it. *)
+
+type t = {
+  work_per_cycle : float;  (** [E(S; p)], eq. 2.1. *)
+  cycle_length : float;  (** [presence_mean + mean absence]. *)
+  rate : float;  (** Long-run banked work per unit time. *)
+  utilisation : float;
+      (** Fraction of wall-clock spent banking work:
+          [rate] (work is measured in time units). *)
+}
+
+val analytic :
+  Life_function.t -> c:float -> presence_mean:float -> Schedule.t -> t
+(** [analytic p ~c ~presence_mean s] evaluates the renewal formula.
+    Requires [c >= 0] and [presence_mean > 0]. *)
+
+val of_guideline :
+  Life_function.t -> c:float -> presence_mean:float -> t
+(** [of_guideline p ~c ~presence_mean] is {!analytic} applied to the
+    guideline schedule for [(p, c)]. *)
+
+val measured_rate : Farm.report -> float
+(** [measured_rate r] is a farm run's total banked work per unit makespan —
+    the empirical counterpart (divide by the workstation count to compare
+    with a per-workstation {!analytic} rate on a homogeneous fleet). *)

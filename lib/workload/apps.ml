@@ -1,0 +1,34 @@
+let matrix_blocks ~n ~block ~flop_time =
+  if n <= 0 || block <= 0 || flop_time <= 0.0 then
+    invalid_arg "Apps.matrix_blocks: all arguments must be positive";
+  let per_block =
+    2.0 *. Float.pow (float_of_int block) 3.0 *. flop_time
+  in
+  List.init (n * n) (fun i ->
+      Task.make ~task_id:i ~duration:per_block
+        ~label:(Printf.sprintf "block(%d,%d)" (i / n) (i mod n))
+        ())
+
+let monte_carlo_batches ~batches ~samples_per_batch ~sample_time =
+  if batches <= 0 || samples_per_batch <= 0 || sample_time <= 0.0 then
+    invalid_arg "Apps.monte_carlo_batches: all arguments must be positive";
+  let per_batch = float_of_int samples_per_batch *. sample_time in
+  Task.uniform_batch ~n:batches ~duration:per_batch ~label:"mc-batch" ()
+
+let parameter_sweep ~configs ~base_time ~spread g =
+  if configs <= 0 || base_time <= 0.0 then
+    invalid_arg "Apps.parameter_sweep: configs and base_time must be positive";
+  if spread < 0.0 then
+    invalid_arg "Apps.parameter_sweep: spread must be >= 0";
+  List.init configs (fun i ->
+      let duration =
+        if spread = 0.0 then base_time
+        else begin
+          let lo = log (base_time /. (1.0 +. spread)) in
+          let hi = log (base_time *. (1.0 +. spread)) in
+          exp (Prng.float_range g ~lo ~hi)
+        end
+      in
+      Task.make ~task_id:i ~duration
+        ~label:(Printf.sprintf "config-%d" i)
+        ())

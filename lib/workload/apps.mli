@@ -1,0 +1,27 @@
+(** Synthetic data-parallel applications.
+
+    §1: "computations that are data-parallel, in that they consist of a
+    massive number of independent repetitive tasks of known durations. One
+    encounters such computations in many scientific applications." These
+    generators model three such applications with realistic duration
+    structure; the examples and the discrete experiments draw their task
+    lists from here. *)
+
+val matrix_blocks : n:int -> block:int -> flop_time:float -> Task.t list
+(** [matrix_blocks ~n ~block ~flop_time] models a blocked matrix-matrix
+    multiply: [n × n] result blocks, each an independent task of duration
+    [2·block³·flop_time] (the classical flop count for one block product).
+    Requires all arguments positive. *)
+
+val monte_carlo_batches :
+  batches:int -> samples_per_batch:int -> sample_time:float -> Task.t list
+(** [monte_carlo_batches ~batches ~samples_per_batch ~sample_time] models a
+    Monte-Carlo integration split into identical batches — the paper's
+    ideal workload (equal, known durations). *)
+
+val parameter_sweep :
+  configs:int -> base_time:float -> spread:float -> Prng.t -> Task.t list
+(** [parameter_sweep ~configs ~base_time ~spread g] models a parameter
+    sweep whose per-configuration run time varies log-uniformly within
+    [[base_time/(1+spread), base_time·(1+spread)]] — known (pre-profiled)
+    but heterogeneous durations. Requires [spread >= 0]. *)

@@ -1,0 +1,52 @@
+type bundle = { period_index : int; tasks : Task.t list; work : float }
+
+type t = {
+  bundles : bundle list;
+  realized : Schedule.t;
+  leftover : Task.t list;
+  expected_work : float;
+  continuous_expected_work : float;
+}
+
+let pack lf ~c s tasks =
+  if c < 0.0 then invalid_arg "Bundling.pack: c must be >= 0";
+  if tasks = [] then invalid_arg "Bundling.pack: empty task list";
+  let continuous = Schedule.expected_work ~c lf s in
+  let periods = Schedule.periods s in
+  let remaining = ref tasks in
+  let bundles = ref [] in
+  Array.iteri
+    (fun i t ->
+      let budget = Schedule.positive_sub t c in
+      let rec fill acc used = function
+        | task :: rest when used +. task.Task.duration <= budget +. 1e-12 ->
+            fill (task :: acc) (used +. task.Task.duration) rest
+        | rest -> (List.rev acc, used, rest)
+      in
+      let chosen, work, rest = fill [] 0.0 !remaining in
+      remaining := rest;
+      if chosen <> [] then
+        bundles := { period_index = i; tasks = chosen; work } :: !bundles)
+    periods;
+  let bundles = List.rev !bundles in
+  let realized_periods =
+    List.map (fun b -> c +. b.work) bundles |> Array.of_list
+  in
+  let realized =
+    if Array.length realized_periods = 0 then
+      (* No task fit anywhere: degenerate single overhead-only period keeps
+         the type total; it banks nothing. *)
+      Schedule.of_periods [| Float.max c 1e-9 |]
+    else Schedule.of_periods realized_periods
+  in
+  {
+    bundles;
+    realized;
+    leftover = !remaining;
+    expected_work = Schedule.expected_work ~c lf realized;
+    continuous_expected_work = continuous;
+  }
+
+let efficiency b =
+  if b.continuous_expected_work <= 0.0 then 1.0
+  else b.expected_work /. b.continuous_expected_work

@@ -1,0 +1,40 @@
+(** Packing real (heterogeneous) tasks into a continuous schedule's
+    periods — the deployment step between the paper's continuous guidelines
+    and its §2.1 task model ("tasks are indivisible; task times may vary
+    but are known perfectly").
+
+    {!Discretize} handles the uniform-duration case analytically; this
+    module packs an actual task list first-fit into each period's
+    productive budget, yielding the realized (shrunken) schedule, the
+    per-period bundles, and the expected banked work. Together with
+    {!Pool} it is what a master actually executes. *)
+
+type bundle = {
+  period_index : int;  (** Index into the source schedule. *)
+  tasks : Task.t list;  (** Tasks dispatched in this period, in order. *)
+  work : float;  (** Their total duration. *)
+}
+
+type t = {
+  bundles : bundle list;  (** One per kept period (empty periods dropped). *)
+  realized : Schedule.t;
+      (** Periods shrunk to [c + bundle work] — what actually runs. *)
+  leftover : Task.t list;  (** Tasks that did not fit anywhere. *)
+  expected_work : float;  (** Eq. 2.1 on the realized schedule. *)
+  continuous_expected_work : float;  (** Eq. 2.1 on the source schedule. *)
+}
+
+val pack :
+  Life_function.t -> c:float -> Schedule.t -> Task.t list -> t
+(** [pack p ~c s tasks] fills each period of [s] greedily in task-list
+    order: a task joins the current period while the period's productive
+    budget ([t_i − c]) is not exceeded, otherwise it waits for the next
+    period. Periods that receive no task are dropped (their time is not
+    spent). Requires [c >= 0].
+    @raise Invalid_argument if [tasks] is empty. *)
+
+val efficiency : t -> float
+(** [efficiency b] is
+    [expected_work / continuous_expected_work] ([1.0] when the continuous
+    value is 0) — how much of the continuous plan's value the real task
+    granularity preserves. *)

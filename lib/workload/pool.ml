@@ -1,0 +1,77 @@
+type bundle = { bundle_id : int; tasks : Task.t list; work : float }
+
+type t = {
+  mutable pending : Task.t list;  (** FIFO: head is next to schedule. *)
+  mutable pending_tail : Task.t list;  (** Reversed tail for O(1) append. *)
+  mutable out : (int * bundle) list;  (** Checked-out bundles by id. *)
+  mutable done_ : Task.t list;
+  mutable next_bundle : int;
+  mutable pending_work : float;
+  mutable done_work : float;
+  mutable out_work : float;
+}
+
+let create tasks =
+  {
+    pending = tasks;
+    pending_tail = [];
+    out = [];
+    done_ = [];
+    next_bundle = 0;
+    pending_work = Kahan.sum_by (fun t -> t.Task.duration) (Array.of_list tasks);
+    done_work = 0.0;
+    out_work = 0.0;
+  }
+
+let pending_work p = p.pending_work
+let done_work p = p.done_work
+let checked_out_work p = p.out_work
+let done_count p = List.length p.done_
+
+(* Merge returned tasks back into scheduling order so a checkout sees the
+   whole pending set, not just the head segment. *)
+let normalize p =
+  if p.pending_tail <> [] then begin
+    p.pending <- p.pending @ List.rev p.pending_tail;
+    p.pending_tail <- []
+  end
+
+let pending_count p = List.length p.pending + List.length p.pending_tail
+let is_finished p = pending_count p = 0 && p.out = []
+
+let checkout p ~budget =
+  if budget < 0.0 then invalid_arg "Pool.checkout: budget must be >= 0";
+  normalize p;
+  let rec take acc used = function
+    | t :: rest when used +. t.Task.duration <= budget +. 1e-12 ->
+        take (t :: acc) (used +. t.Task.duration) rest
+    | rest -> (List.rev acc, used, rest)
+  in
+  let chosen, work, rest = take [] 0.0 p.pending in
+  match chosen with
+  | [] -> None
+  | tasks ->
+      p.pending <- rest;
+      p.pending_work <- p.pending_work -. work;
+      p.out_work <- p.out_work +. work;
+      let b = { bundle_id = p.next_bundle; tasks; work } in
+      p.next_bundle <- p.next_bundle + 1;
+      p.out <- (b.bundle_id, b) :: p.out;
+      Some b
+
+let remove_out p b =
+  if not (List.mem_assoc b.bundle_id p.out) then
+    invalid_arg "Pool: bundle is not checked out";
+  p.out <- List.remove_assoc b.bundle_id p.out;
+  p.out_work <- p.out_work -. b.work
+
+let commit p b =
+  remove_out p b;
+  p.done_ <- List.rev_append b.tasks p.done_;
+  p.done_work <- p.done_work +. b.work
+
+let return_bundle p b =
+  remove_out p b;
+  (* Back of the queue: killed work retries after currently pending work. *)
+  p.pending_tail <- List.rev_append b.tasks p.pending_tail;
+  p.pending_work <- p.pending_work +. b.work

@@ -1,0 +1,43 @@
+(** A task pool with bundle checkout and kill-return — the master's side of
+    the draconian contract at task granularity.
+
+    {!Farm} tracks work as a scalar; this pool refines that to whole tasks
+    so discrete experiments (E12) and the task-farm example can account for
+    exactly which tasks were banked, lost, or still pending. Checked-out
+    bundles are either committed (tasks done) or returned (period killed);
+    the pool preserves the invariant that every task is in exactly one of
+    pending / checked-out / done. *)
+
+type t
+
+type bundle = {
+  bundle_id : int;
+  tasks : Task.t list;
+  work : float;  (** Total duration of the bundle's tasks. *)
+}
+
+val create : Task.t list -> t
+(** [create tasks] builds a pool holding all tasks as pending. *)
+
+val pending_work : t -> float
+val done_work : t -> float
+val checked_out_work : t -> float
+val pending_count : t -> int
+val done_count : t -> int
+val is_finished : t -> bool
+(** [is_finished p] is [true] when no tasks are pending or checked out. *)
+
+val checkout : t -> budget:float -> bundle option
+(** [checkout p ~budget] removes pending tasks first-fit in order until the
+    next task would exceed [budget], and registers them as checked out.
+    [None] when no pending task fits (or the pool is empty). Requires
+    [budget >= 0]. *)
+
+val commit : t -> bundle -> unit
+(** [commit p b] marks the bundle's tasks done.
+    @raise Invalid_argument if [b] is not currently checked out. *)
+
+val return_bundle : t -> bundle -> unit
+(** [return_bundle p b] puts a killed bundle's tasks back at the tail of
+    the pending queue.
+    @raise Invalid_argument if [b] is not currently checked out. *)

@@ -1,0 +1,25 @@
+type t = { task_id : int; duration : float; label : string }
+
+let make ~task_id ~duration ?(label = "") () =
+  if not (Float.is_finite duration) || duration <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Task.make: duration %g must be positive and finite"
+         duration);
+  { task_id; duration; label }
+
+let uniform_batch ~n ~duration ?(label = "uniform") () =
+  if n < 0 then invalid_arg "Task.uniform_batch: n must be >= 0";
+  List.init n (fun i -> make ~task_id:i ~duration ~label ())
+
+let jittered_batch ~n ~mean ~jitter g ?(label = "jittered") () =
+  if n < 0 then invalid_arg "Task.jittered_batch: n must be >= 0";
+  if mean <= 0.0 then invalid_arg "Task.jittered_batch: mean must be > 0";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Task.jittered_batch: jitter must lie in [0, 1)";
+  List.init n (fun i ->
+      let lo = mean *. (1.0 -. jitter) and hi = mean *. (1.0 +. jitter) in
+      let duration = if jitter = 0.0 then mean else Prng.float_range g ~lo ~hi in
+      make ~task_id:i ~duration ~label ())
+
+let total_duration tasks =
+  Kahan.sum_by (fun t -> t.duration) (Array.of_list tasks)

@@ -1,0 +1,31 @@
+(** Indivisible tasks — the work units of the paper's data-parallel model.
+
+    §2.1: computations "consist of a massive number of independent
+    repetitive tasks of known durations", tasks are indivisible, and a
+    task's time includes the marginal cost of moving its own data (keeping
+    the per-period overhead [c] size-independent). *)
+
+type t = {
+  task_id : int;
+  duration : float;  (** Known, strictly positive; includes marginal data
+                         transfer per the model convention. *)
+  label : string;  (** Provenance tag from the generating application. *)
+}
+
+val make : task_id:int -> duration:float -> ?label:string -> unit -> t
+(** @raise Invalid_argument when [duration <= 0] or not finite. *)
+
+val uniform_batch :
+  n:int -> duration:float -> ?label:string -> unit -> t list
+(** [uniform_batch ~n ~duration ()] is [n] identical tasks — the paper's
+    canonical workload. Requires [n >= 0]. *)
+
+val jittered_batch :
+  n:int -> mean:float -> jitter:float -> Prng.t -> ?label:string -> unit ->
+  t list
+(** [jittered_batch ~n ~mean ~jitter g ()] draws durations uniformly from
+    [[mean·(1−jitter), mean·(1+jitter)]] — "task times may vary but are
+    known perfectly". Requires [0 <= jitter < 1] and [mean > 0]. *)
+
+val total_duration : t list -> float
+(** Compensated sum of durations. *)

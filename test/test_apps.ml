@@ -1,0 +1,84 @@
+let test_matrix_blocks () =
+  let tasks = Apps.matrix_blocks ~n:4 ~block:8 ~flop_time:1e-3 in
+  Alcotest.(check int) "n^2 blocks" 16 (List.length tasks);
+  let expected = 2.0 *. 512.0 *. 1e-3 in
+  List.iter
+    (fun t ->
+      Alcotest.(check (float 1e-12)) "block flops" expected t.Task.duration)
+    tasks
+
+let test_matrix_blocks_labels () =
+  let tasks = Apps.matrix_blocks ~n:2 ~block:2 ~flop_time:1.0 in
+  let labels = List.map (fun t -> t.Task.label) tasks in
+  Alcotest.(check (list string)) "row-major labels"
+    [ "block(0,0)"; "block(0,1)"; "block(1,0)"; "block(1,1)" ]
+    labels
+
+let test_matrix_blocks_validation () =
+  match Apps.matrix_blocks ~n:0 ~block:1 ~flop_time:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 0 accepted"
+
+let test_monte_carlo_batches () =
+  let tasks =
+    Apps.monte_carlo_batches ~batches:10 ~samples_per_batch:1000
+      ~sample_time:0.002
+  in
+  Alcotest.(check int) "batches" 10 (List.length tasks);
+  List.iter
+    (fun t -> Alcotest.(check (float 1e-12)) "batch time" 2.0 t.Task.duration)
+    tasks
+
+let test_parameter_sweep_band () =
+  let g = Prng.create ~seed:3L in
+  let tasks = Apps.parameter_sweep ~configs:500 ~base_time:10.0 ~spread:0.5 g in
+  Alcotest.(check int) "configs" 500 (List.length tasks);
+  List.iter
+    (fun t ->
+      if t.Task.duration < 10.0 /. 1.5 -. 1e-9
+         || t.Task.duration > 15.0 +. 1e-9 then
+        Alcotest.failf "duration %g outside band" t.Task.duration)
+    tasks
+
+let test_parameter_sweep_zero_spread () =
+  let g = Prng.create ~seed:4L in
+  let tasks = Apps.parameter_sweep ~configs:5 ~base_time:3.0 ~spread:0.0 g in
+  List.iter
+    (fun t -> Alcotest.(check (float 0.0)) "constant" 3.0 t.Task.duration)
+    tasks
+
+let test_parameter_sweep_validation () =
+  let g = Prng.create ~seed:5L in
+  match Apps.parameter_sweep ~configs:1 ~base_time:1.0 ~spread:(-0.1) g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative spread accepted"
+
+let test_apps_feed_discretize () =
+  (* Application tasks integrate with schedule quantization. *)
+  let lf = Families.uniform ~lifespan:200.0 in
+  let g = Guideline.plan lf ~c:1.0 in
+  let tasks = Apps.monte_carlo_batches ~batches:50 ~samples_per_batch:100 ~sample_time:0.01 in
+  let task_time = (List.hd tasks).Task.duration in
+  let q = Discretize.quantize lf ~c:1.0 ~task:task_time g.Guideline.schedule in
+  Alcotest.(check bool) "tasks assigned" true (q.Discretize.total_tasks > 0)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "apps",
+        [
+          Alcotest.test_case "matrix blocks" `Quick test_matrix_blocks;
+          Alcotest.test_case "matrix labels" `Quick test_matrix_blocks_labels;
+          Alcotest.test_case "matrix validation" `Quick
+            test_matrix_blocks_validation;
+          Alcotest.test_case "monte carlo batches" `Quick
+            test_monte_carlo_batches;
+          Alcotest.test_case "parameter sweep band" `Quick
+            test_parameter_sweep_band;
+          Alcotest.test_case "zero spread" `Quick
+            test_parameter_sweep_zero_spread;
+          Alcotest.test_case "sweep validation" `Quick
+            test_parameter_sweep_validation;
+          Alcotest.test_case "feeds discretize" `Quick test_apps_feed_discretize;
+        ] );
+    ]

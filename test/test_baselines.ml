@@ -1,0 +1,129 @@
+let lf = Families.uniform ~lifespan:100.0
+let c = 1.0
+
+let test_fixed_chunk_structure () =
+  let b = Baselines.fixed_chunk lf ~c ~chunk:10.0 in
+  let ps = Schedule.periods b.Baselines.schedule in
+  Alcotest.(check int) "ten chunks" 10 (Array.length ps);
+  Array.iter (fun t -> Alcotest.(check (float 0.0)) "chunk" 10.0 t) ps
+
+let test_fixed_chunk_at_least_one () =
+  let b = Baselines.fixed_chunk lf ~c ~chunk:500.0 in
+  Alcotest.(check int) "one oversized chunk" 1
+    (Schedule.num_periods b.Baselines.schedule)
+
+let test_fixed_chunk_validation () =
+  match Baselines.fixed_chunk lf ~c ~chunk:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "chunk = 0 accepted"
+
+let test_best_fixed_chunk_dominates_fixed () =
+  let best = Baselines.best_fixed_chunk lf ~c in
+  List.iter
+    (fun chunk ->
+      let b = Baselines.fixed_chunk lf ~c ~chunk in
+      Alcotest.(check bool)
+        (Printf.sprintf "beats chunk %g" chunk)
+        true
+        (best.Baselines.expected_work >= b.Baselines.expected_work -. 1e-9))
+    [ 2.0; 5.0; 10.0; 14.0; 20.0; 50.0 ]
+
+let test_equal_split_structure () =
+  let b = Baselines.equal_split lf ~c ~m:4 in
+  let ps = Schedule.periods b.Baselines.schedule in
+  Alcotest.(check int) "four periods" 4 (Array.length ps);
+  Array.iter (fun t -> Alcotest.(check (float 1e-9)) "quarter" 25.0 t) ps
+
+let test_equal_split_validation () =
+  match Baselines.equal_split lf ~c ~m:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "m = 0 accepted"
+
+let test_single_period () =
+  let b = Baselines.single_period lf ~c in
+  Alcotest.(check int) "one period" 1 (Schedule.num_periods b.Baselines.schedule);
+  (* Spanning the whole uniform lifespan means p(L) = 0: zero E. *)
+  Alcotest.(check (float 1e-12)) "zero expected work" 0.0
+    b.Baselines.expected_work
+
+let test_doubling_structure () =
+  let b = Baselines.doubling lf ~c ~first:10.0 in
+  let ps = Schedule.periods b.Baselines.schedule in
+  Alcotest.(check (float 0.0)) "first" 10.0 ps.(0);
+  Alcotest.(check (float 0.0)) "second" 20.0 ps.(1);
+  Alcotest.(check (float 0.0)) "third" 40.0 ps.(2)
+
+let test_doubling_validation () =
+  match Baselines.doubling lf ~c ~first:(-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative first accepted"
+
+let test_all_policies_evaluated () =
+  let all = Baselines.all lf ~c in
+  Alcotest.(check int) "eight policies" 8 (List.length all);
+  List.iter
+    (fun b ->
+      Alcotest.(check (float 1e-9))
+        (b.Baselines.name ^ " E consistent")
+        b.Baselines.expected_work
+        (Schedule.expected_work ~c lf b.Baselines.schedule))
+    all
+
+let test_guideline_dominates_all_baselines () =
+  (* The headline of E9: the guideline beats every naive policy. *)
+  List.iter
+    (fun (scenario, lf) ->
+      let g = Guideline.plan lf ~c in
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: guideline >= %s" scenario b.Baselines.name)
+            true
+            (g.Guideline.expected_work >= b.Baselines.expected_work -. 1e-6))
+        (Baselines.all lf ~c))
+    (Families.all_paper_scenarios ~c)
+
+let prop_best_fixed_chunk_is_stationary =
+  QCheck.Test.make ~name:"best fixed chunk beats nearby chunks" ~count:10
+    QCheck.(float_range 30.0 150.0)
+    (fun l ->
+      let lf = Families.uniform ~lifespan:l in
+      let best = Baselines.best_fixed_chunk lf ~c in
+      let chunk_of_name s = Schedule.period s.Baselines.schedule 0 in
+      let ch = chunk_of_name best in
+      List.for_all
+        (fun d ->
+          let chunk = ch *. (1.0 +. d) in
+          chunk <= c
+          || best.Baselines.expected_work
+             >= (Baselines.fixed_chunk lf ~c ~chunk).Baselines.expected_work
+                -. 1e-6)
+        [ -0.2; -0.05; 0.05; 0.2 ])
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "fixed chunk structure" `Quick
+            test_fixed_chunk_structure;
+          Alcotest.test_case "fixed chunk oversized" `Quick
+            test_fixed_chunk_at_least_one;
+          Alcotest.test_case "fixed chunk validation" `Quick
+            test_fixed_chunk_validation;
+          Alcotest.test_case "best fixed chunk dominates" `Quick
+            test_best_fixed_chunk_dominates_fixed;
+          Alcotest.test_case "equal split structure" `Quick
+            test_equal_split_structure;
+          Alcotest.test_case "equal split validation" `Quick
+            test_equal_split_validation;
+          Alcotest.test_case "single period" `Quick test_single_period;
+          Alcotest.test_case "doubling structure" `Quick test_doubling_structure;
+          Alcotest.test_case "doubling validation" `Quick
+            test_doubling_validation;
+          Alcotest.test_case "all policies" `Quick test_all_policies_evaluated;
+          Alcotest.test_case "guideline dominates (E9)" `Quick
+            test_guideline_dominates_all_baselines;
+          QCheck_alcotest.to_alcotest prop_best_fixed_chunk_is_stationary;
+        ] );
+    ]

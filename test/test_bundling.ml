@@ -1,0 +1,135 @@
+let c = 1.0
+let lf = Families.uniform ~lifespan:100.0
+
+let mk durations =
+  List.mapi (fun i d -> Task.make ~task_id:i ~duration:d ()) durations
+
+let test_pack_first_fit () =
+  let s = Schedule.of_list [ 6.0; 4.0 ] in
+  (* budgets 5 and 3; tasks 3,3,2: first period takes [3], second... wait
+     first-fit in order: 3 fits (used 3), next 3 does not (6 > 5), so
+     period 0 = [3]; period 1 budget 3 takes the waiting 3; 2 is left over. *)
+  let b = Bundling.pack lf ~c s (mk [ 3.0; 3.0; 2.0 ]) in
+  (match b.Bundling.bundles with
+  | [ b0; b1 ] ->
+      Alcotest.(check int) "period 0" 0 b0.Bundling.period_index;
+      Alcotest.(check (float 0.0)) "work 0" 3.0 b0.Bundling.work;
+      Alcotest.(check int) "period 1" 1 b1.Bundling.period_index;
+      Alcotest.(check (float 0.0)) "work 1" 3.0 b1.Bundling.work
+  | _ -> Alcotest.fail "expected two bundles");
+  Alcotest.(check int) "one leftover" 1 (List.length b.Bundling.leftover)
+
+let test_pack_multiple_per_period () =
+  let s = Schedule.of_list [ 10.0 ] in
+  let b = Bundling.pack lf ~c s (mk [ 4.0; 4.0; 4.0 ]) in
+  match b.Bundling.bundles with
+  | [ b0 ] ->
+      Alcotest.(check int) "two tasks fit in budget 9" 2
+        (List.length b0.Bundling.tasks);
+      Alcotest.(check (float 1e-12)) "realized period" 9.0
+        (Schedule.period b.Bundling.realized 0)
+  | _ -> Alcotest.fail "expected one bundle"
+
+let test_pack_drops_empty_periods () =
+  let s = Schedule.of_list [ 2.0; 12.0 ] in
+  (* budget 1 then 11: the 5-long task skips period 0 entirely. *)
+  let b = Bundling.pack lf ~c s (mk [ 5.0 ]) in
+  match b.Bundling.bundles with
+  | [ b0 ] -> Alcotest.(check int) "skipped to period 1" 1 b0.Bundling.period_index
+  | _ -> Alcotest.fail "expected one bundle"
+
+let test_pack_nothing_fits () =
+  let s = Schedule.of_list [ 3.0 ] in
+  let b = Bundling.pack lf ~c s (mk [ 50.0 ]) in
+  Alcotest.(check int) "no bundles" 0 (List.length b.Bundling.bundles);
+  Alcotest.(check int) "all leftover" 1 (List.length b.Bundling.leftover);
+  Alcotest.(check (float 1e-12)) "banks nothing" 0.0 b.Bundling.expected_work
+
+let test_pack_validation () =
+  let s = Schedule.of_list [ 3.0 ] in
+  (match Bundling.pack lf ~c s [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty tasks accepted");
+  match Bundling.pack lf ~c:(-1.0) s (mk [ 1.0 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative c accepted"
+
+let test_fine_tasks_high_efficiency () =
+  let g = Guideline.plan lf ~c in
+  let tasks = Task.uniform_batch ~n:2000 ~duration:0.05 () in
+  let b = Bundling.pack lf ~c g.Guideline.schedule tasks in
+  Alcotest.(check bool)
+    (Printf.sprintf "efficiency %.3f high" (Bundling.efficiency b))
+    true
+    (Bundling.efficiency b > 0.97)
+
+let test_heterogeneous_pack_consistency () =
+  let g = Guideline.plan lf ~c in
+  let rng = Prng.create ~seed:3L in
+  let tasks = Task.jittered_batch ~n:60 ~mean:2.0 ~jitter:0.5 rng () in
+  let b = Bundling.pack lf ~c g.Guideline.schedule tasks in
+  (* conservation of tasks *)
+  let packed =
+    List.fold_left (fun a bd -> a + List.length bd.Bundling.tasks) 0
+      b.Bundling.bundles
+  in
+  Alcotest.(check int) "packed + leftover = total" 60
+    (packed + List.length b.Bundling.leftover);
+  (* realized periods never exceed source periods *)
+  let src = Schedule.periods g.Guideline.schedule in
+  List.iter
+    (fun bd ->
+      Alcotest.(check bool) "realized within source" true
+        (c +. bd.Bundling.work <= src.(bd.Bundling.period_index) +. 1e-9))
+    b.Bundling.bundles
+
+let prop_realized_E_bounded_by_capacity =
+  QCheck.Test.make
+    ~name:"packed expected work <= realized capacity <= task total" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 8) (float_range 2.0 15.0))
+        (list_of_size Gen.(int_range 1 30) (float_range 0.2 6.0)))
+    (fun (periods, durations) ->
+      let s = Schedule.of_periods periods in
+      let tasks = mk durations in
+      let b = Bundling.pack lf ~c s tasks in
+      let cap = Schedule.work_capacity ~c b.Bundling.realized in
+      b.Bundling.expected_work <= cap +. 1e-9
+      && cap <= Task.total_duration tasks +. 1e-9)
+
+let prop_efficiency_improves_with_smaller_tasks =
+  QCheck.Test.make ~name:"halving task grain does not hurt efficiency much"
+    ~count:20
+    QCheck.(float_range 0.5 4.0)
+    (fun grain ->
+      let g = Guideline.plan lf ~c in
+      let eff grain =
+        let n = int_of_float (200.0 /. grain) in
+        Bundling.efficiency
+          (Bundling.pack lf ~c g.Guideline.schedule
+             (Task.uniform_batch ~n ~duration:grain ()))
+      in
+      eff (grain /. 2.0) >= eff grain -. 0.02)
+
+let () =
+  Alcotest.run "bundling"
+    [
+      ( "bundling",
+        [
+          Alcotest.test_case "first fit" `Quick test_pack_first_fit;
+          Alcotest.test_case "multiple per period" `Quick
+            test_pack_multiple_per_period;
+          Alcotest.test_case "drops empty periods" `Quick
+            test_pack_drops_empty_periods;
+          Alcotest.test_case "nothing fits" `Quick test_pack_nothing_fits;
+          Alcotest.test_case "validation" `Quick test_pack_validation;
+          Alcotest.test_case "fine tasks efficient" `Quick
+            test_fine_tasks_high_efficiency;
+          Alcotest.test_case "heterogeneous consistency" `Quick
+            test_heterogeneous_pack_consistency;
+          QCheck_alcotest.to_alcotest prop_realized_E_bounded_by_capacity;
+          QCheck_alcotest.to_alcotest
+            prop_efficiency_improves_with_smaller_tasks;
+        ] );
+    ]

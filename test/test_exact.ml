@@ -1,0 +1,213 @@
+let feq ?(eps = 1e-9) a b = Alcotest.(check (float eps)) "value" a b
+
+(* --- uniform ----------------------------------------------------------- *)
+
+let test_uniform_periods_sum_to_lifespan () =
+  let r = Exact.uniform ~c:1.0 ~lifespan:100.0 in
+  feq ~eps:1e-9 100.0 (Schedule.total_duration r.Exact.schedule)
+
+let test_uniform_arithmetic_decrement () =
+  let r = Exact.uniform ~c:1.0 ~lifespan:100.0 in
+  let ps = Schedule.periods r.Exact.schedule in
+  for i = 0 to Array.length ps - 2 do
+    feq ~eps:1e-9 1.0 (ps.(i) -. ps.(i + 1))
+  done
+
+let test_uniform_m_matches_formula () =
+  let c = 1.0 and l = 100.0 in
+  let r = Exact.uniform ~c ~lifespan:l in
+  Alcotest.(check int) "period count"
+    (Closed_forms.uniform_optimal_m ~c ~lifespan:l)
+    (Schedule.num_periods r.Exact.schedule)
+
+let test_uniform_t0_near_sqrt_2cl () =
+  (* (4.5): t0 = sqrt(2cL) + low-order terms. *)
+  let c = 1.0 and l = 100.0 in
+  let r = Exact.uniform ~c ~lifespan:l in
+  Alcotest.(check bool) "within 10% of sqrt(2cL)" true
+    (Float.abs (r.Exact.t0 -. sqrt (2.0 *. c *. l)) /. sqrt (2.0 *. c *. l)
+    < 0.10)
+
+let test_uniform_beats_neighbouring_m () =
+  (* The selected m must beat arithmetic schedules with m±1 periods. *)
+  let c = 1.0 and l = 100.0 in
+  let lf = Families.uniform ~lifespan:l in
+  let r = Exact.uniform ~c ~lifespan:l in
+  let m = Schedule.num_periods r.Exact.schedule in
+  let arithmetic m =
+    let mf = float_of_int m in
+    let t0 = (l /. mf) +. ((mf -. 1.0) *. c /. 2.0) in
+    if t0 -. ((mf -. 1.0) *. c) <= 0.0 then None
+    else
+      Some
+        (Schedule.of_periods (Array.init m (fun i -> t0 -. (float_of_int i *. c))))
+  in
+  List.iter
+    (fun m' ->
+      match arithmetic m' with
+      | None -> ()
+      | Some s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "beats m=%d" m')
+            true
+            (r.Exact.expected_work >= Schedule.expected_work ~c lf s -. 1e-9))
+    [ m - 1; m + 1 ]
+
+let test_uniform_validation () =
+  match Exact.uniform ~c:10.0 ~lifespan:5.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c >= L accepted"
+
+(* --- geometric decreasing ---------------------------------------------- *)
+
+let test_geo_dec_equal_periods () =
+  let r = Exact.geometric_decreasing ~c:1.0 ~a:(exp 0.05) in
+  let ps = Schedule.periods r.Exact.schedule in
+  Array.iter (fun t -> feq ~eps:1e-12 r.Exact.t0 t) ps
+
+let test_geo_dec_expected_work_closed_form () =
+  (* E = (t*-c) q/(1-q) must equal the numerically summed E of the
+     truncated schedule. *)
+  let c = 1.0 and a = exp 0.05 in
+  let lf = Families.geometric_decreasing ~a in
+  let r = Exact.geometric_decreasing ~c ~a in
+  feq ~eps:1e-9 r.Exact.expected_work
+    (Schedule.expected_work ~c lf r.Exact.schedule)
+
+let test_geo_dec_beats_perturbed_equal_periods () =
+  (* t* maximizes E among equal-period schedules. *)
+  let c = 1.0 and a = exp 0.05 in
+  let lf = Families.geometric_decreasing ~a in
+  let r = Exact.geometric_decreasing ~c ~a in
+  let equal_e t =
+    let n = 2000 in
+    Schedule.expected_work ~c lf (Schedule.of_periods (Array.make n t))
+  in
+  List.iter
+    (fun dt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "beats t*+%g" dt)
+        true
+        (r.Exact.expected_work >= equal_e (r.Exact.t0 +. dt) -. 1e-9))
+    [ -2.0; -0.5; 0.5; 2.0 ]
+
+let test_geo_dec_validation () =
+  (match Exact.geometric_decreasing ~c:1.0 ~a:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a = 1 accepted");
+  (* c so large that t* <= c: no productive schedule. *)
+  match Exact.geometric_decreasing ~c:100.0 ~a:(exp 5.0) with
+  | exception Invalid_argument _ -> ()
+  | r ->
+      (* If it did not raise, t* must genuinely exceed c. *)
+      Alcotest.(check bool) "t* > c" true (r.Exact.t0 > 100.0)
+
+(* --- geometric increasing ---------------------------------------------- *)
+
+let test_geo_inc_periods_follow_recurrence () =
+  let c = 1.0 and l = 30.0 in
+  let r = Exact.geometric_increasing ~c ~lifespan:l in
+  let ps = Schedule.periods r.Exact.schedule in
+  for i = 0 to Array.length ps - 2 do
+    match Closed_forms.geo_inc_next_period_optimal ~t_prev:ps.(i) ~c with
+    | Some expected -> feq ~eps:1e-6 expected ps.(i + 1)
+    | None -> Alcotest.fail "recurrence must continue"
+  done
+
+let test_geo_inc_fits_in_lifespan () =
+  let r = Exact.geometric_increasing ~c:1.0 ~lifespan:30.0 in
+  Alcotest.(check bool) "within L" true
+    (Schedule.total_duration r.Exact.schedule <= 30.0 +. 1e-9)
+
+let test_geo_inc_positive_work () =
+  let r = Exact.geometric_increasing ~c:1.0 ~lifespan:30.0 in
+  Alcotest.(check bool) "positive expected work" true
+    (r.Exact.expected_work > 0.0)
+
+let test_geo_inc_validation () =
+  match Exact.geometric_increasing ~c:31.0 ~lifespan:30.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c >= L accepted"
+
+(* --- cross-validation: exact vs independent optimizer ------------------- *)
+
+let test_exact_uniform_matches_optimizer () =
+  let c = 1.0 and l = 60.0 in
+  let lf = Families.uniform ~lifespan:l in
+  let exact = Exact.uniform ~c ~lifespan:l in
+  let o = Optimizer.optimal_schedule lf ~c in
+  Alcotest.(check bool) "within 0.5%" true
+    (Float.abs (exact.Exact.expected_work -. o.Optimizer.expected_work)
+    <= 0.005 *. exact.Exact.expected_work);
+  (* The optimizer can only ever *approach* the exact value from below. *)
+  Alcotest.(check bool) "optimizer <= exact + eps" true
+    (o.Optimizer.expected_work <= exact.Exact.expected_work +. 1e-6)
+
+let test_exact_geo_dec_matches_optimizer () =
+  let c = 1.0 and a = exp 0.05 in
+  let lf = Families.geometric_decreasing ~a in
+  let exact = Exact.geometric_decreasing ~c ~a in
+  let o = Optimizer.optimal_schedule lf ~c in
+  Alcotest.(check bool) "within 0.5%" true
+    (Float.abs (exact.Exact.expected_work -. o.Optimizer.expected_work)
+    <= 0.005 *. exact.Exact.expected_work)
+
+let prop_uniform_exact_beats_random_schedules =
+  QCheck.Test.make
+    ~name:"uniform exact schedule beats random same-horizon schedules"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.05 1.0))
+    (fun weights ->
+      let c = 1.0 and l = 100.0 in
+      let lf = Families.uniform ~lifespan:l in
+      let exact = Exact.uniform ~c ~lifespan:l in
+      (* Normalize random weights into a schedule spanning exactly L. *)
+      let total = List.fold_left ( +. ) 0.0 weights in
+      let ps = Array.of_list (List.map (fun w -> w /. total *. l) weights) in
+      let s = Schedule.of_periods ps in
+      exact.Exact.expected_work >= Schedule.expected_work ~c lf s -. 1e-9)
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "uniform",
+        [
+          Alcotest.test_case "periods sum to L" `Quick
+            test_uniform_periods_sum_to_lifespan;
+          Alcotest.test_case "arithmetic decrement" `Quick
+            test_uniform_arithmetic_decrement;
+          Alcotest.test_case "m matches formula" `Quick
+            test_uniform_m_matches_formula;
+          Alcotest.test_case "t0 near sqrt(2cL)" `Quick
+            test_uniform_t0_near_sqrt_2cl;
+          Alcotest.test_case "beats neighbouring m" `Quick
+            test_uniform_beats_neighbouring_m;
+          Alcotest.test_case "validation" `Quick test_uniform_validation;
+          QCheck_alcotest.to_alcotest prop_uniform_exact_beats_random_schedules;
+        ] );
+      ( "geometric-decreasing",
+        [
+          Alcotest.test_case "equal periods" `Quick test_geo_dec_equal_periods;
+          Alcotest.test_case "E closed form" `Quick
+            test_geo_dec_expected_work_closed_form;
+          Alcotest.test_case "beats perturbed equal" `Quick
+            test_geo_dec_beats_perturbed_equal_periods;
+          Alcotest.test_case "validation" `Quick test_geo_dec_validation;
+        ] );
+      ( "geometric-increasing",
+        [
+          Alcotest.test_case "follows [3] recurrence" `Quick
+            test_geo_inc_periods_follow_recurrence;
+          Alcotest.test_case "fits in lifespan" `Quick
+            test_geo_inc_fits_in_lifespan;
+          Alcotest.test_case "positive work" `Quick test_geo_inc_positive_work;
+          Alcotest.test_case "validation" `Quick test_geo_inc_validation;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "uniform vs optimizer" `Quick
+            test_exact_uniform_matches_optimizer;
+          Alcotest.test_case "geo-dec vs optimizer" `Quick
+            test_exact_geo_dec_matches_optimizer;
+        ] );
+    ]

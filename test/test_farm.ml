@@ -1,0 +1,195 @@
+let uniform_ws =
+  { Farm.ws_life = Families.uniform ~lifespan:100.0; ws_presence_mean = 50.0 }
+
+let base_config =
+  {
+    Farm.c = 1.0;
+    total_work = 500.0;
+    workstations = [ uniform_ws; uniform_ws ];
+    policy = Farm.guideline_policy;
+    max_time = 1e6;
+  }
+
+let test_farm_finishes () =
+  let r = Farm.run base_config ~seed:1L in
+  Alcotest.(check bool) "finished" true r.Farm.finished;
+  Alcotest.(check (float 1e-6)) "all work done" 500.0 r.Farm.total_done;
+  Alcotest.(check (float 1e-6)) "pool empty" 0.0 r.Farm.pool_remaining
+
+let test_work_conservation () =
+  (* done + remaining = total, lost work recycles. *)
+  List.iter
+    (fun seed ->
+      let r = Farm.run base_config ~seed in
+      Alcotest.(check (float 1e-6)) "conservation" base_config.Farm.total_work
+        (r.Farm.total_done +. r.Farm.pool_remaining))
+    [ 1L; 2L; 3L; 42L ]
+
+let test_deterministic_in_seed () =
+  let r1 = Farm.run base_config ~seed:9L in
+  let r2 = Farm.run base_config ~seed:9L in
+  Alcotest.(check (float 0.0)) "same makespan" r1.Farm.makespan r2.Farm.makespan;
+  Alcotest.(check (float 0.0)) "same lost" r1.Farm.total_lost r2.Farm.total_lost
+
+let test_different_seeds_differ () =
+  let r1 = Farm.run base_config ~seed:1L in
+  let r2 = Farm.run base_config ~seed:2L in
+  Alcotest.(check bool) "makespans differ" true
+    (r1.Farm.makespan <> r2.Farm.makespan)
+
+let test_more_workstations_faster () =
+  let two = Farm.run base_config ~seed:5L in
+  let four =
+    Farm.run
+      { base_config with Farm.workstations = [ uniform_ws; uniform_ws; uniform_ws; uniform_ws ] }
+      ~seed:5L
+  in
+  Alcotest.(check bool) "four stations no slower" true
+    (four.Farm.makespan <= two.Farm.makespan +. 1e-9)
+
+let test_max_time_cutoff () =
+  let r = Farm.run { base_config with Farm.max_time = 10.0 } ~seed:1L in
+  Alcotest.(check bool) "unfinished" false r.Farm.finished;
+  Alcotest.(check (float 0.0)) "makespan = cutoff" 10.0 r.Farm.makespan;
+  Alcotest.(check (float 1e-6)) "conservation under cutoff" 500.0
+    (r.Farm.total_done +. r.Farm.pool_remaining)
+
+let test_per_workstation_stats_consistent () =
+  let r = Farm.run base_config ~seed:11L in
+  let sum_done =
+    List.fold_left (fun a w -> a +. w.Farm.work_done) 0.0 r.Farm.per_workstation
+  in
+  Alcotest.(check (float 1e-6)) "per-ws sums to total" r.Farm.total_done sum_done;
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "episodes >= killed" true
+        (w.Farm.episodes >= w.Farm.periods_killed))
+    r.Farm.per_workstation
+
+let test_policies_all_complete () =
+  List.iter
+    (fun policy ->
+      let r =
+        Farm.run
+          { base_config with Farm.policy; total_work = 100.0 }
+          ~seed:3L
+      in
+      Alcotest.(check bool)
+        (policy.Farm.policy_name ^ " finishes")
+        true r.Farm.finished)
+    [
+      Farm.guideline_policy;
+      Farm.adaptive_policy;
+      Farm.greedy_policy;
+      Farm.fixed_chunk_policy ~chunk:10.0;
+    ]
+
+let test_heterogeneous_fleet () =
+  let fleet =
+    [
+      { Farm.ws_life = Families.uniform ~lifespan:100.0; ws_presence_mean = 40.0 };
+      {
+        Farm.ws_life = Families.geometric_decreasing ~a:(exp 0.02);
+        ws_presence_mean = 60.0;
+      };
+      {
+        Farm.ws_life = Families.geometric_increasing ~lifespan:40.0;
+        ws_presence_mean = 30.0;
+      };
+    ]
+  in
+  let r =
+    Farm.run { base_config with Farm.workstations = fleet; total_work = 300.0 }
+      ~seed:21L
+  in
+  Alcotest.(check bool) "finished" true r.Farm.finished;
+  Alcotest.(check int) "three reports" 3 (List.length r.Farm.per_workstation)
+
+let test_validation () =
+  List.iter
+    (fun cfg ->
+      match Farm.run cfg ~seed:1L with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "invalid config accepted")
+    [
+      { base_config with Farm.c = 0.0 };
+      { base_config with Farm.total_work = 0.0 };
+      { base_config with Farm.max_time = 0.0 };
+      { base_config with Farm.workstations = [] };
+      {
+        base_config with
+        Farm.workstations = [ { uniform_ws with Farm.ws_presence_mean = 0.0 } ];
+      };
+    ]
+
+let test_overhead_positive_when_work_done () =
+  let r = Farm.run base_config ~seed:2L in
+  Alcotest.(check bool) "nonzero overhead" true (r.Farm.total_overhead > 0.0)
+
+let prop_conservation_random_configs =
+  QCheck.Test.make ~name:"work conservation across random configs" ~count:25
+    QCheck.(
+      triple (float_range 50.0 400.0) (float_range 20.0 120.0) (int_range 1 5))
+    (fun (work, presence, n_ws) ->
+      let ws =
+        { Farm.ws_life = Families.uniform ~lifespan:80.0; ws_presence_mean = presence }
+      in
+      let cfg =
+        {
+          Farm.c = 1.0;
+          total_work = work;
+          workstations = List.init n_ws (fun _ -> ws);
+          policy = Farm.guideline_policy;
+          max_time = 5e4;
+        }
+      in
+      let r = Farm.run cfg ~seed:77L in
+      Float.abs (r.Farm.total_done +. r.Farm.pool_remaining -. work) < 1e-6)
+
+let prop_guideline_no_worse_than_bad_chunks =
+  (* Across seeds, the guideline policy's makespan should generally beat a
+     pathologically large fixed chunk. Allow rare noise reversals by
+     comparing means over several seeds. *)
+  QCheck.Test.make ~name:"guideline beats oversized fixed chunks on average"
+    ~count:3 QCheck.unit (fun () ->
+      let mean_makespan policy =
+        let seeds = [ 1L; 2L; 3L; 4L; 5L; 6L; 7L; 8L ] in
+        let total =
+          List.fold_left
+            (fun acc seed ->
+              let r =
+                Farm.run { base_config with Farm.policy; total_work = 300.0 } ~seed
+              in
+              acc +. r.Farm.makespan)
+            0.0 seeds
+        in
+        total /. float_of_int (List.length seeds)
+      in
+      mean_makespan Farm.guideline_policy
+      <= mean_makespan (Farm.fixed_chunk_policy ~chunk:90.0))
+
+let () =
+  Alcotest.run "farm"
+    [
+      ( "farm",
+        [
+          Alcotest.test_case "finishes" `Quick test_farm_finishes;
+          Alcotest.test_case "work conservation" `Quick test_work_conservation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_in_seed;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "more stations faster" `Quick
+            test_more_workstations_faster;
+          Alcotest.test_case "max_time cutoff" `Quick test_max_time_cutoff;
+          Alcotest.test_case "per-ws stats" `Quick
+            test_per_workstation_stats_consistent;
+          Alcotest.test_case "all policies complete" `Quick
+            test_policies_all_complete;
+          Alcotest.test_case "heterogeneous fleet" `Quick
+            test_heterogeneous_fleet;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "overhead accounted" `Quick
+            test_overhead_positive_when_work_done;
+          QCheck_alcotest.to_alcotest prop_conservation_random_configs;
+          QCheck_alcotest.to_alcotest prop_guideline_no_worse_than_bad_chunks;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+let test_greedy_first_period_exponential () =
+  (* argmax (t-c) a^{-t} = c + 1/ln a, independent of elapsed time. *)
+  let a = exp 0.1 and c = 1.0 in
+  let lf = Families.geometric_decreasing ~a in
+  let expected = c +. (1.0 /. log a) in
+  (match Greedy.first_period lf ~c ~elapsed:0.0 with
+  | Some t -> Alcotest.(check (float 1e-3)) "first period" expected t
+  | None -> Alcotest.fail "expected a period");
+  match Greedy.first_period lf ~c ~elapsed:13.0 with
+  | Some t -> Alcotest.(check (float 1e-3)) "memoryless repeat" expected t
+  | None -> Alcotest.fail "expected a period"
+
+let test_greedy_first_period_uniform () =
+  (* argmax (t-c)(1 - t/L) = (L+c)/2. *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  match Greedy.first_period lf ~c:1.0 ~elapsed:0.0 with
+  | Some t -> Alcotest.(check (float 1e-4)) "vertex" 50.5 t
+  | None -> Alcotest.fail "expected a period"
+
+let test_greedy_none_when_no_room () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  Alcotest.(check bool) "no period" true
+    (Greedy.first_period lf ~c:1.0 ~elapsed:9.5 = None)
+
+let test_greedy_plan_uniform_suboptimal () =
+  (* §6: greedy is NOT optimal for the uniform scenario. *)
+  let c = 1.0 and l = 100.0 in
+  let lf = Families.uniform ~lifespan:l in
+  let greedy = Greedy.plan lf ~c in
+  let exact = Exact.uniform ~c ~lifespan:l in
+  Alcotest.(check bool) "strictly below optimal" true
+    (greedy.Greedy.expected_work < exact.Exact.expected_work -. 1e-6);
+  Alcotest.(check bool) "but still positive" true
+    (greedy.Greedy.expected_work > 0.0)
+
+let test_greedy_geo_dec_asymptotically_optimal () =
+  (* §6 claims greedy is optimal for geometric-decreasing; in the
+     continuous model this holds only asymptotically as c·ln a grows. We
+     reproduce the ratio improving toward 1. *)
+  let ratio a c =
+    let lf = Families.geometric_decreasing ~a in
+    let greedy = Greedy.plan lf ~c in
+    let exact = Exact.geometric_decreasing ~c ~a in
+    greedy.Greedy.expected_work /. exact.Exact.expected_work
+  in
+  let low_risk = ratio (exp 0.05) 1.0 in
+  let high_risk = ratio (exp 2.0) 2.0 in
+  Alcotest.(check bool) "ratio improves with risk" true (high_risk > low_risk);
+  Alcotest.(check bool) "near-optimal at high risk" true (high_risk > 0.99);
+  Alcotest.(check bool) "visibly suboptimal at low risk" true (low_risk < 0.9)
+
+let test_greedy_plan_consistent_e () =
+  let lf = Families.geometric_increasing ~lifespan:30.0 in
+  let g = Greedy.plan lf ~c:1.0 in
+  Alcotest.(check (float 1e-9)) "E consistent" g.Greedy.expected_work
+    (Schedule.expected_work ~c:1.0 lf g.Greedy.schedule)
+
+let test_greedy_validation () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  (match Greedy.plan lf ~c:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c = 0 accepted");
+  match Greedy.plan lf ~c:11.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c >= horizon accepted"
+
+let test_greedy_max_periods () =
+  let lf = Families.geometric_decreasing ~a:(exp 0.001) in
+  let g = Greedy.plan ~max_periods:4 lf ~c:0.1 in
+  Alcotest.(check bool) "at most 4 periods" true
+    (Schedule.num_periods g.Greedy.schedule <= 4)
+
+let prop_greedy_never_beats_optimizer =
+  QCheck.Test.make ~name:"greedy never beats the optimum" ~count:6
+    QCheck.(pair (float_range 0.5 2.0) (float_range 25.0 80.0))
+    (fun (c, l) ->
+      let lf = Families.uniform ~lifespan:l in
+      let g = Greedy.plan lf ~c in
+      let o = Optimizer.optimal_schedule lf ~c in
+      g.Greedy.expected_work <= o.Optimizer.expected_work +. 1e-6)
+
+let prop_greedy_periods_all_productive =
+  QCheck.Test.make ~name:"greedy periods exceed c" ~count:30
+    QCheck.(pair (float_range 0.3 2.0) (float_range 20.0 100.0))
+    (fun (c, l) ->
+      let lf = Families.uniform ~lifespan:l in
+      let g = Greedy.plan lf ~c in
+      Array.for_all (fun t -> t > c) (Schedule.periods g.Greedy.schedule))
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "first period exponential" `Quick
+            test_greedy_first_period_exponential;
+          Alcotest.test_case "first period uniform" `Quick
+            test_greedy_first_period_uniform;
+          Alcotest.test_case "none when no room" `Quick
+            test_greedy_none_when_no_room;
+          Alcotest.test_case "suboptimal for uniform (§6)" `Quick
+            test_greedy_plan_uniform_suboptimal;
+          Alcotest.test_case "geo-dec asymptotics (§6)" `Quick
+            test_greedy_geo_dec_asymptotically_optimal;
+          Alcotest.test_case "consistent E" `Quick test_greedy_plan_consistent_e;
+          Alcotest.test_case "validation" `Quick test_greedy_validation;
+          Alcotest.test_case "max periods" `Quick test_greedy_max_periods;
+          QCheck_alcotest.to_alcotest prop_greedy_never_beats_optimizer;
+          QCheck_alcotest.to_alcotest prop_greedy_periods_all_productive;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+let feq eps a b = Alcotest.(check (float eps)) "value" a b
+
+(* --- constructors and validation ----------------------------------- *)
+
+let test_make_validates_p0 () =
+  match
+    Life_function.make ~name:"bad" ~support:(Life_function.Bounded 1.0)
+      (fun _ -> 0.5)
+  with
+  | exception Life_function.Invalid_life_function _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_life_function (p(0) != 1)"
+
+let test_make_validates_monotone () =
+  match
+    Life_function.make ~name:"bumpy" ~support:(Life_function.Bounded 1.0)
+      (fun t -> Float.min 1.0 (1.0 -. t +. (0.5 *. sin (20.0 *. t))))
+  with
+  | exception Life_function.Invalid_life_function _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_life_function (not monotone)"
+
+let test_make_validates_support () =
+  match
+    Life_function.make ~name:"neg" ~support:(Life_function.Bounded (-1.0))
+      (fun _ -> 1.0)
+  with
+  | exception Life_function.Invalid_life_function _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_life_function (bad lifespan)"
+
+let test_eval_clamps () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  feq 0.0 1.0 (Life_function.eval lf (-5.0));
+  feq 0.0 0.0 (Life_function.eval lf 11.0);
+  feq 1e-12 0.5 (Life_function.eval lf 5.0)
+
+(* --- family definitions against the paper's formulas ----------------- *)
+
+let test_uniform_formula () =
+  let lf = Families.uniform ~lifespan:4.0 in
+  feq 1e-12 0.75 (Life_function.eval lf 1.0);
+  feq 1e-12 (-0.25) (Life_function.deriv lf 1.0)
+
+let test_polynomial_formula () =
+  let lf = Families.polynomial ~d:3 ~lifespan:2.0 in
+  (* p(1) = 1 - 1/8 *)
+  feq 1e-12 0.875 (Life_function.eval lf 1.0);
+  (* p'(t) = -3 t^2 / 8 *)
+  feq 1e-12 (-0.375) (Life_function.deriv lf 1.0)
+
+let test_polynomial_d1_is_uniform () =
+  let p1 = Families.polynomial ~d:1 ~lifespan:7.0 in
+  let u = Families.uniform ~lifespan:7.0 in
+  List.iter
+    (fun t ->
+      feq 1e-12 (Life_function.eval u t) (Life_function.eval p1 t))
+    [ 0.0; 1.0; 3.5; 6.9 ]
+
+let test_geometric_decreasing_formula () =
+  let lf = Families.geometric_decreasing ~a:2.0 in
+  feq 1e-12 0.5 (Life_function.eval lf 1.0);
+  feq 1e-12 0.25 (Life_function.eval lf 2.0);
+  feq 1e-12 (-.(log 2.0) /. 2.0) (Life_function.deriv lf 1.0)
+
+let test_exponential_equals_geometric () =
+  let e = Families.exponential ~rate:0.3 in
+  let g = Families.geometric_decreasing ~a:(exp 0.3) in
+  List.iter
+    (fun t -> feq 1e-12 (Life_function.eval g t) (Life_function.eval e t))
+    [ 0.0; 1.0; 5.0; 20.0 ]
+
+let test_geometric_increasing_formula () =
+  (* Direct formula for small L where 2^L is exactly representable. *)
+  let l = 10.0 in
+  let lf = Families.geometric_increasing ~lifespan:l in
+  let direct t = ((2.0 ** l) -. (2.0 ** t)) /. ((2.0 ** l) -. 1.0) in
+  List.iter
+    (fun t -> feq 1e-12 (direct t) (Life_function.eval lf t))
+    [ 0.0; 1.0; 5.0; 9.0; 9.99 ]
+
+let test_geometric_increasing_large_l_stable () =
+  (* 2^2000 overflows; the stable form must still work. Halfway through a
+     lifespan this long the survival is 1.0 to double precision (all decay
+     happens in the last ~50 time units), so probe both regions. *)
+  let lf = Families.geometric_increasing ~lifespan:2000.0 in
+  let mid = Life_function.eval lf 1000.0 in
+  Alcotest.(check bool) "finite and in (0,1]" true (mid > 0.0 && mid <= 1.0);
+  let near_end = Life_function.eval lf 1995.0 in
+  Alcotest.(check bool) "strictly inside (0,1) near the end" true
+    (near_end > 0.0 && near_end < 1.0)
+
+let test_weibull_shape1_is_exponential () =
+  let w = Families.weibull ~shape:1.0 ~scale:2.0 in
+  let e = Families.exponential ~rate:0.5 in
+  List.iter
+    (fun t -> feq 1e-12 (Life_function.eval e t) (Life_function.eval w t))
+    [ 0.5; 1.0; 4.0 ]
+
+let test_power_law_formula () =
+  let lf = Families.power_law ~d:2.0 in
+  feq 1e-12 0.25 (Life_function.eval lf 1.0);
+  feq 1e-12 (1.0 /. 9.0) (Life_function.eval lf 2.0)
+
+let test_family_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      (fun () -> ignore (Families.uniform ~lifespan:0.0));
+      (fun () -> ignore (Families.polynomial ~d:0 ~lifespan:1.0));
+      (fun () -> ignore (Families.geometric_decreasing ~a:1.0));
+      (fun () -> ignore (Families.exponential ~rate:(-1.0)));
+      (fun () -> ignore (Families.geometric_increasing ~lifespan:(-2.0)));
+      (fun () -> ignore (Families.weibull ~shape:0.0 ~scale:1.0));
+      (fun () -> ignore (Families.power_law ~d:0.0));
+      (fun () -> ignore (Families.scale_time ~factor:0.0 (Families.uniform ~lifespan:1.0)));
+    ]
+
+(* --- calculus ------------------------------------------------------- *)
+
+let test_numeric_derivative_fallback () =
+  (* Construct without dp: deriv must fall back to finite differences. *)
+  let lf =
+    Life_function.make ~name:"no-dp" ~support:(Life_function.Bounded 10.0)
+      (fun t -> 1.0 -. (t /. 10.0))
+  in
+  feq 1e-5 (-0.1) (Life_function.deriv lf 5.0)
+
+let test_hazard_exponential_constant () =
+  let lf = Families.exponential ~rate:0.7 in
+  List.iter (fun t -> feq 1e-9 0.7 (Life_function.hazard lf t)) [ 0.5; 2.0; 10.0 ]
+
+let test_hazard_uniform_increasing () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  let h1 = Life_function.hazard lf 1.0 in
+  let h9 = Life_function.hazard lf 9.0 in
+  Alcotest.(check bool) "hazard increases" true (h9 > h1);
+  (* h(t) = 1/(L - t) *)
+  feq 1e-9 (1.0 /. 9.0) h1
+
+let test_hazard_at_zero_survival () =
+  let lf = Families.uniform ~lifespan:1.0 in
+  Alcotest.(check bool) "infinite hazard" true
+    (Life_function.hazard lf 1.0 = infinity)
+
+let test_conditional_survival_memoryless () =
+  (* Exponential: P(T > s + e | T > e) = P(T > s). *)
+  let lf = Families.exponential ~rate:0.2 in
+  feq 1e-9
+    (Life_function.eval lf 3.0)
+    (Life_function.conditional_survival lf ~elapsed:5.0 3.0)
+
+let test_conditional_survival_uniform () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  (* P(T > 5+2 | T > 5) = p(7)/p(5) = 0.3/0.5 *)
+  feq 1e-9 0.6 (Life_function.conditional_survival lf ~elapsed:5.0 2.0)
+
+let test_quantile_time () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  feq 1e-6 5.0 (Life_function.quantile_time lf ~q:0.5);
+  let e = Families.exponential ~rate:1.0 in
+  feq 1e-6 (log 2.0) (Life_function.quantile_time e ~q:0.5)
+
+let test_horizon_bounded () =
+  let lf = Families.uniform ~lifespan:42.0 in
+  feq 0.0 42.0 (Life_function.horizon lf)
+
+let test_horizon_unbounded () =
+  let lf = Families.exponential ~rate:1.0 in
+  let h = Life_function.horizon lf in
+  Alcotest.(check bool) "p(horizon) tiny" true (Life_function.eval lf h <= 1e-12)
+
+(* --- shape classification ------------------------------------------- *)
+
+let test_classify_shapes () =
+  let check name expected lf =
+    let got = Life_function.classify_shape lf in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s classified" name)
+      true (got = expected)
+  in
+  check "uniform" Life_function.Linear (Families.uniform ~lifespan:10.0);
+  check "polynomial d=2" Life_function.Concave
+    (Families.polynomial ~d:2 ~lifespan:10.0);
+  check "geometric decreasing" Life_function.Convex
+    (Families.geometric_decreasing ~a:2.0);
+  check "geometric increasing" Life_function.Concave
+    (Families.geometric_increasing ~lifespan:10.0)
+
+let test_scale_time () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  let scaled = Families.scale_time ~factor:60.0 lf in
+  feq 1e-12 0.5 (Life_function.eval scaled 300.0);
+  (match Life_function.support scaled with
+  | Life_function.Bounded l -> feq 1e-9 600.0 l
+  | Life_function.Unbounded -> Alcotest.fail "expected bounded support");
+  feq 1e-12
+    (Life_function.deriv lf 5.0 /. 60.0)
+    (Life_function.deriv scaled 300.0)
+
+let test_of_interpolant_requires_zero_origin () =
+  let ip = Interp.pchip ~xs:[| 1.0; 2.0; 3.0 |] ~ys:[| 1.0; 0.5; 0.0 |] in
+  match Families.of_interpolant ~name:"bad-origin" ip with
+  | exception Life_function.Invalid_life_function _ -> ()
+  | _ -> Alcotest.fail "domain not starting at 0 accepted"
+
+let test_of_interpolant_roundtrip () =
+  let ip =
+    Interp.pchip ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 1.0; 0.4; 0.0 |]
+  in
+  let lf = Families.of_interpolant ~name:"tri" ip in
+  feq 1e-9 0.4 (Life_function.eval lf 5.0);
+  Alcotest.(check bool) "derivative nonpositive" true
+    (Life_function.deriv lf 5.0 <= 0.0);
+  match Life_function.support lf with
+  | Life_function.Bounded l -> feq 1e-9 10.0 l
+  | Life_function.Unbounded -> Alcotest.fail "expected bounded"
+
+let test_pp_mentions_name_and_shape () =
+  let s = Format.asprintf "%a" Life_function.pp (Families.uniform ~lifespan:7.0) in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has name" true (contains s "uniform");
+  Alcotest.(check bool) "has shape" true (contains s "linear")
+
+let test_all_paper_scenarios_valid () =
+  let scenarios = Families.all_paper_scenarios ~c:1.0 in
+  Alcotest.(check int) "five scenarios" 5 (List.length scenarios);
+  List.iter
+    (fun (_, lf) ->
+      Alcotest.(check bool) "decreasing" true
+        (Life_function.is_decreasing_on_grid lf))
+    scenarios
+
+let prop_families_decreasing =
+  QCheck.Test.make ~name:"all families decrease on their support" ~count:50
+    QCheck.(pair (float_range 1.5 8.0) (float_range 5.0 500.0))
+    (fun (a, l) ->
+      List.for_all Life_function.is_decreasing_on_grid
+        [
+          Families.uniform ~lifespan:l;
+          Families.polynomial ~d:2 ~lifespan:l;
+          Families.polynomial ~d:4 ~lifespan:l;
+          Families.geometric_decreasing ~a;
+          Families.geometric_increasing ~lifespan:(Float.min l 100.0);
+        ])
+
+let prop_deriv_negative_in_interior =
+  QCheck.Test.make ~name:"derivatives are nonpositive inside the support"
+    ~count:100
+    QCheck.(pair (float_range 10.0 100.0) (float_range 0.05 0.95))
+    (fun (l, frac) ->
+      let t = frac *. l in
+      Life_function.deriv (Families.uniform ~lifespan:l) t <= 0.0
+      && Life_function.deriv (Families.polynomial ~d:3 ~lifespan:l) t <= 0.0
+      && Life_function.deriv (Families.geometric_increasing ~lifespan:(Float.min l 50.0)) (frac *. Float.min l 50.0) <= 0.0)
+
+let () =
+  Alcotest.run "lifefn"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "p(0) = 1 enforced" `Quick test_make_validates_p0;
+          Alcotest.test_case "monotonicity enforced" `Quick
+            test_make_validates_monotone;
+          Alcotest.test_case "support validated" `Quick
+            test_make_validates_support;
+          Alcotest.test_case "eval clamps" `Quick test_eval_clamps;
+          Alcotest.test_case "family arg validation" `Quick
+            test_family_validation;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "uniform formula" `Quick test_uniform_formula;
+          Alcotest.test_case "polynomial formula" `Quick
+            test_polynomial_formula;
+          Alcotest.test_case "polynomial d=1 = uniform" `Quick
+            test_polynomial_d1_is_uniform;
+          Alcotest.test_case "geometric decreasing" `Quick
+            test_geometric_decreasing_formula;
+          Alcotest.test_case "exponential = geometric" `Quick
+            test_exponential_equals_geometric;
+          Alcotest.test_case "geometric increasing" `Quick
+            test_geometric_increasing_formula;
+          Alcotest.test_case "geo increasing large L" `Quick
+            test_geometric_increasing_large_l_stable;
+          Alcotest.test_case "weibull shape 1" `Quick
+            test_weibull_shape1_is_exponential;
+          Alcotest.test_case "power law" `Quick test_power_law_formula;
+          Alcotest.test_case "of_interpolant origin check" `Quick
+            test_of_interpolant_requires_zero_origin;
+          Alcotest.test_case "of_interpolant roundtrip" `Quick
+            test_of_interpolant_roundtrip;
+          Alcotest.test_case "pp output" `Quick test_pp_mentions_name_and_shape;
+          Alcotest.test_case "paper scenarios valid" `Quick
+            test_all_paper_scenarios_valid;
+        ] );
+      ( "calculus",
+        [
+          Alcotest.test_case "numeric derivative fallback" `Quick
+            test_numeric_derivative_fallback;
+          Alcotest.test_case "exp hazard constant" `Quick
+            test_hazard_exponential_constant;
+          Alcotest.test_case "uniform hazard increases" `Quick
+            test_hazard_uniform_increasing;
+          Alcotest.test_case "hazard at zero survival" `Quick
+            test_hazard_at_zero_survival;
+          Alcotest.test_case "memoryless conditional" `Quick
+            test_conditional_survival_memoryless;
+          Alcotest.test_case "uniform conditional" `Quick
+            test_conditional_survival_uniform;
+          Alcotest.test_case "quantile time" `Quick test_quantile_time;
+          Alcotest.test_case "horizon bounded" `Quick test_horizon_bounded;
+          Alcotest.test_case "horizon unbounded" `Quick test_horizon_unbounded;
+          Alcotest.test_case "classify shapes" `Quick test_classify_shapes;
+          Alcotest.test_case "scale time" `Quick test_scale_time;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_families_decreasing;
+          QCheck_alcotest.to_alcotest prop_deriv_negative_in_interior;
+        ] );
+    ]

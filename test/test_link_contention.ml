@@ -1,0 +1,99 @@
+(* The Farm's Serialized link model (experiment E14's machinery): the
+   paper's architecture-independent overhead assumption vs a master whose
+   link admits one dispatch at a time. *)
+
+let ws =
+  { Farm.ws_life = Families.uniform ~lifespan:100.0; ws_presence_mean = 40.0 }
+
+let config n =
+  {
+    Farm.c = 2.0;
+    total_work = 400.0;
+    workstations = List.init n (fun _ -> ws);
+    policy = Farm.guideline_policy;
+    max_time = 1e6;
+  }
+
+let test_single_station_unaffected () =
+  (* With one workstation there is never contention: identical runs. *)
+  let a = Farm.run ~link:Farm.Unlimited (config 1) ~seed:3L in
+  let b = Farm.run ~link:Farm.Serialized (config 1) ~seed:3L in
+  Alcotest.(check (float 1e-9)) "same makespan" a.Farm.makespan b.Farm.makespan;
+  Alcotest.(check (float 1e-9)) "same lost" a.Farm.total_lost b.Farm.total_lost
+
+let test_serialized_never_faster () =
+  List.iter
+    (fun seed ->
+      let a = Farm.run ~link:Farm.Unlimited (config 6) ~seed in
+      let b = Farm.run ~link:Farm.Serialized (config 6) ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: serialized %.1f >= unlimited %.1f" seed
+           b.Farm.makespan a.Farm.makespan)
+        true
+        (b.Farm.makespan >= a.Farm.makespan -. 1e-9))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_serialized_conserves_work () =
+  let r = Farm.run ~link:Farm.Serialized (config 6) ~seed:11L in
+  Alcotest.(check (float 1e-6)) "conservation" 400.0
+    (r.Farm.total_done +. r.Farm.pool_remaining)
+
+let test_serialized_finishes () =
+  let r = Farm.run ~link:Farm.Serialized (config 4) ~seed:7L in
+  Alcotest.(check bool) "finished" true r.Farm.finished
+
+let test_default_is_unlimited () =
+  let a = Farm.run (config 4) ~seed:9L in
+  let b = Farm.run ~link:Farm.Unlimited (config 4) ~seed:9L in
+  Alcotest.(check (float 0.0)) "defaults match" a.Farm.makespan b.Farm.makespan
+
+let test_contention_grows_with_fleet () =
+  (* The serialized/unlimited makespan gap should widen (weakly) with the
+     fleet when c is a large fraction of the period length. Use a mean over
+     seeds to de-noise. *)
+  let mean_gap n =
+    let seeds = [ 1L; 2L; 3L; 4L; 5L; 6L ] in
+    let total =
+      List.fold_left
+        (fun acc seed ->
+          let a = Farm.run ~link:Farm.Unlimited (config n) ~seed in
+          let b = Farm.run ~link:Farm.Serialized (config n) ~seed in
+          acc +. (b.Farm.makespan /. Float.max 1e-9 a.Farm.makespan))
+        0.0 seeds
+    in
+    total /. 6.0
+  in
+  let g2 = mean_gap 2 and g12 = mean_gap 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap(12)=%.3f >= gap(2)=%.3f - noise" g12 g2)
+    true
+    (g12 >= g2 -. 0.05)
+
+let prop_serialized_conservation =
+  QCheck.Test.make ~name:"serialized link conserves work" ~count:15
+    QCheck.(pair (int_range 1 8) (int_range 1 500))
+    (fun (n, seed) ->
+      let r =
+        Farm.run ~link:Farm.Serialized (config n) ~seed:(Int64.of_int seed)
+      in
+      Float.abs (r.Farm.total_done +. r.Farm.pool_remaining -. 400.0) < 1e-6)
+
+let () =
+  Alcotest.run "link_contention"
+    [
+      ( "link_contention",
+        [
+          Alcotest.test_case "single station unaffected" `Quick
+            test_single_station_unaffected;
+          Alcotest.test_case "serialized never faster" `Quick
+            test_serialized_never_faster;
+          Alcotest.test_case "conservation" `Quick
+            test_serialized_conserves_work;
+          Alcotest.test_case "finishes" `Quick test_serialized_finishes;
+          Alcotest.test_case "default unlimited" `Quick
+            test_default_is_unlimited;
+          Alcotest.test_case "contention grows with fleet" `Quick
+            test_contention_grows_with_fleet;
+          QCheck_alcotest.to_alcotest prop_serialized_conservation;
+        ] );
+    ]

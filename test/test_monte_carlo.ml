@@ -1,0 +1,137 @@
+let c = 1.0
+
+let test_mc_matches_analytic_uniform () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  let g = Guideline.plan lf ~c in
+  let est =
+    Monte_carlo.estimate ~trials:40_000 lf ~c ~schedule:g.Guideline.schedule
+      ~seed:42L
+  in
+  let lo, hi = est.Monte_carlo.ci95 in
+  Alcotest.(check bool) "analytic E inside MC 95% CI (slightly widened)" true
+    (est.Monte_carlo.analytic >= lo -. (0.3 *. (hi -. lo))
+    && est.Monte_carlo.analytic <= hi +. (0.3 *. (hi -. lo)))
+
+let test_mc_matches_analytic_geo_dec () =
+  let lf = Families.geometric_decreasing ~a:(exp 0.05) in
+  let exact = Exact.geometric_decreasing ~c ~a:(exp 0.05) in
+  let est =
+    Monte_carlo.estimate ~trials:40_000 lf ~c ~schedule:exact.Exact.schedule
+      ~seed:7L
+  in
+  Alcotest.(check bool) "relative gap < 2%" true
+    (Float.abs (est.Monte_carlo.mean_work -. est.Monte_carlo.analytic)
+    < 0.02 *. est.Monte_carlo.analytic)
+
+let test_mc_matches_analytic_geo_inc () =
+  let lf = Families.geometric_increasing ~lifespan:30.0 in
+  let g = Guideline.plan lf ~c in
+  let est =
+    Monte_carlo.estimate ~trials:40_000 lf ~c ~schedule:g.Guideline.schedule
+      ~seed:13L
+  in
+  Alcotest.(check bool) "relative gap < 2%" true
+    (Float.abs (est.Monte_carlo.mean_work -. est.Monte_carlo.analytic)
+    < 0.02 *. Float.max 1.0 est.Monte_carlo.analytic)
+
+let test_mc_deterministic_in_seed () =
+  let lf = Families.uniform ~lifespan:50.0 in
+  let s = Schedule.of_list [ 10.0; 8.0 ] in
+  let e1 = Monte_carlo.estimate ~trials:1000 lf ~c ~schedule:s ~seed:5L in
+  let e2 = Monte_carlo.estimate ~trials:1000 lf ~c ~schedule:s ~seed:5L in
+  Alcotest.(check (float 0.0)) "same mean" e1.Monte_carlo.mean_work
+    e2.Monte_carlo.mean_work
+
+let test_mc_interrupted_fraction () =
+  (* Single period spanning the whole lifespan: interrupted with
+     probability 1 under uniform risk (reclaim < L a.s.). *)
+  let lf = Families.uniform ~lifespan:50.0 in
+  let s = Schedule.of_list [ 49.99 ] in
+  let est = Monte_carlo.estimate ~trials:5000 lf ~c ~schedule:s ~seed:3L in
+  Alcotest.(check bool) "almost always interrupted" true
+    (est.Monte_carlo.interrupted_fraction > 0.99)
+
+let test_mc_validation () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  let s = Schedule.of_list [ 1.0 ] in
+  match Monte_carlo.estimate ~trials:1 lf ~c ~schedule:s ~seed:1L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "trials = 1 accepted"
+
+let test_compare_policies_ranking () =
+  (* Guideline should outrank the single period under common random
+     numbers, matching the analytic ordering. *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  let g = Guideline.plan lf ~c in
+  let naive = Baselines.single_period lf ~c in
+  let runs =
+    Monte_carlo.compare_policies ~trials:5000 lf ~c
+      ~policies:
+        [
+          ("guideline", g.Guideline.schedule);
+          ("single", naive.Baselines.schedule);
+        ]
+      ~seed:17L
+  in
+  (match runs with
+  | first :: _ ->
+      Alcotest.(check string) "guideline first" "guideline"
+        first.Monte_carlo.policy_name
+  | [] -> Alcotest.fail "no runs");
+  List.iter
+    (fun r -> Alcotest.(check int) "episodes" 5000 r.Monte_carlo.episodes)
+    runs
+
+let test_compare_policies_common_randoms () =
+  (* The same policy listed twice must get the exact same mean (CRN). *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  let s = Schedule.of_list [ 20.0; 10.0 ] in
+  match
+    Monte_carlo.compare_policies ~trials:2000 lf ~c
+      ~policies:[ ("a", s); ("b", s) ]
+      ~seed:23L
+  with
+  | [ r1; r2 ] ->
+      Alcotest.(check (float 0.0)) "identical means"
+        r1.Monte_carlo.mean_work_per_episode r2.Monte_carlo.mean_work_per_episode
+  | _ -> Alcotest.fail "expected two runs"
+
+let prop_mc_within_5_sigma =
+  QCheck.Test.make ~name:"MC mean within 5 standard errors of analytic E"
+    ~count:10
+    QCheck.(pair (float_range 0.5 2.0) (float_range 30.0 120.0))
+    (fun (c, l) ->
+      let lf = Families.uniform ~lifespan:l in
+      let g = Guideline.plan lf ~c in
+      let est =
+        Monte_carlo.estimate ~trials:8000 lf ~c ~schedule:g.Guideline.schedule
+          ~seed:99L
+      in
+      let lo, hi = est.Monte_carlo.ci95 in
+      let se = (hi -. lo) /. (2.0 *. 1.96) in
+      Float.abs (est.Monte_carlo.mean_work -. est.Monte_carlo.analytic)
+      < 5.0 *. se)
+
+let () =
+  Alcotest.run "monte_carlo"
+    [
+      ( "monte_carlo",
+        [
+          Alcotest.test_case "uniform CI covers analytic" `Quick
+            test_mc_matches_analytic_uniform;
+          Alcotest.test_case "geo-dec matches" `Quick
+            test_mc_matches_analytic_geo_dec;
+          Alcotest.test_case "geo-inc matches" `Quick
+            test_mc_matches_analytic_geo_inc;
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_mc_deterministic_in_seed;
+          Alcotest.test_case "interrupted fraction" `Quick
+            test_mc_interrupted_fraction;
+          Alcotest.test_case "validation" `Quick test_mc_validation;
+          Alcotest.test_case "policy ranking" `Quick
+            test_compare_policies_ranking;
+          Alcotest.test_case "common random numbers" `Quick
+            test_compare_policies_common_randoms;
+          QCheck_alcotest.to_alcotest prop_mc_within_5_sigma;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+let feq eps a b = Alcotest.(check (float eps)) "integral" a b
+
+let test_simpson_polynomial_exact () =
+  (* Simpson is exact for cubics: ∫0..2 x^3 = 4. *)
+  feq 1e-12 4.0 (Quadrature.simpson (fun x -> x ** 3.0) ~lo:0.0 ~hi:2.0 ~n:2)
+
+let test_simpson_sin () =
+  feq 1e-8 2.0 (Quadrature.simpson sin ~lo:0.0 ~hi:Float.pi ~n:200)
+
+let test_simpson_odd_n_rounded () =
+  (* n = 3 is rounded to 4 internally; the n = 4 composite value of
+     2.00456 must come out, well inside O(h^4). *)
+  feq 1e-2 2.0 (Quadrature.simpson sin ~lo:0.0 ~hi:Float.pi ~n:3)
+
+let test_simpson_validation () =
+  Alcotest.check_raises "n >= 2"
+    (Invalid_argument "Quadrature.simpson: n must be >= 2") (fun () ->
+      ignore (Quadrature.simpson sin ~lo:0.0 ~hi:1.0 ~n:1))
+
+let test_adaptive_smooth () =
+  feq 1e-9 (exp 1.0 -. 1.0) (Quadrature.adaptive_simpson exp ~lo:0.0 ~hi:1.0)
+
+let test_adaptive_peaked () =
+  (* Narrow Gaussian: adaptive must find the mass near 0.5.
+     ∫ exp(-((x-0.5)/0.01)^2) dx = 0.01 * sqrt(pi) over the real line. *)
+  let f x = exp (-.(((x -. 0.5) /. 0.01) ** 2.0)) in
+  feq 1e-8
+    (0.01 *. sqrt Float.pi)
+    (Quadrature.adaptive_simpson ~tol:1e-12 f ~lo:0.0 ~hi:1.0)
+
+let test_gauss_legendre_orders () =
+  (* Each order n is exact for degree 2n-1 polynomials. *)
+  List.iter
+    (fun order ->
+      let deg = (2 * order) - 1 in
+      let f x = x ** float_of_int deg in
+      let expected = 1.0 /. (float_of_int deg +. 1.0) in
+      feq 1e-10 expected (Quadrature.gauss_legendre f ~lo:0.0 ~hi:1.0 ~order))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_gauss_legendre_bad_order () =
+  match Quadrature.gauss_legendre sin ~lo:0.0 ~hi:1.0 ~order:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_integrate_to_infinity_exponential () =
+  (* ∫0..inf e^-2t = 0.5 *)
+  feq 1e-8 0.5 (Quadrature.integrate_to_infinity (fun t -> exp (-2.0 *. t)) ~lo:0.0)
+
+let test_integrate_to_infinity_shifted () =
+  (* ∫1..inf e^-t = e^-1 *)
+  feq 1e-8 (exp (-1.0))
+    (Quadrature.integrate_to_infinity (fun t -> exp (-.t)) ~lo:1.0)
+
+let test_mean_lifetime_identity () =
+  (* For Exp(rate), ∫ p = 1/rate: cross-module identity with Life_function. *)
+  let lf = Families.exponential ~rate:0.25 in
+  feq 1e-6 4.0 (Life_function.mean_lifetime lf)
+
+let test_mean_lifetime_uniform () =
+  (* For uniform lifespan L, ∫ (1 - t/L) = L/2. *)
+  let lf = Families.uniform ~lifespan:10.0 in
+  feq 1e-8 5.0 (Life_function.mean_lifetime lf)
+
+let prop_adaptive_matches_simpson =
+  QCheck.Test.make ~name:"adaptive matches composite simpson on smooth f"
+    ~count:100
+    QCheck.(pair (float_range 0.2 3.0) (float_range 0.0 2.0))
+    (fun (k, phase) ->
+      let f x = sin ((k *. x) +. phase) +. (2.0 *. cos (x /. (k +. 1.0))) in
+      let a = Quadrature.adaptive_simpson f ~lo:0.0 ~hi:3.0 in
+      let s = Quadrature.simpson f ~lo:0.0 ~hi:3.0 ~n:2000 in
+      Float.abs (a -. s) < 1e-6)
+
+let () =
+  Alcotest.run "quadrature"
+    [
+      ( "quadrature",
+        [
+          Alcotest.test_case "simpson cubic exact" `Quick
+            test_simpson_polynomial_exact;
+          Alcotest.test_case "simpson sin" `Quick test_simpson_sin;
+          Alcotest.test_case "simpson odd n" `Quick test_simpson_odd_n_rounded;
+          Alcotest.test_case "simpson validation" `Quick
+            test_simpson_validation;
+          Alcotest.test_case "adaptive smooth" `Quick test_adaptive_smooth;
+          Alcotest.test_case "adaptive peaked" `Quick test_adaptive_peaked;
+          Alcotest.test_case "gauss-legendre orders" `Quick
+            test_gauss_legendre_orders;
+          Alcotest.test_case "gauss-legendre bad order" `Quick
+            test_gauss_legendre_bad_order;
+          Alcotest.test_case "to infinity exponential" `Quick
+            test_integrate_to_infinity_exponential;
+          Alcotest.test_case "to infinity shifted" `Quick
+            test_integrate_to_infinity_shifted;
+          Alcotest.test_case "mean lifetime exp" `Quick
+            test_mean_lifetime_identity;
+          Alcotest.test_case "mean lifetime uniform" `Quick
+            test_mean_lifetime_uniform;
+          QCheck_alcotest.to_alcotest prop_adaptive_matches_simpson;
+        ] );
+    ]

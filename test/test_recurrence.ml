@@ -1,0 +1,244 @@
+let feq ?(eps = 1e-9) a b = Alcotest.(check (float eps)) "value" a b
+
+(* --- next_period against the closed forms of §4 ---------------------- *)
+
+let test_uniform_recurrence_is_decrement () =
+  (* §4.1 eq. (4.1): for p = 1 - t/L, the recurrence gives exactly
+     t_k = t_{k-1} - c. *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  match Recurrence.next_period lf ~c:1.0 ~prev_period:10.0 ~prev_end:10.0 with
+  | Some t -> feq 9.0 t
+  | None -> Alcotest.fail "expected a next period"
+
+let test_uniform_recurrence_deep_chain () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  let t = ref 12.0 and elapsed = ref 12.0 in
+  for _ = 1 to 5 do
+    match
+      Recurrence.next_period lf ~c:1.0 ~prev_period:!t ~prev_end:!elapsed
+    with
+    | Some next ->
+        feq ~eps:1e-9 (!t -. 1.0) next;
+        elapsed := !elapsed +. next;
+        t := next
+    | None -> Alcotest.fail "chain broke early"
+  done
+
+let test_geo_dec_recurrence_matches_closed_form () =
+  (* §4.2 eq. (4.6): a^{-t_k} = 1 + (c - t_{k-1}) ln a. *)
+  let a = exp 0.1 in
+  let lf = Families.geometric_decreasing ~a in
+  let t_prev = 5.0 in
+  (match Recurrence.next_period lf ~c:1.0 ~prev_period:t_prev ~prev_end:12.0 with
+  | Some t -> (
+      match Closed_forms.geo_dec_next_period ~a ~t_prev ~c:1.0 with
+      | Some expected -> feq ~eps:1e-7 expected t
+      | None -> Alcotest.fail "closed form should exist")
+  | None -> Alcotest.fail "expected a next period");
+  (* The recurrence for a^{-t} is translation invariant: same result from a
+     different elapsed time. *)
+  match Recurrence.next_period lf ~c:1.0 ~prev_period:t_prev ~prev_end:40.0 with
+  | Some t2 -> (
+      match Recurrence.next_period lf ~c:1.0 ~prev_period:t_prev ~prev_end:12.0 with
+      | Some t1 -> feq ~eps:1e-6 t1 t2
+      | None -> Alcotest.fail "t1 missing")
+  | None -> Alcotest.fail "t2 missing"
+
+let test_geo_inc_recurrence_matches_closed_form () =
+  (* §4.3 eq. (4.7): t_{k+1} = log2((t_k - c) ln 2 + 1). *)
+  let lf = Families.geometric_increasing ~lifespan:30.0 in
+  let t_prev = 5.0 in
+  match Recurrence.next_period lf ~c:1.0 ~prev_period:t_prev ~prev_end:10.0 with
+  | Some t -> (
+      match Closed_forms.geo_inc_next_period_guideline ~t_prev ~c:1.0 with
+      | Some expected -> feq ~eps:1e-7 expected t
+      | None -> Alcotest.fail "closed form should exist")
+  | None -> Alcotest.fail "expected a next period"
+
+let test_polynomial_recurrence_matches_closed_form () =
+  let d = 3 in
+  let lf = Families.polynomial ~d ~lifespan:50.0 in
+  let t_prev = 8.0 and t_end_prev = 20.0 in
+  match
+    Recurrence.next_period lf ~c:1.0 ~prev_period:t_prev ~prev_end:t_end_prev
+  with
+  | Some t ->
+      feq ~eps:1e-7
+        (Closed_forms.poly_next_period ~d ~t_prev ~t_end_prev ~c:1.0)
+        t
+  | None -> Alcotest.fail "expected a next period"
+
+let test_unproductive_prev_stops () =
+  (* prev_period <= c makes rhs >= p(T): no positive solution. *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  Alcotest.(check bool) "no continuation" true
+    (Recurrence.next_period lf ~c:1.0 ~prev_period:0.5 ~prev_end:10.0 = None)
+
+let test_exhausted_support_stops () =
+  (* A huge period near the end of life: rhs <= 0. *)
+  let lf = Families.uniform ~lifespan:100.0 in
+  Alcotest.(check bool) "no continuation" true
+    (Recurrence.next_period lf ~c:1.0 ~prev_period:90.0 ~prev_end:95.0 = None)
+
+let test_next_period_validation () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  (match Recurrence.next_period lf ~c:(-1.0) ~prev_period:1.0 ~prev_end:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative c accepted");
+  match Recurrence.next_period lf ~c:1.0 ~prev_period:0.0 ~prev_end:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero prev_period accepted"
+
+(* --- generate -------------------------------------------------------- *)
+
+let test_generate_uniform_structure () =
+  (* From the optimal t0, generation must reproduce the arithmetic optimal
+     schedule of [3]. *)
+  let c = 1.0 and l = 100.0 in
+  let lf = Families.uniform ~lifespan:l in
+  let exact = Exact.uniform ~c ~lifespan:l in
+  let g = Recurrence.generate lf ~c ~t0:exact.Exact.t0 in
+  (* The final exact period has length < c and carries no work; whether the
+     recurrence emits it depends on roundoff at rhs = 0, so compare the
+     common productive prefix. *)
+  let n =
+    Int.min
+      (Schedule.num_periods g.Recurrence.schedule)
+      (Schedule.num_periods exact.Exact.schedule)
+  in
+  Alcotest.(check bool) "long common prefix" true
+    (n >= Schedule.num_periods exact.Exact.schedule - 1);
+  Alcotest.(check bool) "matches exact schedule" true
+    (Schedule.equal ~tol:1e-6
+       (Schedule.of_periods (Array.sub (Schedule.periods g.Recurrence.schedule) 0 n))
+       (Schedule.of_periods (Array.sub (Schedule.periods exact.Exact.schedule) 0 n)))
+
+let test_generate_geo_dec_equal_periods () =
+  (* From t*, all generated periods are equal (the [3] structure). *)
+  let a = exp 0.05 and c = 1.0 in
+  let lf = Families.geometric_decreasing ~a in
+  let t_star = Closed_forms.geo_dec_t_optimal ~a ~c in
+  let g = Recurrence.generate lf ~c ~t0:t_star in
+  let ps = Schedule.periods g.Recurrence.schedule in
+  Alcotest.(check bool) "many periods" true (Array.length ps > 10);
+  (* t* is a repelling fixed point of the recurrence (multiplier a^{t*}),
+     so roundoff drift is amplified exponentially; the early periods must
+     sit on t*, the far tail may wander. *)
+  Array.iteri (fun i t -> if i < 20 then feq ~eps:1e-6 t_star t) ps
+
+let test_generate_stops_with_reason () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  let g = Recurrence.generate lf ~c:1.0 ~t0:13.0 in
+  Alcotest.(check bool) "terminates" true
+    (match g.Recurrence.stop with
+    | Recurrence.Exhausted_support | Recurrence.Unproductive
+    | Recurrence.Tail_negligible | Recurrence.Period_cap ->
+        true)
+
+let test_generate_period_cap () =
+  let lf = Families.geometric_decreasing ~a:(exp 0.001) in
+  let g = Recurrence.generate ~max_periods:5 lf ~c:0.1 ~t0:50.0 in
+  Alcotest.(check int) "capped" 5 (Schedule.num_periods g.Recurrence.schedule);
+  Alcotest.(check bool) "cap reason" true
+    (g.Recurrence.stop = Recurrence.Period_cap)
+
+let test_generate_validation () =
+  let lf = Families.uniform ~lifespan:10.0 in
+  match Recurrence.generate lf ~c:1.0 ~t0:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "t0 = 0 accepted"
+
+let test_greedy_tail_improves_or_matches () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  let c = 1.0 in
+  (* A deliberately bad t0 leaves lifespan unused; the greedy tail must not
+     hurt and usually helps. *)
+  let faithful = Recurrence.generate ~finish:Recurrence.Faithful lf ~c ~t0:30.0 in
+  let greedy = Recurrence.generate ~finish:Recurrence.Greedy_tail lf ~c ~t0:30.0 in
+  let ef = Schedule.expected_work ~c lf faithful.Recurrence.schedule in
+  let eg = Schedule.expected_work ~c lf greedy.Recurrence.schedule in
+  Alcotest.(check bool) "greedy tail no worse" true (eg >= ef -. 1e-12)
+
+(* --- residuals ------------------------------------------------------- *)
+
+let test_residuals_of_generated_are_zero () =
+  let lf = Families.geometric_increasing ~lifespan:30.0 in
+  let g = Recurrence.generate lf ~c:1.0 ~t0:20.0 in
+  let res = Recurrence.residuals lf ~c:1.0 g.Recurrence.schedule in
+  Array.iter (fun r -> feq ~eps:1e-8 0.0 r) res
+
+let test_residuals_detect_violation () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  (* Equal periods violate the decrement-by-c recurrence. *)
+  let s = Schedule.of_list [ 10.0; 10.0; 10.0 ] in
+  let res = Recurrence.residuals lf ~c:1.0 s in
+  Alcotest.(check bool) "nonzero residual" true
+    (Array.exists (fun r -> Float.abs r > 1e-6) res)
+
+let prop_generated_schedules_satisfy_recurrence =
+  QCheck.Test.make
+    ~name:"generated schedules satisfy eq. 3.6 (zero residuals)" ~count:100
+    QCheck.(pair (float_range 5.0 30.0) (float_range 0.2 2.0))
+    (fun (t0, c) ->
+      let lf = Families.uniform ~lifespan:120.0 in
+      let g = Recurrence.generate lf ~c ~t0 in
+      let res = Recurrence.residuals lf ~c g.Recurrence.schedule in
+      Array.for_all (fun r -> Float.abs r < 1e-7) res)
+
+let prop_uniform_periods_decrease_by_c =
+  QCheck.Test.make ~name:"uniform-risk periods decrease by exactly c"
+    ~count:100
+    QCheck.(pair (float_range 8.0 25.0) (float_range 0.3 1.5))
+    (fun (t0, c) ->
+      let lf = Families.uniform ~lifespan:150.0 in
+      let g = Recurrence.generate lf ~c ~t0 in
+      let ps = Schedule.periods g.Recurrence.schedule in
+      let ok = ref true in
+      for i = 0 to Array.length ps - 2 do
+        if Float.abs (ps.(i + 1) -. (ps.(i) -. c)) > 1e-6 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "recurrence"
+    [
+      ( "next-period",
+        [
+          Alcotest.test_case "uniform = decrement (4.1)" `Quick
+            test_uniform_recurrence_is_decrement;
+          Alcotest.test_case "uniform chain" `Quick
+            test_uniform_recurrence_deep_chain;
+          Alcotest.test_case "geo-dec matches (4.6)" `Quick
+            test_geo_dec_recurrence_matches_closed_form;
+          Alcotest.test_case "geo-inc matches (4.7)" `Quick
+            test_geo_inc_recurrence_matches_closed_form;
+          Alcotest.test_case "polynomial closed form" `Quick
+            test_polynomial_recurrence_matches_closed_form;
+          Alcotest.test_case "unproductive stops" `Quick
+            test_unproductive_prev_stops;
+          Alcotest.test_case "exhausted support stops" `Quick
+            test_exhausted_support_stops;
+          Alcotest.test_case "validation" `Quick test_next_period_validation;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "uniform reproduces exact" `Quick
+            test_generate_uniform_structure;
+          Alcotest.test_case "geo-dec equal periods" `Quick
+            test_generate_geo_dec_equal_periods;
+          Alcotest.test_case "stop reason" `Quick test_generate_stops_with_reason;
+          Alcotest.test_case "period cap" `Quick test_generate_period_cap;
+          Alcotest.test_case "validation" `Quick test_generate_validation;
+          Alcotest.test_case "greedy tail no worse" `Quick
+            test_greedy_tail_improves_or_matches;
+        ] );
+      ( "residuals",
+        [
+          Alcotest.test_case "generated residuals zero" `Quick
+            test_residuals_of_generated_are_zero;
+          Alcotest.test_case "violations detected" `Quick
+            test_residuals_detect_violation;
+          QCheck_alcotest.to_alcotest prop_generated_schedules_satisfy_recurrence;
+          QCheck_alcotest.to_alcotest prop_uniform_periods_decrease_by_c;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+let c = 1.0
+let lf = Families.uniform ~lifespan:100.0
+
+let find_factor pts f =
+  List.find (fun p -> Float.abs (p.Sensitivity.perturbation -. f) < 1e-9) pts
+
+let test_exact_c_is_lossless () =
+  let pts = Sensitivity.c_misspecification lf ~c in
+  let p = find_factor pts 1.0 in
+  Alcotest.(check (float 1e-9)) "factor 1 lossless" 1.0 p.Sensitivity.efficiency
+
+let test_efficiency_bounded_by_one () =
+  let pts = Sensitivity.c_misspecification lf ~c in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "factor %.2f efficiency %.4f <= 1" p.Sensitivity.perturbation
+           p.Sensitivity.efficiency)
+        true
+        (p.Sensitivity.efficiency <= 1.0 +. 1e-9))
+    pts
+
+let test_graceful_degradation () =
+  (* The value function is flat near the optimum, so 25% error in c should
+     cost little; 4x error should cost visibly more. *)
+  let pts = Sensitivity.c_misspecification lf ~c in
+  let e125 = (find_factor pts 1.25).Sensitivity.efficiency in
+  let e4 = (find_factor pts 4.0).Sensitivity.efficiency in
+  Alcotest.(check bool) "25% error cheap" true (e125 > 0.99);
+  Alcotest.(check bool) "4x error worse than 25%" true (e4 <= e125)
+
+let test_planned_with_recorded () =
+  let pts = Sensitivity.c_misspecification lf ~c:2.0 in
+  let p = find_factor pts 0.5 in
+  Alcotest.(check (float 1e-12)) "planned c" 1.0 p.Sensitivity.planned_with
+
+let test_infeasible_factors_skipped () =
+  (* c' = 4 * 30 = 120 >= horizon 100: skipped. *)
+  let pts = Sensitivity.c_misspecification lf ~c:30.0 in
+  Alcotest.(check bool) "factor 4 absent" true
+    (List.for_all (fun p -> p.Sensitivity.perturbation < 4.0) pts)
+
+let test_validation () =
+  match Sensitivity.c_misspecification lf ~c:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c = 0 accepted"
+
+let test_lifespan_exact_lossless () =
+  let pts = Sensitivity.lifespan_misspecification ~lifespan:100.0 c in
+  let p = find_factor pts 1.0 in
+  Alcotest.(check (float 1e-9)) "factor 1 lossless" 1.0 p.Sensitivity.efficiency
+
+let test_lifespan_underestimate_hurts_more () =
+  (* Believing the owner returns 4x sooner means the planner stops
+     scheduling after a quarter of the true window and forfeits the rest;
+     overestimating merely yields over-long periods that sometimes get
+     killed. Measured: ~0.39 vs ~0.88 efficiency. *)
+  let pts = Sensitivity.lifespan_misspecification ~lifespan:100.0 c in
+  let over = (find_factor pts 4.0).Sensitivity.efficiency in
+  let under = (find_factor pts 0.25).Sensitivity.efficiency in
+  Alcotest.(check bool)
+    (Printf.sprintf "underestimate (%.3f) worse than overestimate (%.3f)"
+       under over)
+    true
+    (under < over);
+  Alcotest.(check bool) "both lossy" true (under < 0.99 && over < 0.99)
+
+let test_lifespan_validation () =
+  match Sensitivity.lifespan_misspecification ~lifespan:1.0 2.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c >= lifespan accepted"
+
+let prop_efficiency_in_unit_interval =
+  QCheck.Test.make ~name:"sensitivity efficiencies lie in [0, 1]" ~count:15
+    QCheck.(pair (float_range 0.5 3.0) (float_range 30.0 200.0))
+    (fun (c, l) ->
+      let lf = Families.polynomial ~d:2 ~lifespan:l in
+      List.for_all
+        (fun p ->
+          p.Sensitivity.efficiency >= -1e-9
+          && p.Sensitivity.efficiency <= 1.0 +. 1e-9)
+        (Sensitivity.c_misspecification lf ~c))
+
+let () =
+  Alcotest.run "sensitivity"
+    [
+      ( "sensitivity",
+        [
+          Alcotest.test_case "exact c lossless" `Quick test_exact_c_is_lossless;
+          Alcotest.test_case "efficiency <= 1" `Quick
+            test_efficiency_bounded_by_one;
+          Alcotest.test_case "graceful degradation" `Quick
+            test_graceful_degradation;
+          Alcotest.test_case "planned_with recorded" `Quick
+            test_planned_with_recorded;
+          Alcotest.test_case "infeasible skipped" `Quick
+            test_infeasible_factors_skipped;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "lifespan exact lossless" `Quick
+            test_lifespan_exact_lossless;
+          Alcotest.test_case "underestimate hurts more" `Quick
+            test_lifespan_underestimate_hurts_more;
+          Alcotest.test_case "lifespan validation" `Quick
+            test_lifespan_validation;
+          QCheck_alcotest.to_alcotest prop_efficiency_in_unit_interval;
+        ] );
+    ]

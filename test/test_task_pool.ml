@@ -1,0 +1,167 @@
+let mk n = Task.uniform_batch ~n ~duration:2.0 ()
+
+let test_task_make_validation () =
+  (match Task.make ~task_id:0 ~duration:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero duration accepted");
+  match Task.make ~task_id:0 ~duration:Float.nan () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN duration accepted"
+
+let test_uniform_batch () =
+  let tasks = mk 5 in
+  Alcotest.(check int) "count" 5 (List.length tasks);
+  Alcotest.(check (float 1e-12)) "total" 10.0 (Task.total_duration tasks)
+
+let test_jittered_batch_bounds () =
+  let g = Prng.create ~seed:1L in
+  let tasks = Task.jittered_batch ~n:1000 ~mean:4.0 ~jitter:0.25 g () in
+  List.iter
+    (fun t ->
+      if t.Task.duration < 3.0 || t.Task.duration > 5.0 then
+        Alcotest.failf "duration %g outside jitter band" t.Task.duration)
+    tasks
+
+let test_jittered_validation () =
+  let g = Prng.create ~seed:1L in
+  match Task.jittered_batch ~n:1 ~mean:1.0 ~jitter:1.0 g () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jitter = 1 accepted"
+
+let test_pool_initial_state () =
+  let p = Pool.create (mk 4) in
+  Alcotest.(check (float 0.0)) "pending work" 8.0 (Pool.pending_work p);
+  Alcotest.(check int) "pending count" 4 (Pool.pending_count p);
+  Alcotest.(check (float 0.0)) "done work" 0.0 (Pool.done_work p);
+  Alcotest.(check bool) "not finished" false (Pool.is_finished p)
+
+let test_checkout_respects_budget () =
+  let p = Pool.create (mk 4) in
+  match Pool.checkout p ~budget:5.0 with
+  | Some b ->
+      Alcotest.(check int) "two tasks fit" 2 (List.length b.Pool.tasks);
+      Alcotest.(check (float 0.0)) "bundle work" 4.0 b.Pool.work;
+      Alcotest.(check (float 0.0)) "pool shrank" 4.0 (Pool.pending_work p);
+      Alcotest.(check (float 0.0)) "checked out" 4.0 (Pool.checked_out_work p)
+  | None -> Alcotest.fail "expected a bundle"
+
+let test_checkout_none_when_nothing_fits () =
+  let p = Pool.create (mk 2) in
+  Alcotest.(check bool) "budget too small" true
+    (Pool.checkout p ~budget:1.0 = None)
+
+let test_checkout_validation () =
+  let p = Pool.create (mk 1) in
+  match Pool.checkout p ~budget:(-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative budget accepted"
+
+let test_commit_moves_to_done () =
+  let p = Pool.create (mk 3) in
+  (match Pool.checkout p ~budget:4.0 with
+  | Some b ->
+      Pool.commit p b;
+      Alcotest.(check (float 0.0)) "done" 4.0 (Pool.done_work p);
+      Alcotest.(check int) "done count" 2 (Pool.done_count p);
+      Alcotest.(check (float 0.0)) "nothing out" 0.0 (Pool.checked_out_work p)
+  | None -> Alcotest.fail "expected bundle");
+  Alcotest.(check bool) "not finished yet" false (Pool.is_finished p)
+
+let test_return_bundle_recycles () =
+  let p = Pool.create (mk 3) in
+  match Pool.checkout p ~budget:4.0 with
+  | Some b ->
+      Pool.return_bundle p b;
+      Alcotest.(check (float 0.0)) "all pending again" 6.0 (Pool.pending_work p);
+      Alcotest.(check int) "count restored" 3 (Pool.pending_count p)
+  | None -> Alcotest.fail "expected bundle"
+
+let test_double_commit_rejected () =
+  let p = Pool.create (mk 2) in
+  match Pool.checkout p ~budget:2.0 with
+  | Some b -> (
+      Pool.commit p b;
+      match Pool.commit p b with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "double commit accepted")
+  | None -> Alcotest.fail "expected bundle"
+
+let test_drain_pool_to_finished () =
+  let p = Pool.create (mk 5) in
+  let rec drain () =
+    match Pool.checkout p ~budget:4.0 with
+    | Some b ->
+        Pool.commit p b;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "finished" true (Pool.is_finished p);
+  Alcotest.(check (float 0.0)) "all done" 10.0 (Pool.done_work p)
+
+let test_killed_then_retried () =
+  (* A bundle returned after a kill must be scheduled again eventually. *)
+  let p = Pool.create (mk 2) in
+  (match Pool.checkout p ~budget:2.0 with
+  | Some b -> Pool.return_bundle p b
+  | None -> Alcotest.fail "bundle 1");
+  (match Pool.checkout p ~budget:10.0 with
+  | Some b ->
+      Alcotest.(check int) "both tasks eventually" 2 (List.length b.Pool.tasks);
+      Pool.commit p b
+  | None -> Alcotest.fail "bundle 2");
+  Alcotest.(check bool) "finished" true (Pool.is_finished p)
+
+let prop_conservation =
+  QCheck.Test.make
+    ~name:"pending + out + done work is invariant under pool operations"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0.5 5.0))
+    (fun durations ->
+      let tasks =
+        List.mapi (fun i d -> Task.make ~task_id:i ~duration:d ()) durations
+      in
+      let total = Task.total_duration tasks in
+      let p = Pool.create tasks in
+      let rng = Prng.create ~seed:5L in
+      for _ = 1 to 50 do
+        match Pool.checkout p ~budget:(Prng.float_range rng ~lo:0.5 ~hi:8.0) with
+        | Some b -> if Prng.bool rng then Pool.commit p b else Pool.return_bundle p b
+        | None -> ()
+      done;
+      Float.abs
+        (Pool.pending_work p +. Pool.checked_out_work p +. Pool.done_work p
+        -. total)
+      < 1e-9)
+
+let () =
+  Alcotest.run "task_pool"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "make validation" `Quick test_task_make_validation;
+          Alcotest.test_case "uniform batch" `Quick test_uniform_batch;
+          Alcotest.test_case "jittered bounds" `Quick test_jittered_batch_bounds;
+          Alcotest.test_case "jitter validation" `Quick test_jittered_validation;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "initial state" `Quick test_pool_initial_state;
+          Alcotest.test_case "checkout budget" `Quick
+            test_checkout_respects_budget;
+          Alcotest.test_case "checkout nothing fits" `Quick
+            test_checkout_none_when_nothing_fits;
+          Alcotest.test_case "checkout validation" `Quick
+            test_checkout_validation;
+          Alcotest.test_case "commit" `Quick test_commit_moves_to_done;
+          Alcotest.test_case "return recycles" `Quick
+            test_return_bundle_recycles;
+          Alcotest.test_case "double commit rejected" `Quick
+            test_double_commit_rejected;
+          Alcotest.test_case "drain to finished" `Quick
+            test_drain_pool_to_finished;
+          Alcotest.test_case "killed then retried" `Quick
+            test_killed_then_retried;
+          QCheck_alcotest.to_alcotest prop_conservation;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+let c = 1.0
+let lf = Families.uniform ~lifespan:100.0
+
+let test_analytic_fields_consistent () =
+  let t = Throughput.of_guideline lf ~c ~presence_mean:50.0 in
+  Alcotest.(check (float 1e-12)) "rate = work/cycle"
+    (t.Throughput.work_per_cycle /. t.Throughput.cycle_length)
+    t.Throughput.rate;
+  (* Uniform L=100: mean absence 50; cycle = 50 + 50. *)
+  Alcotest.(check (float 1e-6)) "cycle length" 100.0 t.Throughput.cycle_length;
+  Alcotest.(check bool) "utilisation in (0,1)" true
+    (t.Throughput.utilisation > 0.0 && t.Throughput.utilisation < 1.0)
+
+let test_analytic_validation () =
+  let s = Schedule.of_list [ 1.0 ] in
+  match Throughput.analytic lf ~c ~presence_mean:0.0 s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "presence 0 accepted"
+
+let test_guideline_rate_beats_bad_schedule () =
+  let bad = Schedule.of_list [ 99.9 ] in
+  let t_bad = Throughput.analytic lf ~c ~presence_mean:50.0 bad in
+  let t_good = Throughput.of_guideline lf ~c ~presence_mean:50.0 in
+  Alcotest.(check bool) "guideline higher rate" true
+    (t_good.Throughput.rate > t_bad.Throughput.rate)
+
+let test_farm_matches_renewal_theory () =
+  (* One workstation, long run: measured rate ~ analytic rate. *)
+  let presence_mean = 40.0 in
+  let analytic = Throughput.of_guideline lf ~c ~presence_mean in
+  let cfg =
+    {
+      Farm.c;
+      total_work = 20_000.0;
+      workstations = [ { Farm.ws_life = lf; ws_presence_mean = presence_mean } ];
+      policy = Farm.guideline_policy;
+      max_time = 1e7;
+    }
+  in
+  let rates =
+    List.map
+      (fun seed -> Throughput.measured_rate (Farm.run cfg ~seed))
+      [ 1L; 2L; 3L ]
+  in
+  let mean = List.fold_left ( +. ) 0.0 rates /. 3.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f within 10%% of analytic %.4f" mean
+       analytic.Throughput.rate)
+    true
+    (Float.abs (mean -. analytic.Throughput.rate)
+    < 0.10 *. analytic.Throughput.rate)
+
+let test_fleet_scales_rate () =
+  (* n identical stations: total rate ~ n * single rate. *)
+  let presence_mean = 40.0 in
+  let ws = { Farm.ws_life = lf; ws_presence_mean = presence_mean } in
+  let run n =
+    let cfg =
+      {
+        Farm.c;
+        total_work = 10_000.0;
+        workstations = List.init n (fun _ -> ws);
+        policy = Farm.guideline_policy;
+        max_time = 1e7;
+      }
+    in
+    Throughput.measured_rate (Farm.run cfg ~seed:5L)
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 stations %.3f ~ 4x one station %.3f" r4 (4.0 *. r1))
+    true
+    (r4 > 3.0 *. r1 && r4 < 5.0 *. r1)
+
+let test_measured_rate_zero_guard () =
+  (* Synthetic degenerate report: zero makespan. *)
+  let r =
+    {
+      Farm.finished = false;
+      makespan = 0.0;
+      pool_remaining = 1.0;
+      total_done = 0.0;
+      total_lost = 0.0;
+      total_overhead = 0.0;
+      per_workstation = [];
+    }
+  in
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Throughput.measured_rate r)
+
+let prop_rate_monotone_in_presence =
+  QCheck.Test.make ~name:"rate decreases with longer owner presence"
+    ~count:40
+    QCheck.(pair (float_range 10.0 100.0) (float_range 10.0 100.0))
+    (fun (p1, dp) ->
+      let t1 = Throughput.of_guideline lf ~c ~presence_mean:p1 in
+      let t2 = Throughput.of_guideline lf ~c ~presence_mean:(p1 +. dp) in
+      t2.Throughput.rate <= t1.Throughput.rate +. 1e-12)
+
+let () =
+  Alcotest.run "throughput"
+    [
+      ( "throughput",
+        [
+          Alcotest.test_case "fields consistent" `Quick
+            test_analytic_fields_consistent;
+          Alcotest.test_case "validation" `Quick test_analytic_validation;
+          Alcotest.test_case "guideline beats bad schedule" `Quick
+            test_guideline_rate_beats_bad_schedule;
+          Alcotest.test_case "farm matches renewal theory" `Quick
+            test_farm_matches_renewal_theory;
+          Alcotest.test_case "fleet scales rate" `Quick test_fleet_scales_rate;
+          Alcotest.test_case "zero makespan guard" `Quick
+            test_measured_rate_zero_guard;
+          QCheck_alcotest.to_alcotest prop_rate_monotone_in_presence;
+        ] );
+    ]
