@@ -4,7 +4,10 @@
      dune exec bench/main.exe            # all experiment tables + timings
      dune exec bench/main.exe -- e4 e9   # selected experiments
      dune exec bench/main.exe -- tables  # all tables, no timings
-     dune exec bench/main.exe -- timing  # only the Bechamel benchmarks *)
+     dune exec bench/main.exe -- timing  # only the Bechamel benchmarks
+
+   [timing] also writes BENCH_T1.json (machine-readable ns/call + r^2
+   per benchmark) to the working directory. *)
 
 let usage () =
   print_endline "cycle-stealing reproduction harness";

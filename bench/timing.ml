@@ -1,5 +1,14 @@
 (* T1 — Bechamel micro-benchmarks of the core algorithms: one Test.make
-   per hot path. Estimated via OLS on monotonic-clock samples. *)
+   per hot path. Estimated via OLS on monotonic-clock samples. Besides
+   the printed table, the run writes BENCH_T1.json (ns/call + r^2 per
+   benchmark plus run metadata) to the working directory so regressions
+   can be diffed by machines.
+
+   The three "episode-run (obs ...)" variants pin the observability
+   overhead budget: disabled and null-sink must be statistically
+   indistinguishable from the uninstrumented baseline (the ?obs default
+   is one branch), and the metrics variant bounds the live-registry
+   cost. *)
 
 open Bechamel
 open Toolkit
@@ -41,6 +50,26 @@ let tests =
          (let g = Prng.create ~seed:1L in
           fun () ->
             Episode.run schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g)));
+    Test.make ~name:"episode-run (obs disabled)"
+      (Staged.stage
+         (let g = Prng.create ~seed:1L in
+          fun () ->
+            Episode.run ~obs:Obs.disabled schedule ~c:1.0
+              ~reclaim_at:(Reclaim.draw sampler g)));
+    Test.make ~name:"episode-run (obs null sink)"
+      (Staged.stage
+         (let g = Prng.create ~seed:1L in
+          let obs = Obs.create ~sink:Obs.Sink.Null () in
+          fun () ->
+            Episode.run ~obs schedule ~c:1.0
+              ~reclaim_at:(Reclaim.draw sampler g)));
+    Test.make ~name:"episode-run (obs metrics)"
+      (Staged.stage
+         (let g = Prng.create ~seed:1L in
+          let obs = Obs.create ~metrics:(Obs.Metrics.create ()) () in
+          fun () ->
+            Episode.run ~obs schedule ~c:1.0
+              ~reclaim_at:(Reclaim.draw sampler g)));
     Test.make ~name:"reclaim-draw (tabulated inverse CDF)"
       (Staged.stage
          (let g = Prng.create ~seed:2L in
@@ -51,13 +80,43 @@ let tests =
           fun () -> Prng.float g));
   ]
 
+let quota_seconds = 0.5
+
+let json_num x = if Float.is_finite x then Jsonx.Float x else Jsonx.Null
+
+let write_json rows =
+  let results =
+    List.map
+      (fun (name, ns, r2) ->
+        ( name,
+          Jsonx.Obj
+            [ ("ns_per_call", json_num ns); ("r_square", json_num r2) ] ))
+      rows
+  in
+  let doc =
+    Jsonx.Obj
+      [
+        ("v", Jsonx.Int 1);
+        ("suite", Jsonx.String "T1");
+        ("ocaml", Jsonx.String Sys.ocaml_version);
+        ("quota_seconds", Jsonx.Float quota_seconds);
+        ("unix_time", Jsonx.Float (Unix.time ()));
+        ("results", Jsonx.Obj results);
+      ]
+  in
+  let oc = open_out "BENCH_T1.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonx.to_string doc ^ "\n"));
+  print_endline "wrote BENCH_T1.json"
+
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~kde:None ()
   in
   let raw =
     Benchmark.all cfg [ instance ]
@@ -92,4 +151,5 @@ let run () =
            else Printf.sprintf "%.2f ms" (ns /. 1e6)
          in
          [ name; time; (if Float.is_nan r2 then "n/a" else Tbl.f3 r2) ])
-       rows)
+       rows);
+  write_json rows

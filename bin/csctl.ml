@@ -6,7 +6,12 @@
      csctl simulate  --family geo-inc --lifespan 30 -c 1 --trials 50000
      csctl admissible --family power-law --d 2 -c 1
      csctl fit       --model exponential --mean 40 --samples 1000 -c 1
-     csctl checkpoint --work 720 --mtbf 240 -c 1.5 *)
+     csctl checkpoint --work 720 --mtbf 240 -c 1.5
+     csctl report    trace.jsonl
+
+   [schedule] and [simulate] accept --trace FILE (write a JSONL event
+   trace of the run) and --metrics (print the metrics registry after);
+   [report] aggregates a JSONL trace back into summary numbers. *)
 
 open Cmdliner
 
@@ -85,7 +90,12 @@ let resolve_family spec =
       Ok (Families.exponential ~rate)
   | "weibull" -> Ok (Families.weibull ~shape:spec.w_shape ~scale:spec.w_scale)
   | "power-law" -> Ok (Families.power_law ~d:(float_of_int spec.d))
-  | other -> Error (Printf.sprintf "unknown family %S" other)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown family %S (valid: uniform | polynomial | geo-dec | \
+            geo-inc | exponential | weibull | power-law)"
+           other)
 
 let c_term =
   Arg.(
@@ -105,26 +115,69 @@ let with_family spec k =
         exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags (shared by schedule and simulate)               *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace of the run to $(docv) (one JSON \
+           object per line; aggregate it back with $(b,csctl report)).")
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the collected metrics registry after the run.")
+
+(* Build an [Obs.t] from the flags, run [k] with it, and print the
+   registry afterwards when --metrics was given. *)
+let with_obs ~trace ~metrics k =
+  let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+  let finish obs =
+    k obs;
+    match Obs.metrics obs with
+    | Some m -> Format.printf "%a" Obs.Metrics.pp m
+    | None -> ()
+  in
+  match trace with
+  | None -> finish (Obs.create ?metrics:registry ())
+  | Some path -> (
+      try
+        Obs.Sink.with_jsonl_file path (fun sink ->
+            finish (Obs.create ~sink ?metrics:registry ()))
+      with Sys_error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
 
 let schedule_cmd =
-  let run spec c =
+  let run spec c trace metrics =
     with_family spec (fun lf ->
-        let plan = Guideline.plan lf ~c in
-        let lo, hi = plan.Guideline.bracket in
-        Format.printf "life function : %a@." Life_function.pp lf;
-        Format.printf "t0 bracket    : [%.4f, %.4f]@." lo hi;
-        Format.printf "schedule      : %a@." Schedule.pp plan.Guideline.schedule;
-        Format.printf "periods       : ";
-        Array.iter (Format.printf "%.4f ") (Schedule.periods plan.Guideline.schedule);
-        Format.printf "@.expected work : %.6f@." plan.Guideline.expected_work;
-        List.iter
-          (fun chk -> Format.printf "%a@." Theory.pp_check chk)
-          (Theory.full_report lf ~c plan.Guideline.schedule))
+        with_obs ~trace ~metrics (fun obs ->
+            let plan = Guideline.plan ~obs lf ~c in
+            let lo, hi = plan.Guideline.bracket in
+            Format.printf "life function : %a@." Life_function.pp lf;
+            Format.printf "t0 bracket    : [%.4f, %.4f]@." lo hi;
+            Format.printf "schedule      : %a@." Schedule.pp
+              plan.Guideline.schedule;
+            Format.printf "periods       : ";
+            Array.iter
+              (Format.printf "%.4f ")
+              (Schedule.periods plan.Guideline.schedule);
+            Format.printf "@.expected work : %.6f@."
+              plan.Guideline.expected_work;
+            List.iter
+              (fun chk -> Format.printf "%a@." Theory.pp_check chk)
+              (Theory.full_report lf ~c plan.Guideline.schedule)))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Compute the guideline schedule for a scenario.")
-    Term.(const run $ family_term $ c_term)
+    Term.(const run $ family_term $ c_term $ trace_term $ metrics_term)
 
 (* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
@@ -167,27 +220,31 @@ let simulate_cmd =
     Arg.(
       value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run spec c trials seed =
+  let run spec c trials seed trace metrics =
     with_family spec (fun lf ->
-        let plan = Guideline.plan lf ~c in
-        let est =
-          Monte_carlo.estimate ~trials lf ~c ~schedule:plan.Guideline.schedule
-            ~seed:(Int64.of_int seed)
-        in
-        let lo, hi = est.Monte_carlo.ci95 in
-        Format.printf "schedule      : %a@." Schedule.pp plan.Guideline.schedule;
-        Format.printf "analytic E    : %.6f@." est.Monte_carlo.analytic;
-        Format.printf "MC mean (n=%d): %.6f  95%% CI [%.6f, %.6f]@."
-          est.Monte_carlo.trials est.Monte_carlo.mean_work lo hi;
-        Format.printf "interrupted   : %.2f%%@."
-          (100.0 *. est.Monte_carlo.interrupted_fraction);
-        Format.printf "mean overhead : %.6f ; mean work lost: %.6f@."
-          est.Monte_carlo.mean_overhead est.Monte_carlo.mean_lost)
+        with_obs ~trace ~metrics (fun obs ->
+            let plan = Guideline.plan ~obs lf ~c in
+            let est =
+              Monte_carlo.estimate ~obs ~trials lf ~c
+                ~schedule:plan.Guideline.schedule ~seed:(Int64.of_int seed)
+            in
+            let lo, hi = est.Monte_carlo.ci95 in
+            Format.printf "schedule      : %a@." Schedule.pp
+              plan.Guideline.schedule;
+            Format.printf "analytic E    : %.6f@." est.Monte_carlo.analytic;
+            Format.printf "MC mean (n=%d): %.6f  95%% CI [%.6f, %.6f]@."
+              est.Monte_carlo.trials est.Monte_carlo.mean_work lo hi;
+            Format.printf "interrupted   : %.2f%%@."
+              (100.0 *. est.Monte_carlo.interrupted_fraction);
+            Format.printf "mean overhead : %.6f ; mean work lost: %.6f@."
+              est.Monte_carlo.mean_overhead est.Monte_carlo.mean_lost))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Monte-Carlo-validate the guideline schedule for a scenario.")
-    Term.(const run $ family_term $ c_term $ trials $ seed)
+    Term.(
+      const run $ family_term $ c_term $ trials $ seed $ trace_term
+      $ metrics_term)
 
 (* ------------------------------------------------------------------ *)
 (* admissible                                                          *)
@@ -417,6 +474,31 @@ let distribution_cmd =
     Term.(const run $ family_term $ c_term)
 
 (* ------------------------------------------------------------------ *)
+(* report                                                               *)
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trace file written by --trace.")
+  in
+  let run file =
+    match Trace_report.load file with
+    | Ok summary -> Format.printf "%a" Trace_report.pp summary
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a JSONL event trace into per-run and per-workstation \
+          summaries (kill rates, overhead fraction, quantiles).")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -436,4 +518,5 @@ let () =
             checkpoint_cmd;
             worst_case_cmd;
             distribution_cmd;
+            report_cmd;
           ]))

@@ -36,10 +36,10 @@ The banked-work distribution is closed-form.
   quantiles: q10 22.755 | median 25.823 | q90 26.467
   law:
 
-Unknown families fail cleanly.
+Unknown families fail cleanly, listing the valid names.
 
   $ ../bin/csctl.exe schedule --family nonsense
-  unknown family "nonsense"
+  unknown family "nonsense" (valid: uniform | polynomial | geo-dec | geo-inc | exponential | weibull | power-law)
   [2]
 
 The simulate subcommand is deterministic in its seed.
@@ -65,3 +65,36 @@ The fit pipeline recovers an exponential rate from synthetic absences.
   synthesized 2000 absences, sample mean 38.714
   best parametric fit   : weibull (SSE 0.0962)
     shape      = 0.985003
+
+A fixed-seed run writes a schema-versioned JSONL trace, and report
+aggregates it back to the live run's own numbers (MC mean 39.953571
+below = work done / episode in the summary).
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --trace t.jsonl --metrics | grep -E "^counter|MC mean"
+  MC mean (n=200): 39.953571  95% CI [36.286050, 43.621093]
+  counter episode.periods_completed = 810
+  counter episode.periods_killed = 199
+  counter episode.runs = 200
+  counter plan.guideline_calls = 1
+
+  $ sed -n 2p t.jsonl
+  {"v":1,"type":"run_started","t":0.0,"source":"monte_carlo","seed":42}
+
+  $ ../bin/csctl.exe report t.jsonl
+  trace summary (schema v1, 2620 events)
+    source(s)     : monte_carlo
+    episodes      : 200 started, 200 finished, 199 interrupted
+    periods       : 1009 dispatched, 810 completed, 199 killed (kill rate 19.72%)
+    work done     : 7990.714290 (39.953571 / episode)
+    work lost     : 730.821470 (3.654107 / episode)
+    overhead      : 992.209550 (4.961048 / episode)
+    overhead frac : 10.21% of busy time
+    period length: min 1.6429 / p50 11.6429 / p90 13.6429 / max 13.6429
+    episode time : min 0.0042 / p50 47.5539 / p90 85.8460 / max 99.3571
+    plan          : guideline t0=13.6429 periods=13 E=41.066071
+
+Malformed traces fail cleanly.
+
+  $ ../bin/csctl.exe report no-such-trace.jsonl
+  error: no-such-trace.jsonl: No such file or directory
+  [1]

@@ -39,8 +39,8 @@ let () =
         Life_function.pp ws.Farm.ws_life ws.Farm.ws_presence_mean)
     fleet;
 
-  let run policy seed =
-    Farm.run
+  let run ?obs policy seed =
+    Farm.run ?obs
       {
         Farm.c;
         total_work = total;
@@ -79,8 +79,13 @@ let () =
         lost ovh)
     policies;
 
-  (* Detail of one guideline run. *)
-  let r = run Farm.guideline_policy 42L in
+  (* Detail of one guideline run, with a metrics registry attached: the
+     same report numbers, plus farm.* counters and the period-length /
+     episode-duration histograms the registry accumulated along the way. *)
+  let metrics = Obs.Metrics.create () in
+  let r =
+    run ~obs:(Obs.create ~metrics ()) Farm.guideline_policy 42L
+  in
   Format.printf "@.One guideline run in detail (seed 42):@.";
   Format.printf "  finished: %b, makespan %.1f min@." r.Farm.finished
     r.Farm.makespan;
@@ -91,4 +96,5 @@ let () =
          killed, %.1f min lost)@."
         w.Farm.ws_id w.Farm.work_done w.Farm.episodes w.Farm.periods_completed
         w.Farm.periods_killed w.Farm.work_lost)
-    r.Farm.per_workstation
+    r.Farm.per_workstation;
+  Format.printf "@.Its metrics registry:@.%a" Obs.Metrics.pp metrics

@@ -1,0 +1,48 @@
+(** A minimal, dependency-free JSON value type with a compact one-line
+    printer and a strict parser.
+
+    The observability layer ({!Obs_sink}'s [Jsonl] sink, the bench
+    harness's [BENCH_T1.json]) must serialize without pulling an external
+    JSON library into the runtime dependency set, and {!Trace_report} must
+    parse those files back. This module is deliberately small: values,
+    [to_string], [of_string], and a few accessors — not a general-purpose
+    JSON toolkit.
+
+    Floats are printed with the shortest [%g] precision (15–17 digits)
+    that round-trips exactly through [float_of_string], so a value written
+    by {!to_string} and re-read by {!of_string} is bit-identical; this is
+    what lets a JSONL trace reproduce a simulation's accounting to float
+    tolerance. Non-finite floats have no JSON representation and are
+    printed as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line, no spaces) JSON text. Strings are escaped per
+    RFC 8259; non-finite floats become [null]. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses exactly one JSON value (surrounding whitespace
+    allowed; trailing garbage is an error). Numbers without [.], [e] or
+    [E] that fit in an OCaml [int] parse as [Int], everything else as
+    [Float]. [\uXXXX] escapes are decoded to UTF-8 (surrogate pairs
+    supported). *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to key [k] when [j] is an [Obj]. *)
+
+val get_string : t -> string option
+val get_bool : t -> bool option
+
+val get_int : t -> int option
+(** Accepts [Float] values that are exactly integral. *)
+
+val get_float : t -> float option
+(** Accepts [Int] (JSON does not distinguish [5] from [5.0]). *)

@@ -1,0 +1,43 @@
+module Metrics = Obs_metrics
+module Event = Obs_event
+module Sink = Obs_sink
+
+type t = {
+  sink : Sink.t;
+  registry : Metrics.t option;
+  trace_on : bool;  (** Cached [Sink.consumes sink]. *)
+}
+
+let disabled = { sink = Sink.Null; registry = None; trace_on = false }
+
+let create ?(sink = Sink.Null) ?metrics () =
+  { sink; registry = metrics; trace_on = Sink.consumes sink }
+
+let tracing t = t.trace_on
+let metrics t = t.registry
+let instrumented t = t.trace_on || t.registry <> None
+
+let emit t ev = if t.trace_on then Sink.emit t.sink ev
+
+let incr t name =
+  match t.registry with
+  | None -> ()
+  | Some m -> Metrics.incr (Metrics.counter m name)
+
+let add t name n =
+  match t.registry with
+  | None -> ()
+  | Some m -> Metrics.add (Metrics.counter m name) n
+
+let set_gauge t name v =
+  match t.registry with
+  | None -> ()
+  | Some m -> Metrics.set (Metrics.gauge m name) v
+
+let observe t name v =
+  match t.registry with
+  | None -> ()
+  | Some m -> Metrics.observe (Metrics.histogram m name) v
+
+let time t name f =
+  match t.registry with None -> f () | Some m -> Metrics.time m name f

@@ -1,0 +1,67 @@
+(** The observability handle threaded through the simulation and
+    scheduling layers.
+
+    An [Obs.t] bundles an event {!Obs_sink} with an optional
+    {!Obs_metrics} registry. Instrumented functions take it as an
+    optional [?obs] parameter defaulting to {!disabled}, so existing call
+    sites compile (and behave) unchanged.
+
+    {2 Overhead discipline}
+
+    The disabled handle must cost ~one branch per hot-path call site.
+    Instrumented code therefore hoists the activity tests once:
+
+    {[
+      let trace = Obs.tracing obs in       (* events wanted? *)
+      let meter = Obs.metrics obs in       (* registry attached? *)
+      ...
+      if trace then Obs.emit obs (Obs.Event.Period_completed { ... });
+      (match meter with Some m -> Obs_metrics.incr done_ctr | None -> ());
+    ]}
+
+    so that with [obs = disabled] (or a [Null] sink) no event is ever
+    constructed and no registry is touched — the [bench/] timing suite
+    pins this budget. The convenience wrappers ({!incr}, {!observe},
+    {!time}) carry the same one-branch guarantee internally and are fine
+    outside inner loops. *)
+
+module Metrics = Obs_metrics
+module Event = Obs_event
+module Sink = Obs_sink
+
+type t
+
+val disabled : t
+(** No sink, no metrics: {!tracing} is [false], {!metrics} is [None],
+    every operation is a cheap no-op. The default everywhere. *)
+
+val create : ?sink:Sink.t -> ?metrics:Metrics.t -> unit -> t
+(** [create ()] with neither argument behaves like {!disabled}. *)
+
+val tracing : t -> bool
+(** [true] iff the sink consumes events ([Sink.Null] does not). Hoist
+    this test and guard event {e construction} with it. *)
+
+val metrics : t -> Metrics.t option
+(** The attached registry, for hot paths that pre-resolve instruments. *)
+
+val instrumented : t -> bool
+(** [tracing t || metrics t <> None] — whether any observation work is
+    wanted at all. *)
+
+val emit : t -> Event.t -> unit
+(** Deliver one event; no-op unless {!tracing}. *)
+
+val incr : t -> string -> unit
+(** Bump counter [name]; no-op without a registry. *)
+
+val add : t -> string -> int -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+(** Record one histogram observation; no-op without a registry. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Span-time [f] into histogram [name] (seconds); runs [f] untimed
+    without a registry. *)

@@ -1,0 +1,8 @@
+let high_water = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !high_water then high_water := t;
+  !high_water
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)

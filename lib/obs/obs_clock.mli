@@ -1,0 +1,15 @@
+(** A monotonic (non-decreasing) wall-clock for span timing.
+
+    The container's toolchain carries no monotonic-clock binding, so this
+    clock is built on [Unix.gettimeofday] with a high-water-mark clamp: a
+    backwards step of the system clock freezes the reading rather than
+    producing a negative span. Resolution is therefore microseconds, and
+    readings are comparable only within one process — exactly what the
+    {!Obs_metrics} span timer needs and nothing more. *)
+
+val now : unit -> float
+(** Seconds since the epoch, clamped to be non-decreasing across calls
+    within this process. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [max 0 (now () - t0)]. *)

@@ -1,0 +1,194 @@
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  log_gamma : float;  (** ln of the bucket growth factor. *)
+  buckets : (int, int ref) Hashtbl.t;  (** bucket index -> count, v > 0. *)
+  mutable zeros : int;  (** Observations of exactly 0. *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  instruments : (string, instrument) Hashtbl.t;
+  accuracy : float;
+}
+
+let create ?(accuracy = 0.01) () =
+  if not (accuracy > 0.0 && accuracy < 1.0) then
+    invalid_arg "Obs_metrics.create: accuracy must be in (0, 1)";
+  { instruments = Hashtbl.create 16; accuracy }
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Obs_metrics: %S already registered as a non-%s" name want)
+
+let counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name "counter"
+  | None ->
+      let c = { c_name = name; c_count = 0 } in
+      Hashtbl.replace t.instruments name (Counter c);
+      c
+
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+
+let gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name "gauge"
+  | None ->
+      let g = { g_name = name; g_value = Float.nan } in
+      Hashtbl.replace t.instruments name (Gauge g);
+      g
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name "histogram"
+  | None ->
+      let gamma = (1.0 +. t.accuracy) /. (1.0 -. t.accuracy) in
+      let h =
+        {
+          h_name = name;
+          log_gamma = log gamma;
+          buckets = Hashtbl.create 64;
+          zeros = 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+        }
+      in
+      Hashtbl.replace t.instruments name (Histogram h);
+      h
+
+let bucket_index h v = int_of_float (Float.floor (log v /. h.log_gamma))
+
+let observe h v =
+  if not (Float.is_finite v) || v < 0.0 then
+    invalid_arg "Obs_metrics.observe: value must be finite and >= 0";
+  if v = 0.0 then h.zeros <- h.zeros + 1
+  else begin
+    let i = bucket_index h v in
+    match Hashtbl.find_opt h.buckets i with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.replace h.buckets i (ref 1)
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let n_observations h = h.h_count
+let sum h = h.h_sum
+let mean h = if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count
+let hist_min h = if h.h_count = 0 then Float.nan else h.h_min
+let hist_max h = if h.h_count = 0 then Float.nan else h.h_max
+
+let quantile h ~q =
+  if h.h_count = 0 then invalid_arg "Obs_metrics.quantile: empty histogram";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Obs_metrics.quantile: q must be in [0, 1]";
+  (* The rank the q-quantile occupies among the sorted observations; the
+     answer is the representative of the bucket holding that rank. The
+     extreme ranks are tracked exactly, so answer them exactly. *)
+  let rank = q *. float_of_int (h.h_count - 1) in
+  let clamp v = Float.min h.h_max (Float.max h.h_min v) in
+  if q = 0.0 then h.h_min
+  else if q = 1.0 then h.h_max
+  else if rank < float_of_int h.zeros then clamp 0.0
+  else begin
+    let keys =
+      List.sort Int.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) h.buckets [])
+    in
+    let cum = ref h.zeros in
+    let result = ref h.h_max in
+    (try
+       List.iter
+         (fun k ->
+           cum := !cum + !(Hashtbl.find h.buckets k);
+           if float_of_int !cum > rank then begin
+             (* Geometric midpoint of [γ^k, γ^{k+1}). *)
+             result := exp (h.log_gamma *. (float_of_int k +. 0.5));
+             raise Exit
+           end)
+         keys
+     with Exit -> ());
+    clamp !result
+  end
+
+let time t name f =
+  let h = histogram t name in
+  let t0 = Obs_clock.now () in
+  Fun.protect
+    ~finally:(fun () -> observe h (Obs_clock.elapsed_since t0))
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+
+let sorted_instruments t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instruments [])
+
+let hist_summary_fields h =
+  [
+    ("n", Jsonx.Int h.h_count);
+    ("sum", Jsonx.Float h.h_sum);
+    ("mean", Jsonx.Float (mean h));
+    ("min", Jsonx.Float (hist_min h));
+    ("max", Jsonx.Float (hist_max h));
+    ("p50", Jsonx.Float (if h.h_count = 0 then Float.nan else quantile h ~q:0.5));
+    ("p90", Jsonx.Float (if h.h_count = 0 then Float.nan else quantile h ~q:0.9));
+    ("p99", Jsonx.Float (if h.h_count = 0 then Float.nan else quantile h ~q:0.99));
+  ]
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> counters := (name, Jsonx.Int c.c_count) :: !counters
+      | Gauge g -> gauges := (name, Jsonx.Float g.g_value) :: !gauges
+      | Histogram h ->
+          hists := (name, Jsonx.Obj (hist_summary_fields h)) :: !hists)
+    (List.rev (sorted_instruments t));
+  Jsonx.Obj
+    [
+      ("counters", Jsonx.Obj !counters);
+      ("gauges", Jsonx.Obj !gauges);
+      ("histograms", Jsonx.Obj !hists);
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> Format.fprintf ppf "counter %s = %d@." name c.c_count
+      | Gauge g -> Format.fprintf ppf "gauge   %s = %g@." name g.g_value
+      | Histogram h ->
+          if h.h_count = 0 then
+            Format.fprintf ppf "hist    %s : empty@." name
+          else
+            Format.fprintf ppf
+              "hist    %s : n=%d mean=%g p50=%g p90=%g p99=%g max=%g@." name
+              h.h_count (mean h) (quantile h ~q:0.5) (quantile h ~q:0.9)
+              (quantile h ~q:0.99) h.h_max)
+    (sorted_instruments t)

@@ -1,0 +1,90 @@
+(** A zero-dependency metrics registry: named counters, gauges, and
+    log-scale histograms with quantile extraction, plus a monotonic-clock
+    span timer.
+
+    Hot paths hold direct references to their instruments (one registry
+    lookup at setup, then a field update per event); the {!Obs} facade
+    adds the name-at-call-site convenience layer and the "disabled costs
+    one branch" guarantee on top.
+
+    Histograms use geometric buckets: an observation [v > 0] lands in
+    bucket [⌊ln v / ln γ⌋] where [γ = (1 + α)/(1 − α)] for the registry's
+    relative accuracy [α] (default 1%), so {!quantile} answers are exact
+    in rank and within relative error [α] in value — the DDSketch
+    guarantee. Memory is proportional to the number of occupied buckets
+    (the log of the dynamic range), not to the observation count, so an
+    instrument can absorb millions of period lengths or span timings.
+    Exact zeros are counted separately; [min]/[max]/[sum] are tracked
+    exactly. *)
+
+type t
+(** A registry. Instruments are created on first use of a name; a name
+    denotes one kind of instrument for the registry's lifetime. *)
+
+type counter
+type gauge
+type histogram
+
+val create : ?accuracy:float -> unit -> t
+(** [create ()] is an empty registry. [accuracy] (default [0.01]) is the
+    relative quantile error of histograms subsequently created in it.
+    Requires [0 < accuracy < 1]. *)
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Find-or-create. @raise Invalid_argument if [name] exists as another
+    instrument kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** Last value set; [nan] before the first {!set}. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** @raise Invalid_argument on negative or non-finite values. *)
+
+val n_observations : histogram -> int
+val sum : histogram -> float
+
+val mean : histogram -> float
+(** [nan] when empty. *)
+
+val quantile : histogram -> q:float -> float
+(** Linearly ranked [q]-quantile over the bucketed observations, within
+    the registry's relative accuracy; answers are clamped to the exact
+    observed [[min, max]], and [q = 0] / [q = 1] return those exact
+    extremes. Requires [0 <= q <= 1].
+    @raise Invalid_argument on an empty histogram or [q] out of range. *)
+
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+(** Exact extremes; [nan] when empty. *)
+
+(** {1 Span timer} *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f ()] and observes its duration in seconds
+    ({!Obs_clock}) into histogram [name]. Exceptions propagate; the span
+    is recorded either way. *)
+
+(** {1 Export} *)
+
+val to_json : t -> Jsonx.t
+(** Self-describing snapshot: [{"counters": {...}, "gauges": {...},
+    "histograms": {name: {n, sum, mean, min, max, p50, p90, p99}}}],
+    keys sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Deterministic (name-sorted) human-readable dump, one instrument per
+    line, prefixed [counter]/[gauge]/[hist]. *)

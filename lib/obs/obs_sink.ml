@@ -1,0 +1,20 @@
+type t =
+  | Null
+  | Jsonl of out_channel
+  | Console of Format.formatter
+  | Custom of (Obs_event.t -> unit)
+
+let consumes = function Null -> false | Jsonl _ | Console _ | Custom _ -> true
+
+let emit sink ev =
+  match sink with
+  | Null -> ()
+  | Jsonl oc ->
+      output_string oc (Jsonx.to_string (Obs_event.to_json ev));
+      output_char oc '\n'
+  | Console ppf -> Format.fprintf ppf "%a@." Obs_event.pp ev
+  | Custom f -> f ev
+
+let with_jsonl_file path k =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> k (Jsonl oc))

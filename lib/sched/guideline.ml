@@ -20,18 +20,38 @@ let plan_with_t0 ?finish lf ~c ~t0 =
     stop = g.Recurrence.stop;
   }
 
-let plan ?(t0_steps = 128) ?finish lf ~c =
-  let lo, hi = Bounds.bracket lf ~c in
-  let objective t0 = snd (evaluate ?finish lf ~c ~t0) in
-  let best = Optimize.grid_then_refine objective ~lo ~hi ~steps:t0_steps in
-  let g, ew = evaluate ?finish lf ~c ~t0:best.Optimize.x in
-  {
-    schedule = g.Recurrence.schedule;
-    t0 = best.Optimize.x;
-    expected_work = ew;
-    bracket = (lo, hi);
-    stop = g.Recurrence.stop;
-  }
+let plan ?(obs = Obs.disabled) ?(t0_steps = 128) ?finish lf ~c =
+  let compute () =
+    let lo, hi = Bounds.bracket lf ~c in
+    let objective t0 = snd (evaluate ?finish lf ~c ~t0) in
+    let best = Optimize.grid_then_refine objective ~lo ~hi ~steps:t0_steps in
+    let g, ew = evaluate ?finish lf ~c ~t0:best.Optimize.x in
+    {
+      schedule = g.Recurrence.schedule;
+      t0 = best.Optimize.x;
+      expected_work = ew;
+      bracket = (lo, hi);
+      stop = g.Recurrence.stop;
+    }
+  in
+  if not (Obs.instrumented obs) then compute ()
+  else begin
+    let t_start = Obs_clock.now () in
+    let r = compute () in
+    let elapsed = Obs_clock.elapsed_since t_start in
+    Obs.incr obs "plan.guideline_calls";
+    Obs.observe obs "plan.guideline_seconds" elapsed;
+    Obs.emit obs
+      (Obs.Event.Plan_computed
+         {
+           source = "guideline";
+           t0 = r.t0;
+           periods = Schedule.num_periods r.schedule;
+           expected_work = r.expected_work;
+           elapsed;
+         });
+    r
+  end
 
 let plan_risk_averse ?(t0_steps = 128) ~lambda_ lf ~c =
   if lambda_ < 0.0 then

@@ -16,6 +16,7 @@ type result = {
 }
 
 val plan :
+  ?obs:Obs.t ->
   ?t0_steps:int ->
   ?finish:Recurrence.finish ->
   Life_function.t -> c:float ->
@@ -23,6 +24,12 @@ val plan :
 (** [plan p ~c] runs the full guideline pipeline. [t0_steps] (default 128)
     is the grid resolution of the [t_0] search inside the bracket before
     Brent refinement. Requires [0 < c < horizon p].
+
+    [?obs] (default {!Obs.disabled}) records the planning step: a
+    [Plan_computed] event (source ["guideline"], with the chosen [t_0],
+    period count, expected work, and wall seconds spent) and the
+    [plan.guideline_calls] / [plan.guideline_seconds] metrics. The
+    returned plan is unaffected.
     @raise Invalid_argument when [c] is out of range. *)
 
 val plan_with_t0 :

@@ -48,11 +48,13 @@ let ascend lf ~c ~horizon ~m ~tol =
     (fun (bx, bew) (x, ew) -> if ew > bew then (x, ew) else (bx, bew))
     (List.hd candidates) (List.tl candidates)
 
-let optimal_schedule ?m_max ?(patience = 3) ?(tol = 1e-10) lf ~c =
+let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
+    ?(tol = 1e-10) lf ~c =
   if c <= 0.0 then invalid_arg "Optimizer.optimal_schedule: c must be > 0";
   let horizon = Life_function.horizon lf in
   if c >= horizon then
     invalid_arg "Optimizer.optimal_schedule: c >= horizon";
+  let t_start = if Obs.instrumented obs then Obs_clock.now () else 0.0 in
   let m_cap =
     match m_max with
     | Some m -> m
@@ -93,9 +95,27 @@ let optimal_schedule ?m_max ?(patience = 3) ?(tol = 1e-10) lf ~c =
         else
           Schedule.productive_normal_form ~c (Schedule.of_periods positive)
       in
-      {
-        schedule;
-        expected_work = Schedule.expected_work ~c lf schedule;
-        m;
-        sweeps = !sweeps;
-      }
+      let r =
+        {
+          schedule;
+          expected_work = Schedule.expected_work ~c lf schedule;
+          m;
+          sweeps = !sweeps;
+        }
+      in
+      if Obs.instrumented obs then begin
+        let elapsed = Obs_clock.elapsed_since t_start in
+        Obs.incr obs "plan.optimizer_calls";
+        Obs.add obs "optimizer.sweeps" !sweeps;
+        Obs.observe obs "plan.optimizer_seconds" elapsed;
+        Obs.emit obs
+          (Obs.Event.Plan_computed
+             {
+               source = "optimizer";
+               t0 = Schedule.period schedule 0;
+               periods = Schedule.num_periods schedule;
+               expected_work = r.expected_work;
+               elapsed;
+             })
+      end;
+      r

@@ -16,6 +16,7 @@ type t = {
 }
 
 val optimal_schedule :
+  ?obs:Obs.t ->
   ?m_max:int ->
   ?patience:int ->
   ?tol:float ->
@@ -29,7 +30,12 @@ val optimal_schedule :
     at [m_max] (default: the Corollary 5.3 bound for concave [p], else 64).
     Requires [0 < c < horizon p].
 
-    The returned schedule is in Proposition 2.1 productive normal form. *)
+    The returned schedule is in Proposition 2.1 productive normal form.
+
+    [?obs] (default {!Obs.disabled}) records the search: a
+    [Plan_computed] event (source ["optimizer"]) plus the
+    [plan.optimizer_calls], [optimizer.sweeps], and
+    [plan.optimizer_seconds] metrics. The result is unaffected. *)
 
 val expected_work_of_vector :
   Life_function.t -> c:float -> float array -> float

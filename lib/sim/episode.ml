@@ -7,9 +7,31 @@ type outcome = {
   elapsed : float;
 }
 
-let run s ~c ~reclaim_at =
+(* Pre-resolved metric instruments, so the per-period hot path touches
+   record fields instead of hashing names. *)
+type meters = {
+  m_runs : Obs.Metrics.counter;
+  m_completed : Obs.Metrics.counter;
+  m_killed : Obs.Metrics.counter;
+  m_period_length : Obs.Metrics.histogram;
+  m_elapsed : Obs.Metrics.histogram;
+}
+
+let meters_of m =
+  {
+    m_runs = Obs.Metrics.counter m "episode.runs";
+    m_completed = Obs.Metrics.counter m "episode.periods_completed";
+    m_killed = Obs.Metrics.counter m "episode.periods_killed";
+    m_period_length = Obs.Metrics.histogram m "episode.period_length";
+    m_elapsed = Obs.Metrics.histogram m "episode.elapsed";
+  }
+
+let run ?(obs = Obs.disabled) ?(ws = 0) ?(ep = 0) s ~c ~reclaim_at =
   if c < 0.0 then invalid_arg "Episode.run: c must be >= 0";
   if reclaim_at < 0.0 then invalid_arg "Episode.run: reclaim_at must be >= 0";
+  let trace = Obs.tracing obs in
+  let meters = Option.map meters_of (Obs.metrics obs) in
+  let instr = trace || meters <> None in
   let periods = Schedule.periods s in
   let ends = Schedule.completion_times s in
   let n = Array.length periods in
@@ -18,6 +40,10 @@ let run s ~c ~reclaim_at =
   let completed = ref 0 in
   let interrupted = ref false in
   let work_lost = ref 0.0 in
+  if instr then begin
+    if trace then Obs.emit obs (Obs.Event.Episode_started { time = 0.0; ws; ep });
+    match meters with Some m -> Obs.Metrics.incr m.m_runs | None -> ()
+  end;
   let i = ref 0 in
   while (not !interrupted) && !i < n do
     let t = periods.(!i) in
@@ -27,6 +53,34 @@ let run s ~c ~reclaim_at =
       Kahan.add done_acc (Schedule.positive_sub t c);
       Kahan.add overhead (Float.min t c);
       incr completed;
+      if instr then begin
+        if trace then begin
+          Obs.emit obs
+            (Obs.Event.Period_dispatched
+               {
+                 time = t_end -. t;
+                 ws;
+                 ep;
+                 period = t;
+                 assigned = Schedule.positive_sub t c;
+               });
+          Obs.emit obs
+            (Obs.Event.Period_completed
+               {
+                 time = t_end;
+                 ws;
+                 ep;
+                 period = t;
+                 banked = Schedule.positive_sub t c;
+                 overhead = Float.min t c;
+               })
+        end;
+        match meters with
+        | Some m ->
+            Obs.Metrics.incr m.m_completed;
+            Obs.Metrics.observe m.m_period_length t
+        | None -> ()
+      end;
       incr i
     end
     else begin
@@ -36,7 +90,34 @@ let run s ~c ~reclaim_at =
         interrupted := true;
         let in_flight = reclaim_at -. t_start in
         Kahan.add overhead (Float.min in_flight c);
-        work_lost := Schedule.positive_sub in_flight c
+        work_lost := Schedule.positive_sub in_flight c;
+        if instr then begin
+          if trace then begin
+            Obs.emit obs
+              (Obs.Event.Period_dispatched
+                 {
+                   time = t_start;
+                   ws;
+                   ep;
+                   period = t;
+                   assigned = Schedule.positive_sub t c;
+                 });
+            Obs.emit obs
+              (Obs.Event.Period_killed
+                 {
+                   time = reclaim_at;
+                   ws;
+                   ep;
+                   lost = !work_lost;
+                   overhead = Float.min in_flight c;
+                 })
+          end;
+          match meters with
+          | Some m ->
+              Obs.Metrics.incr m.m_killed;
+              Obs.Metrics.observe m.m_period_length t
+          | None -> ()
+        end
       end
       else begin
         (* The reclaim arrived in the gap at t_start = reclaim_at: episode
@@ -48,6 +129,24 @@ let run s ~c ~reclaim_at =
   let elapsed =
     if !interrupted then reclaim_at else Schedule.total_duration s
   in
+  if instr then begin
+    if trace then begin
+      if !interrupted then
+        Obs.emit obs (Obs.Event.Owner_returned { time = reclaim_at; ws; ep });
+      Obs.emit obs
+        (Obs.Event.Episode_finished
+           {
+             time = elapsed;
+             ws;
+             ep;
+             work_done = Kahan.total done_acc;
+             interrupted = !interrupted;
+           })
+    end;
+    match meters with
+    | Some m -> Obs.Metrics.observe m.m_elapsed elapsed
+    | None -> ()
+  end;
   {
     work_done = Kahan.total done_acc;
     work_lost = !work_lost;

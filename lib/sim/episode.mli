@@ -22,12 +22,24 @@ type outcome = {
           schedule's total duration. *)
 }
 
-val run : Schedule.t -> c:float -> reclaim_at:float -> outcome
+val run :
+  ?obs:Obs.t -> ?ws:int -> ?ep:int ->
+  Schedule.t -> c:float -> reclaim_at:float -> outcome
 (** [run s ~c ~reclaim_at] replays the schedule. A period completing
     exactly at the reclaim instant is counted as completed, matching the
     paper's convention that work is lost only when B is reclaimed {e
     before} the period's end ([p(T_i)] is the probability of surviving
-    {e to} [T_i]). Requires [c >= 0] and [reclaim_at >= 0]. *)
+    {e to} [T_i]). Requires [c >= 0] and [reclaim_at >= 0].
+
+    [?obs] (default {!Obs.disabled}) attaches observability: with a
+    consuming sink the replay emits [Episode_started],
+    [Period_dispatched], [Period_completed] / [Period_killed],
+    [Owner_returned] (iff interrupted) and [Episode_finished] events,
+    stamped with episode-relative times and the [?ws] / [?ep] identity
+    (defaults 0, used by the Monte-Carlo and farm layers); with a metrics
+    registry it maintains [episode.*] counters and histograms. The
+    accounting itself is untouched: results are bit-identical with and
+    without [?obs]. *)
 
 val work_if_reclaimed_at : Schedule.t -> c:float -> float -> float
 (** [work_if_reclaimed_at s ~c t] is just the banked work of {!run} — the

@@ -98,6 +98,8 @@ type ws_state = {
   mutable next_period : (elapsed:float -> float option) option;
       (** The policy closure for the live episode, if any. *)
   mutable in_flight : float;  (** Work assigned to the running period. *)
+  mutable ep_index : int;  (** 0-based ordinal of the live episode. *)
+  mutable ep_done : float;  (** Work banked within the live episode. *)
   mutable stats_done : Kahan.t;
   mutable stats_lost : Kahan.t;
   mutable stats_overhead : Kahan.t;
@@ -105,6 +107,26 @@ type ws_state = {
   mutable stats_completed : int;
   mutable stats_killed : int;
 }
+
+(* Pre-resolved metric instruments for the event handlers. *)
+type meters = {
+  m_episodes : Obs.Metrics.counter;
+  m_completed : Obs.Metrics.counter;
+  m_killed : Obs.Metrics.counter;
+  m_period_length : Obs.Metrics.histogram;
+  m_episode_duration : Obs.Metrics.histogram;
+  m_pool_remaining : Obs.Metrics.gauge;
+}
+
+let meters_of m =
+  {
+    m_episodes = Obs.Metrics.counter m "farm.episodes";
+    m_completed = Obs.Metrics.counter m "farm.periods_completed";
+    m_killed = Obs.Metrics.counter m "farm.periods_killed";
+    m_period_length = Obs.Metrics.histogram m "farm.period_length";
+    m_episode_duration = Obs.Metrics.histogram m "farm.episode_duration";
+    m_pool_remaining = Obs.Metrics.gauge m "farm.pool_remaining";
+  }
 
 type event =
   | Period_end of { ws : int; epoch : int; assigned : float; period : float }
@@ -120,7 +142,7 @@ let tie_of = function
 
 type link_model = Unlimited | Serialized
 
-let run ?(link = Unlimited) config ~seed =
+let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
   if config.c <= 0.0 then invalid_arg "Farm.run: c must be > 0";
   if config.total_work <= 0.0 then
     invalid_arg "Farm.run: total_work must be > 0";
@@ -132,6 +154,12 @@ let run ?(link = Unlimited) config ~seed =
       if w.ws_presence_mean <= 0.0 then
         invalid_arg "Farm.run: presence mean must be > 0")
     config.workstations;
+  let trace = Obs.tracing obs in
+  let meters = Option.map meters_of (Obs.metrics obs) in
+  let instr = trace || meters <> None in
+  if trace then
+    Obs.emit obs
+      (Obs.Event.Run_started { time = 0.0; source = "farm"; seed = Some seed });
   let root = Prng.create ~seed in
   let states =
     Array.of_list
@@ -145,6 +173,8 @@ let run ?(link = Unlimited) config ~seed =
              episode_start = 0.0;
              next_period = None;
              in_flight = 0.0;
+             ep_index = -1;
+             ep_done = 0.0;
              stats_done = Kahan.create ();
              stats_lost = Kahan.create ();
              stats_overhead = Kahan.create ();
@@ -192,6 +222,21 @@ let run ?(link = Unlimited) config ~seed =
                       link_free := d +. config.c;
                       d
                 in
+                if instr then begin
+                  if trace then
+                    Obs.emit obs
+                      (Obs.Event.Period_dispatched
+                         {
+                           time = dispatch;
+                           ws = i;
+                           ep = st.ep_index;
+                           period = t;
+                           assigned;
+                         });
+                  match meters with
+                  | Some m -> Obs.Metrics.observe m.m_period_length t
+                  | None -> ()
+                end;
                 push (dispatch +. t)
                   (Period_end { ws = i; epoch = st.epoch; assigned; period = t })
               end
@@ -205,19 +250,61 @@ let run ?(link = Unlimited) config ~seed =
         push (now +. absence) (Owner_return { ws; epoch = st.epoch });
         st.episode_start <- now;
         st.stats_episodes <- st.stats_episodes + 1;
+        st.ep_index <- st.stats_episodes - 1;
+        st.ep_done <- 0.0;
+        if instr then begin
+          if trace then
+            Obs.emit obs
+              (Obs.Event.Episode_started { time = now; ws; ep = st.ep_index });
+          match meters with
+          | Some m -> Obs.Metrics.incr m.m_episodes
+          | None -> ()
+        end;
         st.next_period <-
           Some (config.policy.fresh_episode st.cfg.ws_life ~c:config.c);
         start_period ws now
     | Owner_return { ws; epoch } ->
         let st = states.(ws) in
         if epoch = st.epoch then begin
+          let was_in_flight = st.in_flight > 0.0 in
           (* Kill any in-flight period: its work returns to the pool. *)
-          if st.in_flight > 0.0 then begin
+          if was_in_flight then begin
             Kahan.add st.stats_lost st.in_flight;
             unassigned := !unassigned +. st.in_flight;
-            st.in_flight <- 0.0;
             st.stats_killed <- st.stats_killed + 1
           end;
+          if instr then begin
+            if trace then begin
+              if was_in_flight then
+                Obs.emit obs
+                  (Obs.Event.Period_killed
+                     {
+                       time = now;
+                       ws;
+                       ep = st.ep_index;
+                       lost = st.in_flight;
+                       overhead = 0.0;
+                     });
+              Obs.emit obs
+                (Obs.Event.Owner_returned { time = now; ws; ep = st.ep_index });
+              Obs.emit obs
+                (Obs.Event.Episode_finished
+                   {
+                     time = now;
+                     ws;
+                     ep = st.ep_index;
+                     work_done = st.ep_done;
+                     interrupted = was_in_flight;
+                   })
+            end;
+            match meters with
+            | Some m ->
+                if was_in_flight then Obs.Metrics.incr m.m_killed;
+                Obs.Metrics.observe m.m_episode_duration
+                  (now -. st.episode_start)
+            | None -> ()
+          end;
+          st.in_flight <- 0.0;
           st.next_period <- None;
           st.epoch <- st.epoch + 1;
           let presence =
@@ -233,8 +320,34 @@ let run ?(link = Unlimited) config ~seed =
           Kahan.add st.stats_overhead (Float.min period config.c);
           banked := !banked +. assigned;
           st.stats_completed <- st.stats_completed + 1;
-          if !banked >= config.total_work -. 1e-9 && !finished_at = None then
-            finished_at := Some now
+          st.ep_done <- st.ep_done +. assigned;
+          if instr then begin
+            if trace then
+              Obs.emit obs
+                (Obs.Event.Period_completed
+                   {
+                     time = now;
+                     ws;
+                     ep = st.ep_index;
+                     period;
+                     banked = assigned;
+                     overhead = Float.min period config.c;
+                   });
+            match meters with
+            | Some m -> Obs.Metrics.incr m.m_completed
+            | None -> ()
+          end;
+          if !banked >= config.total_work -. 1e-9 && !finished_at = None
+          then begin
+            finished_at := Some now;
+            if trace then
+              Obs.emit obs
+                (Obs.Event.Pool_drained
+                   {
+                     time = now;
+                     remaining = Float.max 0.0 (config.total_work -. !banked);
+                   })
+          end
           else start_period ws now
         end
   in
@@ -275,9 +388,19 @@ let run ?(link = Unlimited) config ~seed =
   let in_flight_total =
     Array.fold_left (fun acc st -> acc +. st.in_flight) 0.0 states
   in
+  let makespan =
+    match !finished_at with Some t -> t | None -> config.max_time
+  in
+  if instr then begin
+    if trace then Obs.emit obs (Obs.Event.Run_finished { time = makespan });
+    match meters with
+    | Some m ->
+        Obs.Metrics.set m.m_pool_remaining (!unassigned +. in_flight_total)
+    | None -> ()
+  end;
   {
     finished = !finished_at <> None;
-    makespan = (match !finished_at with Some t -> t | None -> config.max_time);
+    makespan;
     pool_remaining = !unassigned +. in_flight_total;
     total_done = !banked;
     total_lost = List.fold_left (fun a w -> a +. w.work_lost) 0.0 per_workstation;

@@ -90,10 +90,22 @@ type link_model =
           period. Collection is folded into the same [c], per the model's
           combined-overhead convention. *)
 
-val run : ?link:link_model -> config -> seed:int64 -> report
+val run : ?obs:Obs.t -> ?link:link_model -> config -> seed:int64 -> report
 (** [run config ~seed] simulates the farm deterministically from [seed];
     [?link] (default {!Unlimited}) selects the contention model.
     Conservation: [total_done + pool_remaining = total_work] up to float
     tolerance (lost work returns to the pool).
+
+    [?obs] (default {!Obs.disabled}) attaches observability without
+    changing any result: a consuming sink receives the full event stream
+    ([Run_started], per-workstation [Episode_started] /
+    [Period_dispatched] / [Period_completed] / [Period_killed] /
+    [Owner_returned] / [Episode_finished], [Pool_drained] when the pool
+    empties, [Run_finished]) stamped with absolute simulation times, and
+    a metrics registry accumulates [farm.*] counters, histograms, and the
+    final pool gauge. {!Trace_report} folds such a trace back into this
+    function's own report numbers. Killed periods charge no overhead in
+    this accounting (the dispatch cost is only charged to completed
+    periods), so their [Period_killed] events carry [overhead = 0].
     @raise Invalid_argument on nonpositive [c], [total_work], [max_time],
     presence means, or an empty workstation list. *)

@@ -8,22 +8,28 @@ type estimate = {
   analytic : float;
 }
 
-let estimate ?(trials = 20_000) lf ~c ~schedule ~seed =
+let estimate ?(obs = Obs.disabled) ?(trials = 20_000) lf ~c ~schedule ~seed =
   if trials < 2 then invalid_arg "Monte_carlo.estimate: trials must be >= 2";
+  if Obs.tracing obs then
+    Obs.emit obs
+      (Obs.Event.Run_started
+         { time = 0.0; source = "monte_carlo"; seed = Some seed });
   let g = Prng.create ~seed in
   let sampler = Reclaim.create lf in
   let works = Array.make trials 0.0 in
   let overhead = Kahan.create () in
   let lost = Kahan.create () in
   let interrupted = ref 0 in
-  for i = 0 to trials - 1 do
-    let reclaim_at = Reclaim.draw sampler g in
-    let o = Episode.run schedule ~c ~reclaim_at in
-    works.(i) <- o.Episode.work_done;
-    Kahan.add overhead o.Episode.overhead;
-    Kahan.add lost o.Episode.work_lost;
-    if o.Episode.interrupted then incr interrupted
-  done;
+  Obs.time obs "mc.estimate_seconds" (fun () ->
+      for i = 0 to trials - 1 do
+        let reclaim_at = Reclaim.draw sampler g in
+        let o = Episode.run ~obs ~ep:i schedule ~c ~reclaim_at in
+        works.(i) <- o.Episode.work_done;
+        Kahan.add overhead o.Episode.overhead;
+        Kahan.add lost o.Episode.work_lost;
+        if o.Episode.interrupted then incr interrupted
+      done);
+  if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });
   let tf = float_of_int trials in
   {
     trials;
@@ -41,20 +47,27 @@ type policy_run = {
   episodes : int;
 }
 
-let compare_policies ?(trials = 20_000) lf ~c ~policies ~seed =
+let compare_policies ?(obs = Obs.disabled) ?(trials = 20_000) lf ~c ~policies
+    ~seed =
   if trials < 1 then
     invalid_arg "Monte_carlo.compare_policies: trials must be >= 1";
+  if Obs.tracing obs then
+    Obs.emit obs
+      (Obs.Event.Run_started
+         { time = 0.0; source = "compare_policies"; seed = Some seed });
   let sampler = Reclaim.create lf in
   let g = Prng.create ~seed in
   (* Common random numbers: one shared stream of reclaim times. *)
   let reclaims = Array.init trials (fun _ -> Reclaim.draw sampler g) in
   let runs =
-    List.map
-      (fun (policy_name, schedule) ->
+    List.mapi
+      (fun pi (policy_name, schedule) ->
         let acc = Kahan.create () in
-        Array.iter
-          (fun r ->
-            Kahan.add acc (Episode.run schedule ~c ~reclaim_at:r).Episode.work_done)
+        Array.iteri
+          (fun ti r ->
+            Kahan.add acc
+              (Episode.run ~obs ~ws:pi ~ep:ti schedule ~c ~reclaim_at:r)
+                .Episode.work_done)
           reclaims;
         {
           policy_name;
@@ -63,6 +76,7 @@ let compare_policies ?(trials = 20_000) lf ~c ~policies ~seed =
         })
       policies
   in
+  if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });
   List.sort
     (fun a b -> Float.compare b.mean_work_per_episode a.mean_work_per_episode)
     runs

@@ -14,12 +14,20 @@ type estimate = {
 }
 
 val estimate :
+  ?obs:Obs.t ->
   ?trials:int ->
   Life_function.t -> c:float -> schedule:Schedule.t -> seed:int64 ->
   estimate
 (** [estimate p ~c ~schedule ~seed] runs [trials] (default 20_000)
     independent episodes with reclaim times drawn from [p] and summarises
-    the outcomes. Deterministic in [seed]. Requires [trials >= 2]. *)
+    the outcomes. Deterministic in [seed]. Requires [trials >= 2].
+
+    [?obs] (default {!Obs.disabled}) is forwarded to every
+    {!Episode.run}, with the trial index as the episode ordinal [ep] (and
+    [ws = 0]), bracketed by [Run_started] / [Run_finished] marker events;
+    with a metrics registry attached the whole sweep is additionally span-
+    timed into the [mc.estimate_seconds] histogram. Results are identical
+    with and without [?obs]. *)
 
 type policy_run = {
   policy_name : string;
@@ -28,6 +36,7 @@ type policy_run = {
 }
 
 val compare_policies :
+  ?obs:Obs.t ->
   ?trials:int ->
   Life_function.t -> c:float ->
   policies:(string * Schedule.t) list -> seed:int64 ->
@@ -35,4 +44,8 @@ val compare_policies :
 (** [compare_policies p ~c ~policies ~seed] runs every named schedule
     against the {e same} stream of sampled reclaim times (common random
     numbers, so policy differences are not drowned in sampling noise) and
-    reports mean work per episode, sorted best-first. *)
+    reports mean work per episode, sorted best-first.
+
+    [?obs] is forwarded to every {!Episode.run}; in the emitted events the
+    [ws] field carries the {e policy index} (position in [policies]) and
+    [ep] the trial index, so a trace can be cut per policy. *)
