@@ -494,7 +494,7 @@ let e13 () =
                  (r.Farm.makespan, r.Farm.total_lost))
                seeds)
         in
-        let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+        let mean xs = Kahan.sum_list xs /. float_of_int (List.length xs) in
         [
           policy.Farm.policy_name;
           Tbl.f2 (mean makespans);
@@ -780,7 +780,7 @@ let e20 () =
               (fun seed -> Throughput.measured_rate (Farm.run cfg ~seed))
               [ 1L; 2L; 3L; 4L ]
           in
-          List.fold_left ( +. ) 0.0 rates /. 4.0
+          Kahan.sum_list rates /. 4.0
         in
         [
           name;

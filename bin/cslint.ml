@@ -1,0 +1,87 @@
+(* cslint: static analyzer enforcing the repo's numerical-correctness and
+   determinism invariants (DESIGN.md §8). Exit codes: 0 clean, 1 new
+   findings, 2 operational error (unparsable source, bad baseline). *)
+
+let usage = "usage: cslint [--json] [--baseline FILE [--write-baseline]] [--rules] [PATH ...]"
+
+let json = ref false
+let baseline_path = ref None
+let write_baseline = ref false
+let list_rules = ref false
+let paths = ref []
+
+let spec =
+  [
+    ("--json", Arg.Set json, " machine-readable output (one JSON object)");
+    ( "--baseline",
+      Arg.String (fun s -> baseline_path := Some s),
+      "FILE ignore findings recorded in FILE (grandfather list)" );
+    ( "--write-baseline",
+      Arg.Set write_baseline,
+      " rewrite the --baseline file to cover current findings, then exit 0" );
+    ("--rules", Arg.Set list_rules, " describe the rule set and exit");
+  ]
+
+let () =
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (m : Lint_rules.meta) ->
+        Printf.printf "%s  %s\n      remedy: %s\n" m.id m.title m.remedy)
+      Lint_rules.all_meta;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with
+    | [] ->
+        List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
+    | ps -> ps
+  in
+  let result = Lint_engine.run paths in
+  let baseline =
+    match !baseline_path with
+    | None -> Ok []
+    | Some p when !write_baseline ->
+        Lint_baseline.save p result.all_findings;
+        Printf.printf "cslint: wrote %d finding(s) to %s\n"
+          (List.length result.all_findings)
+          p;
+        exit (if result.errors = [] then 0 else 2)
+    | Some p -> Lint_baseline.load p
+  in
+  match baseline with
+  | Error e ->
+      prerr_endline ("cslint: " ^ e);
+      exit 2
+  | Ok entries ->
+      let fresh, baselined = Lint_baseline.apply entries result.all_findings in
+      if !json then
+        print_endline
+          (Jsonx.to_string
+             (Jsonx.Obj
+                [
+                  ( "findings",
+                    Jsonx.List (List.map Lint_finding.to_json fresh) );
+                  ("total", Jsonx.Int (List.length fresh));
+                  ("suppressed", Jsonx.Int result.total_suppressed);
+                  ("baselined", Jsonx.Int baselined);
+                  ( "errors",
+                    Jsonx.List
+                      (List.map (fun e -> Jsonx.String e) result.errors) );
+                ]))
+      else begin
+        List.iter
+          (fun f -> print_endline (Lint_finding.to_human f))
+          fresh;
+        List.iter (fun e -> prerr_endline ("cslint: error: " ^ e)) result.errors;
+        if fresh = [] && result.errors = [] then
+          Printf.printf "cslint: clean (0 new, %d baselined, %d suppressed)\n"
+            baselined result.total_suppressed
+        else
+          Printf.printf
+            "cslint: %d finding(s), %d baselined, %d suppressed, %d error(s)\n"
+            (List.length fresh) baselined result.total_suppressed
+            (List.length result.errors)
+      end;
+      if result.errors <> [] then exit 2;
+      if fresh <> [] then exit 1

@@ -1,0 +1,77 @@
+cslint walks .ml/.mli sources and enforces the numerical-correctness and
+determinism rules (DESIGN.md §8). Build a tiny dirty project to lint.
+
+  $ mkdir -p lib bin
+  $ cat > lib/dirty.ml << 'EOF'
+  > let bad_eq x = x = 0.5
+  > let bad_sum xs = List.fold_left ( +. ) 0.0 xs
+  > let bad_rand () = Random.int 10
+  > let bad_print () = print_endline "hi"
+  > EOF
+  $ cat > bin/tool.ml << 'EOF'
+  > let usage () = print_endline "usage: tool"
+  > let shady x = Obj.magic x
+  > EOF
+
+Human output: one finding per line, sorted by file and position, and a
+nonzero exit code. bin/ may print (R4 is lib/-scoped) but not cast.
+
+  $ ../bin/cslint.exe lib bin
+  bin/tool.ml:2:14: R6 Obj.magic/Obj.repr defeat the type system; restructure the types
+  lib/dirty.ml:1:0: R5 missing interface: every lib/**/*.ml needs a matching .mli
+  lib/dirty.ml:1:15: R1 polymorphic = with a float operand; use Tol.equal, Tol.is_zero or Tol.exactly
+  lib/dirty.ml:2:17: R2 naive fold_left (+.) accumulation; use Kahan.sum / Kahan.sum_list / Kahan.sum_by
+  lib/dirty.ml:3:18: R3 stdlib Random breaks reproducibility; thread an explicit Prng.t
+  lib/dirty.ml:4:19: R4 print_endline prints directly from lib/; emit through Obs sinks or return values
+  cslint: 6 finding(s), 0 baselined, 0 suppressed, 0 error(s)
+  [1]
+
+JSON output carries the same findings plus counters.
+
+  $ ../bin/cslint.exe --json bin
+  {"findings":[{"rule":"R6","file":"bin/tool.ml","line":2,"col":14,"message":"Obj.magic/Obj.repr defeat the type system; restructure the types"}],"total":1,"suppressed":0,"baselined":0,"errors":[]}
+  [1]
+
+Suppression: [@lint.allow "Rn"] silences a finding at that node, and the
+summary reports it so deliberate exemptions stay visible.
+
+  $ cat > lib/allowed.ml << 'EOF'
+  > let chosen x = (x = 0.5) [@lint.allow "R1"]
+  > EOF
+  $ cat > lib/allowed.mli << 'EOF'
+  > val chosen : float -> bool
+  > EOF
+  $ ../bin/cslint.exe lib/allowed.ml lib/allowed.mli
+  cslint: clean (0 new, 0 baselined, 1 suppressed)
+
+Baseline handling: --write-baseline grandfathers the current findings,
+after which only new findings fail the run.
+
+  $ ../bin/cslint.exe --baseline BASE --write-baseline lib bin
+  cslint: wrote 6 finding(s) to BASE
+  $ ../bin/cslint.exe --baseline BASE lib bin
+  cslint: clean (0 new, 6 baselined, 1 suppressed)
+  $ cat >> lib/dirty.ml << 'EOF'
+  > let newly_bad x = x = 2.5
+  > EOF
+  $ ../bin/cslint.exe --baseline BASE lib bin
+  lib/dirty.ml:5:18: R1 polymorphic = with a float operand; use Tol.equal, Tol.is_zero or Tol.exactly
+  cslint: 1 finding(s), 6 baselined, 1 suppressed, 0 error(s)
+  [1]
+
+A missing baseline file is an operational error, distinct from findings.
+
+  $ ../bin/cslint.exe --baseline MISSING lib bin 2>&1
+  cslint: MISSING: No such file or directory
+  [2]
+
+Unparsable source is also an operational error (exit 2), so CI cannot
+mistake a broken tree for a clean one.
+
+  $ cat > lib/broken.ml << 'EOF'
+  > let let let
+  > EOF
+  $ ../bin/cslint.exe lib/broken.ml 2>/dev/null
+  lib/broken.ml:1:0: R5 missing interface: every lib/**/*.ml needs a matching .mli
+  cslint: 1 finding(s), 0 baselined, 0 suppressed, 1 error(s)
+  [2]

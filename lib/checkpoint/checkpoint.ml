@@ -18,7 +18,10 @@ let truncate_to_work schedule ~c ~work =
          end
          else begin
            rev := t :: !rev;
-           committed := !committed +. productive
+           (* Interleaves accumulation with the clamp-to-[work] assignment
+              above; the few same-scale terms are compared with a 1e-12
+              slack, so a compensated carrier would change nothing. *)
+           (committed := !committed +. productive) [@lint.allow "R2"]
          end)
        periods
    with Exit -> ());
@@ -72,27 +75,27 @@ let simulate_restarts ~work ~c ~restart_cost lf g ~max_failures =
       "Checkpoint.simulate_restarts: no progress possible (c too large for \
        this life function)";
   let sampler = Reclaim.create lf in
-  let clock = ref 0.0 in
+  let clock = Kahan.create () in
   let remaining = ref work in
   let failures = ref 0 in
-  let lost = ref 0.0 in
+  let lost = Kahan.create () in
   let checkpoints = ref 0 in
   while !remaining > 1e-9 && !failures <= max_failures do
     let plan = plan_saves ~work:!remaining lf ~c in
     let failure_at = Reclaim.draw sampler g in
     let o = Episode.run plan.intervals ~c ~reclaim_at:failure_at in
-    clock := !clock +. o.Episode.elapsed;
+    Kahan.add clock o.Episode.elapsed;
     remaining := !remaining -. o.Episode.work_done;
     checkpoints := !checkpoints + o.Episode.periods_completed;
     if o.Episode.interrupted && !remaining > 1e-9 then begin
       incr failures;
-      lost := !lost +. o.Episode.work_lost;
-      clock := !clock +. restart_cost
+      Kahan.add lost o.Episode.work_lost;
+      Kahan.add clock restart_cost
     end
   done;
   {
-    makespan = !clock;
+    makespan = Kahan.total clock;
     failures = !failures;
-    work_lost_total = !lost;
+    work_lost_total = Kahan.total lost;
     checkpoints_written = !checkpoints;
   }

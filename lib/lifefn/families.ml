@@ -76,7 +76,10 @@ let weibull ~shape ~scale =
     ~name:(Printf.sprintf "weibull(shape=%g, scale=%g)" sh sc)
     ~support:Life_function.Unbounded
     ~dp:(fun t ->
-      if t <= 0.0 then (if sh < 1.0 then neg_infinity else if sh = 1.0 then -1.0 /. sc else 0.0)
+      if t <= 0.0 then
+        if sh < 1.0 then neg_infinity
+        else if Tol.exactly sh 1.0 then -1.0 /. sc
+        else 0.0
       else
         let z = t /. sc in
         let zs = Float.pow z sh in
@@ -95,7 +98,7 @@ let power_law ~d =
 
 let of_interpolant ~name ip =
   let lo, hi = Interp.domain ip in
-  if lo <> 0.0 then
+  if not (Tol.exactly lo 0.0) then
     raise
       (Life_function.Invalid_life_function
          (Printf.sprintf "%s: interpolant domain must start at 0 (got %g)"

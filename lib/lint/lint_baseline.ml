@@ -1,0 +1,67 @@
+type entry = { b_rule : string; b_file : string; b_line : int }
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || String.length line > 0 && line.[0] = '#' then Ok None
+  else
+    match String.split_on_char ' ' line with
+    | [ rule; loc ] -> (
+        match String.rindex_opt loc ':' with
+        | Some i -> (
+            let file = String.sub loc 0 i in
+            let ln = String.sub loc (i + 1) (String.length loc - i - 1) in
+            match int_of_string_opt ln with
+            | Some b_line when b_line >= 1 ->
+                Ok (Some { b_rule = rule; b_file = file; b_line })
+            | _ -> Error line)
+        | None -> Error line)
+    | _ -> Error line
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content ->
+      let entries = ref [] in
+      let bad = ref None in
+      String.split_on_char '\n' content
+      |> List.iter (fun l ->
+             match parse_line l with
+             | Ok (Some e) -> entries := e :: !entries
+             | Ok None -> ()
+             | Error l -> if !bad = None then bad := Some l);
+      (match !bad with
+      | Some l -> Error (Printf.sprintf "%s: malformed baseline line %S" path l)
+      | None -> Ok (List.rev !entries))
+
+let apply entries findings =
+  let remaining = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = (e.b_rule, e.b_file, e.b_line) in
+      let n = Option.value (Hashtbl.find_opt remaining k) ~default:0 in
+      Hashtbl.replace remaining k (n + 1))
+    entries;
+  let fresh =
+    List.filter
+      (fun (f : Lint_finding.t) ->
+        let k = (f.rule, f.file, f.line) in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+            Hashtbl.replace remaining k (n - 1);
+            false
+        | _ -> true)
+      findings
+  in
+  (fresh, List.length findings - List.length fresh)
+
+let save path findings =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        "# cslint baseline: grandfathered findings, one per line as\n\
+         # \"<rule> <file>:<line>\". Regenerate with cslint --write-baseline;\n\
+         # burn entries down rather than adding to them.\n";
+      List.iter
+        (fun (f : Lint_finding.t) ->
+          Out_channel.output_string oc
+            (Printf.sprintf "%s %s:%d\n" f.rule f.file f.line))
+        findings)

@@ -1,0 +1,23 @@
+(** Checked-in grandfather list for cslint findings.
+
+    The baseline lets the linter land with the repository still dirty and
+    the debt burned down in later changes: a finding matching a baseline
+    entry (same rule, file and line) is reported as [baselined] rather
+    than failing the run. The shipped [.cslint-baseline] is empty — CI
+    fails on any finding — but the mechanism stays for future rules. *)
+
+type entry = { b_rule : string; b_file : string; b_line : int }
+
+val load : string -> (entry list, string) result
+(** Parse a baseline file: ["<rule> <file>:<line>"] per line, [#]
+    comments and blank lines ignored. Errors on unreadable files or
+    malformed lines. *)
+
+val apply : entry list -> Lint_finding.t list -> Lint_finding.t list * int
+(** [apply entries findings] is [(fresh, baselined)]: findings not
+    covered by an entry, and the count that were. Each entry covers at
+    most one finding, so duplicates on one line must be listed twice. *)
+
+val save : string -> Lint_finding.t list -> unit
+(** Write a baseline covering exactly [findings], with a header comment
+    explaining the format. *)

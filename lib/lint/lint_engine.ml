@@ -1,0 +1,139 @@
+type report = { findings : Lint_finding.t list; suppressed : int }
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.concat "/" (String.split_on_char '\\' path)
+
+(* [dir] counts when it appears as a non-final path segment, so
+   "lib/sched/exact.ml" and "repo/lib/x.ml" are under "lib" but
+   "lib_old/x.ml" is not. *)
+let under dir path =
+  let rec go = function
+    | [] | [ _ ] -> false
+    | seg :: rest -> String.equal seg dir || go rest
+  in
+  go (String.split_on_char '/' (normalize path))
+
+let scope_of_path path : Lint_rules.scope =
+  let n = normalize path in
+  {
+    file = path;
+    in_lib = under "lib" n;
+    in_bench = under "bench" n;
+    is_prng = String.ends_with ~suffix:"numerics/prng.ml" n;
+  }
+
+let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =
+  let p = r.r_loc.Location.loc_start in
+  {
+    rule = r.r_rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message = r.r_msg;
+  }
+
+let lint_source ~path content =
+  if Filename.check_suffix path ".mli" then Ok { findings = []; suppressed = 0 }
+  else begin
+    let lexbuf = Lexing.from_string content in
+    Lexing.set_filename lexbuf path;
+    match Parse.implementation lexbuf with
+    | exception exn ->
+        let detail =
+          match Location.error_of_exn exn with
+          | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+          | _ -> Printexc.to_string exn
+        in
+        Error (Printf.sprintf "%s: parse error: %s" path (String.trim detail))
+    | str ->
+        let scope = scope_of_path path in
+        let raws, allows = Lint_rules.check_structure scope str in
+        let allowed (r : Lint_rules.raw) =
+          List.exists
+            (fun (a : Lint_rules.allow_span) ->
+              String.equal a.a_rule r.r_rule
+              && a.a_start <= r.r_start && r.r_end <= a.a_end)
+            allows
+        in
+        let kept, dropped = List.partition (fun r -> not (allowed r)) raws in
+        let findings =
+          List.sort Lint_finding.compare
+            (List.map (finding_of_raw path) kept)
+        in
+        Ok { findings; suppressed = List.length dropped }
+  end
+
+let lint_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content -> lint_source ~path content
+
+let missing_mli_findings files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set (normalize f) ()) files;
+  files
+  |> List.filter_map (fun f ->
+         let n = normalize f in
+         if
+           Filename.check_suffix n ".ml"
+           && (scope_of_path n).in_lib
+           && not (Hashtbl.mem set (n ^ "i"))
+         then
+           Some
+             {
+               Lint_finding.rule = "R5";
+               file = f;
+               line = 1;
+               col = 0;
+               message =
+                 "missing interface: every lib/**/*.ml needs a matching .mli";
+             }
+         else None)
+  |> List.sort Lint_finding.compare
+
+let collect_files paths =
+  let out = ref [] in
+  let rec walk p =
+    if Sys.is_directory p then
+      Sys.readdir p |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry ->
+             if not (String.starts_with ~prefix:"." entry || entry = "_build")
+             then walk (Filename.concat p entry))
+    else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+    then out := p :: !out
+  in
+  List.iter
+    (fun p -> if Sys.file_exists p then walk p else ())
+    paths;
+  List.sort_uniq String.compare (List.map normalize !out)
+
+type result = {
+  all_findings : Lint_finding.t list;
+  total_suppressed : int;
+  errors : string list;
+}
+
+let run paths =
+  let files = collect_files paths in
+  let findings = ref [] in
+  let suppressed = ref 0 in
+  let errors = ref [] in
+  List.iter
+    (fun f ->
+      match lint_file f with
+      | Ok r ->
+          findings := r.findings :: !findings;
+          suppressed := !suppressed + r.suppressed
+      | Error e -> errors := e :: !errors)
+    files;
+  findings := [ missing_mli_findings files ] @ !findings;
+  {
+    all_findings = List.sort Lint_finding.compare (List.concat !findings);
+    total_suppressed = !suppressed;
+    errors = List.rev !errors;
+  }

@@ -1,0 +1,41 @@
+(** The cslint driver: parse sources with compiler-libs, run the rule
+    set, honour [@lint.allow] suppressions, and enforce the .mli pairing
+    rule over a file set.
+
+    Everything here is pure over its inputs apart from {!lint_file},
+    {!collect_files} and {!run}, which read the filesystem — tests
+    exercise the rules through {!lint_source} with inline fixtures. *)
+
+type report = { findings : Lint_finding.t list; suppressed : int }
+
+val scope_of_path : string -> Lint_rules.scope
+(** Classify a path: under [lib/], under [bench/], or the PRNG module
+    itself. Leading "./" and backslash separators are normalized. *)
+
+val lint_source : path:string -> string -> (report, string) result
+(** [lint_source ~path content] lints one implementation held in memory.
+    [path] determines rule scoping and appears in findings. [.mli]
+    sources are skipped (no expression rules apply). Findings are sorted;
+    [suppressed] counts findings silenced by [@lint.allow]. Errors are
+    unparsable source. *)
+
+val lint_file : string -> (report, string) result
+(** {!lint_source} over a file's contents. *)
+
+val missing_mli_findings : string list -> Lint_finding.t list
+(** Rule R5 over a file set: one finding per [lib/**/*.ml] with no
+    matching [.mli] in the same set. *)
+
+val collect_files : string list -> string list
+(** Walk files and directories (skipping [_build] and dotted entries) and
+    return the sorted [.ml]/[.mli] paths beneath them. Nonexistent paths
+    are ignored. *)
+
+type result = {
+  all_findings : Lint_finding.t list;  (** Sorted, post-suppression. *)
+  total_suppressed : int;
+  errors : string list;  (** Unreadable or unparsable files. *)
+}
+
+val run : string list -> result
+(** [collect_files], lint each file, and append the R5 pairing check. *)

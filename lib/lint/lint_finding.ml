@@ -1,0 +1,30 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: %s %s" f.file f.line f.col f.rule f.message
+
+let to_json f =
+  Jsonx.Obj
+    [
+      ("rule", Jsonx.String f.rule);
+      ("file", Jsonx.String f.file);
+      ("line", Jsonx.Int f.line);
+      ("col", Jsonx.Int f.col);
+      ("message", Jsonx.String f.message);
+    ]

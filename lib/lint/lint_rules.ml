@@ -1,0 +1,285 @@
+type scope = {
+  file : string;
+  in_lib : bool;
+  in_bench : bool;
+  is_prng : bool;
+}
+
+type meta = { id : string; title : string; remedy : string }
+
+let all_meta =
+  [
+    {
+      id = "R1";
+      title = "no polymorphic =, <> or compare with a float operand";
+      remedy = "use Tol.equal / Tol.is_zero, or Tol.exactly when exactness is intended";
+    };
+    {
+      id = "R2";
+      title = "no naive float accumulation in lib/ or bench/";
+      remedy = "use Kahan.create/add/total or Kahan.sum*";
+    };
+    {
+      id = "R3";
+      title = "no stdlib Random outside lib/numerics/prng.ml";
+      remedy = "thread an explicit Prng.t seeded from the experiment config";
+    };
+    {
+      id = "R4";
+      title = "no direct printing from lib/";
+      remedy = "emit through Obs sinks or return values to the caller";
+    };
+    {
+      id = "R5";
+      title = "every lib/**/*.ml has a matching .mli";
+      remedy = "write the interface; unconstrained modules leak representation";
+    };
+    {
+      id = "R6";
+      title = "no Obj.magic / Obj.repr";
+      remedy = "restructure the types instead of defeating them";
+    };
+  ]
+
+open Parsetree
+
+(* A raw finding carries the character span of the offending node so the
+   suppression pass can match it against [@lint.allow] attribute spans. *)
+type raw = {
+  r_rule : string;
+  r_loc : Location.t;
+  r_msg : string;
+  r_start : int;
+  r_end : int;
+}
+
+type allow_span = { a_rule : string; a_start : int; a_end : int }
+
+let float_arith_ops = [ "+."; "-."; "*."; "/."; "~-."; "**" ]
+
+let is_float_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, _)
+    when List.mem op float_arith_ops ->
+      true
+  | Pexp_constraint
+      ( _,
+        {
+          ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []);
+          _;
+        } ) ->
+      true
+  | _ -> false
+
+let rec longident_head = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, _) -> longident_head l
+  | Longident.Lapply (l, _) -> longident_head l
+
+let deref_of_var name e =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "!"; _ }; _ },
+        [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident v; _ }; _ }) ] )
+    ->
+      String.equal v name
+  | _ -> false
+
+let lib_printers =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+  ]
+
+(* Rules of the [@lint.allow "R2"] payload: one string constant naming one
+   or more rule ids, separated by spaces or commas. *)
+let allow_payload_rules = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                _ );
+          _;
+        };
+      ] ->
+      let split c l = List.concat_map (String.split_on_char c) l in
+      let rules =
+        [ s ] |> split ' ' |> split ','
+        |> List.filter_map (fun r ->
+               let r = String.trim r in
+               if String.length r = 0 then None else Some r)
+      in
+      if rules = [] then None else Some rules
+  | _ -> None
+
+let check_structure (scope : scope) (str : structure) :
+    raw list * allow_span list =
+  let findings = ref [] in
+  let allows = ref [] in
+  let report rule loc msg =
+    findings :=
+      {
+        r_rule = rule;
+        r_loc = loc;
+        r_msg = msg;
+        r_start = loc.Location.loc_start.Lexing.pos_cnum;
+        r_end = loc.Location.loc_end.Lexing.pos_cnum;
+      }
+      :: !findings
+  in
+  let note_attrs attrs (loc : Location.t) =
+    List.iter
+      (fun (a : attribute) ->
+        if String.equal a.attr_name.txt "lint.allow" then
+          match allow_payload_rules a.attr_payload with
+          | Some rules ->
+              List.iter
+                (fun r ->
+                  allows :=
+                    {
+                      a_rule = r;
+                      a_start = loc.loc_start.pos_cnum;
+                      a_end = loc.loc_end.pos_cnum;
+                    }
+                    :: !allows)
+                rules
+          | None ->
+              report "E1" a.attr_loc
+                "malformed [@lint.allow ...] payload; expected a string of \
+                 rule ids like \"R2\" or \"R1,R2\"")
+      attrs
+  in
+  let check_ident lid loc =
+    (match lid with
+    | Longident.Ldot (Longident.Lident "Obj", ("magic" | "repr")) ->
+        report "R6" loc
+          "Obj.magic/Obj.repr defeat the type system; restructure the types"
+    | _ -> ());
+    (if (not scope.is_prng) && String.equal (longident_head lid) "Random" then
+       report "R3" loc
+         "stdlib Random breaks reproducibility; thread an explicit Prng.t");
+    if scope.in_lib then
+      match lid with
+      | Longident.Lident p when List.mem p lib_printers ->
+          report "R4" loc
+            (Printf.sprintf
+               "%s prints directly from lib/; emit through Obs sinks or \
+                return values"
+               p)
+      | Longident.Ldot (Longident.Lident ("Printf" | "Format"), "printf") ->
+          report "R4" loc
+            "printf prints directly from lib/; emit through Obs sinks or \
+             return values"
+      | _ -> ()
+  in
+  let check_expr (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident txt loc
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = fn; _ }; _ },
+          ((_ :: _ :: _ | [ _ ]) as args) ) -> (
+        let poly_cmp =
+          match fn with
+          | Longident.Lident (("=" | "<>" | "compare") as s) -> Some s
+          | Longident.Ldot
+              (Longident.Lident "Stdlib", (("=" | "<>" | "compare") as s)) ->
+              Some s
+          | _ -> None
+        in
+        (match (poly_cmp, args) with
+        | Some op, [ (_, a); (_, b) ]
+          when is_float_operand a || is_float_operand b ->
+            report "R1" e.pexp_loc
+              (Printf.sprintf
+                 "polymorphic %s with a float operand; use Tol.equal, \
+                  Tol.is_zero or Tol.exactly"
+                 op)
+        | _ -> ());
+        match (fn, args) with
+        | ( Longident.Ldot (Longident.Lident ("List" | "Array" | "Seq"), "fold_left"),
+            (_, { pexp_desc = Pexp_ident { txt = Longident.Lident "+."; _ }; _ })
+            :: _ )
+          when scope.in_lib || scope.in_bench ->
+            report "R2" e.pexp_loc
+              "naive fold_left (+.) accumulation; use Kahan.sum / \
+               Kahan.sum_list / Kahan.sum_by"
+        | ( Longident.Lident ":=",
+            [
+              (_, { pexp_desc = Pexp_ident { txt = Longident.Lident v; _ }; _ });
+              ( _,
+                {
+                  pexp_desc =
+                    Pexp_apply
+                      ( {
+                          pexp_desc =
+                            Pexp_ident { txt = Longident.Lident "+."; _ };
+                          _;
+                        },
+                        [ (_, lhs); (_, rhs) ] );
+                  _;
+                } );
+            ] )
+          when (scope.in_lib || scope.in_bench)
+               && (deref_of_var v lhs || deref_of_var v rhs) ->
+            report "R2" e.pexp_loc
+              (Printf.sprintf
+                 "running float accumulation into %s via := !%s +. ...; use \
+                  Kahan.create/add/total"
+                 v v)
+        | _ -> ())
+    | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          note_attrs e.pexp_attributes e.pexp_loc;
+          check_expr e;
+          default.expr it e);
+      value_binding =
+        (fun it vb ->
+          note_attrs vb.pvb_attributes vb.pvb_loc;
+          default.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a ->
+              (* Floating [@@@lint.allow "..."] suppresses for the whole
+                 compilation unit. *)
+              note_attrs [ a ]
+                {
+                  si.pstr_loc with
+                  loc_start = { si.pstr_loc.loc_start with pos_cnum = 0 };
+                  loc_end = { si.pstr_loc.loc_end with pos_cnum = max_int };
+                }
+          | _ -> ());
+          default.structure_item it si);
+      module_binding =
+        (fun it mb ->
+          note_attrs mb.pmb_attributes mb.pmb_loc;
+          default.module_binding it mb);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; loc } ->
+              if (not scope.is_prng) && String.equal (longident_head txt) "Random"
+              then
+                report "R3" loc
+                  "stdlib Random breaks reproducibility; thread an explicit \
+                   Prng.t"
+          | _ -> ());
+          default.module_expr it me);
+    }
+  in
+  iter.structure iter str;
+  (!findings, !allows)

@@ -1,0 +1,39 @@
+(** The cslint rule set: syntactic checks over the Parsetree.
+
+    Each rule enforces one of the repository's numerical-correctness or
+    determinism invariants (see DESIGN.md §8). The checks are purely
+    syntactic — the linter runs on unparsed source without type
+    information — so they are scoped to the patterns that matter:
+    comparisons against float literals or float-arithmetic expressions,
+    the [x := !x +. e] accumulation idiom, and module paths rooted at
+    [Random] / [Obj]. *)
+
+type scope = {
+  file : string;  (** Path as reported in findings. *)
+  in_lib : bool;  (** Under [lib/]: R2 and R4 apply. *)
+  in_bench : bool;  (** Under [bench/]: R2 applies. *)
+  is_prng : bool;  (** [lib/numerics/prng.ml] itself: exempt from R3. *)
+}
+
+type meta = { id : string; title : string; remedy : string }
+
+val all_meta : meta list
+(** One entry per rule, in id order; used by [cslint --rules] and kept in
+    sync with DESIGN.md §8. *)
+
+type raw = {
+  r_rule : string;
+  r_loc : Location.t;
+  r_msg : string;
+  r_start : int;  (** Start character offset of the offending node. *)
+  r_end : int;  (** End character offset of the offending node. *)
+}
+
+type allow_span = { a_rule : string; a_start : int; a_end : int }
+(** A [\[@lint.allow "Rn"\]] attribute: findings for [a_rule] whose span
+    falls inside [a_start, a_end] are suppressed. *)
+
+val check_structure : scope -> Parsetree.structure -> raw list * allow_span list
+(** Walk one implementation and return its raw findings (unordered)
+    together with the suppression spans collected from [@lint.allow]
+    attributes (including file-wide [@@@lint.allow]). *)

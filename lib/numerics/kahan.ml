@@ -23,6 +23,11 @@ let sum_seq s =
   Seq.iter (add acc) s;
   total acc
 
+let sum_list l =
+  let acc = create () in
+  List.iter (add acc) l;
+  total acc
+
 let sum_by f a =
   let acc = create () in
   Array.iter (fun x -> add acc (f x)) a;

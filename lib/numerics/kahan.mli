@@ -23,6 +23,9 @@ val sum : float array -> float
 val sum_seq : float Seq.t -> float
 (** [sum_seq s] is the compensated sum of the (finite) sequence [s]. *)
 
+val sum_list : float list -> float
+(** [sum_list l] is the compensated sum of all elements of [l]. *)
+
 val sum_by : ('a -> float) -> 'a array -> float
 (** [sum_by f a] is the compensated sum of [f a.(i)] over all [i]. *)
 

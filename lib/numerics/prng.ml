@@ -85,7 +85,7 @@ let normal g ~mu ~sigma =
     let u = float_range g ~lo:(-1.0) ~hi:1.0 in
     let v = float_range g ~lo:(-1.0) ~hi:1.0 in
     let s = (u *. u) +. (v *. v) in
-    if s >= 1.0 || s = 0.0 then polar ()
+    if s >= 1.0 || Tol.exactly s 0.0 then polar ()
     else u *. sqrt (-2.0 *. log s /. s)
   in
   mu +. (sigma *. polar ())

@@ -77,7 +77,7 @@ let gauss_legendre f ~lo ~hi ~order =
   let acc = Kahan.create () in
   Array.iter
     (fun (x, w) ->
-      if x = 0.0 then Kahan.add acc (w *. f mid)
+      if Tol.exactly x 0.0 then Kahan.add acc (w *. f mid)
       else begin
         Kahan.add acc (w *. f (mid +. (half *. x)));
         Kahan.add acc (w *. f (mid -. (half *. x)))

@@ -9,8 +9,8 @@ let same_sign a b = (a > 0.0 && b > 0.0) || (a < 0.0 && b < 0.0)
 
 let bisect ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then { root = lo; residual = 0.0; iterations = 0 }
-  else if fhi = 0.0 then { root = hi; residual = 0.0; iterations = 0 }
+  if Tol.exactly flo 0.0 then { root = lo; residual = 0.0; iterations = 0 }
+  else if Tol.exactly fhi 0.0 then { root = hi; residual = 0.0; iterations = 0 }
   else if same_sign flo fhi then
     raise
       (No_bracket
@@ -23,7 +23,7 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
       incr iter;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
-      if fmid = 0.0 then begin
+      if Tol.exactly fmid 0.0 then begin
         lo := mid;
         hi := mid
       end
@@ -42,8 +42,8 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
    [c] chosen so that f(b) and f(c) have opposite signs. *)
 let brent ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
   let fa = f lo and fb = f hi in
-  if fa = 0.0 then { root = lo; residual = 0.0; iterations = 0 }
-  else if fb = 0.0 then { root = hi; residual = 0.0; iterations = 0 }
+  if Tol.exactly fa 0.0 then { root = lo; residual = 0.0; iterations = 0 }
+  else if Tol.exactly fb 0.0 then { root = hi; residual = 0.0; iterations = 0 }
   else if same_sign fa fb then
     raise
       (No_bracket
@@ -66,7 +66,7 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f ~lo ~hi =
     let result = ref None in
     while !result = None && !iter < max_iter do
       incr iter;
-      if !fb = 0.0 || Float.abs (!b -. !a) < tol then
+      if Tol.exactly !fb 0.0 || Float.abs (!b -. !a) < tol then
         result := Some { root = !b; residual = !fb; iterations = !iter }
       else begin
         let s =
@@ -133,11 +133,11 @@ let secant ?(tol = default_tol) ?(max_iter = 100) f ~x0 ~x1 =
   let result = ref None in
   while !result = None && !iter < max_iter do
     incr iter;
-    if !f1 = 0.0 || Float.abs (!x1 -. !x0) < tol then
+    if Tol.exactly !f1 0.0 || Float.abs (!x1 -. !x0) < tol then
       result := Some { root = !x1; residual = !f1; iterations = !iter }
     else begin
       let denom = !f1 -. !f0 in
-      if denom = 0.0 then
+      if Tol.exactly denom 0.0 then
         raise (Did_not_converge "Rootfind.secant: flat step (f1 = f0)");
       let x2 = !x1 -. (!f1 *. (!x1 -. !x0) /. denom) in
       x0 := !x1;
@@ -165,7 +165,7 @@ let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
       result := Some { root = !x; residual = !fx; iterations = !iter }
     else begin
       let d = df !x in
-      if d = 0.0 then
+      if Tol.exactly d 0.0 then
         raise (Did_not_converge "Rootfind.newton: derivative vanished");
       let step = ref (!fx /. d) in
       (* Damping: halve the step until the residual magnitude decreases. *)
@@ -211,7 +211,9 @@ let expand_bracket ?(grow = 1.6) ?(max_iter = 60) f ~lo ~hi =
       flo := f !lo
     end
     else begin
-      hi := !hi +. (grow *. width);
+      (* Geometric bracket expansion, not a running sum: each step is a
+         fresh O(width) displacement, so compensation buys nothing. *)
+      (hi := !hi +. (grow *. width)) [@lint.allow "R2"];
       fhi := f !hi
     end
   done;
@@ -230,7 +232,7 @@ let find_sign_change f ~lo ~hi ~steps =
     else
       let x' = lo +. (float_of_int i *. h) in
       let fx' = f x' in
-      if fx = 0.0 then Some (x, x)
+      if Tol.exactly fx 0.0 then Some (x, x)
       else if not (same_sign fx fx') then Some (x, x')
       else scan (i + 1) x' fx'
   in

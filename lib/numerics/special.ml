@@ -12,9 +12,10 @@ let halley_w x w0 =
        let f = (!w *. ew) -. x in
        if Float.abs f <= 1e-17 *. Float.max 1.0 (Float.abs x) then raise Exit;
        let w1 = !w +. 1.0 in
-       if w1 <> 0.0 then begin
+       if not (Tol.exactly w1 0.0) then begin
          let denom = (ew *. w1) -. ((!w +. 2.0) *. f /. (2.0 *. w1)) in
-         if denom <> 0.0 && Float.is_finite denom then w := !w -. (f /. denom)
+         if (not (Tol.exactly denom 0.0)) && Float.is_finite denom then
+           w := !w -. (f /. denom)
        end
      done
    with Exit -> ());
@@ -24,7 +25,7 @@ let lambert_w0 x =
   if x < -.inv_e -. 1e-12 then
     invalid_arg "Special.lambert_w0: argument below -1/e";
   let x = Float.max x (-.inv_e) in
-  if x = 0.0 then 0.0
+  if Tol.exactly x 0.0 then 0.0
   else begin
     (* Seed by region: the branch-point series is accurate only near
        -1/e; log(1+x) is a serviceable mid-range seed (exact at x = 0,

@@ -132,7 +132,7 @@ let kaplan_meier_greenwood observations =
   let n = Array.length obs in
   let at_risk = ref n in
   let survival = ref 1.0 in
-  let greenwood_sum = ref 0.0 in
+  let greenwood_sum = Kahan.create () in
   let steps = ref [] in
   let i = ref 0 in
   while !i < n do
@@ -147,9 +147,8 @@ let kaplan_meier_greenwood observations =
     if !events > 0 then begin
       let d = float_of_int !events and r = float_of_int !at_risk in
       survival := !survival *. (1.0 -. (d /. r));
-      if r -. d > 0.0 then
-        greenwood_sum := !greenwood_sum +. (d /. (r *. (r -. d)));
-      let variance = !survival *. !survival *. !greenwood_sum in
+      if r -. d > 0.0 then Kahan.add greenwood_sum (d /. (r *. (r -. d)));
+      let variance = !survival *. !survival *. Kahan.total greenwood_sum in
       steps := (t, !survival, sqrt (Float.max 0.0 variance)) :: !steps
     end;
     at_risk := !at_risk - !total;
@@ -170,7 +169,7 @@ let linear_regression ~xs ~ys =
     Kahan.add sxx (dx *. dx)
   done;
   let sxx = Kahan.total sxx in
-  if sxx = 0.0 then
+  if Tol.exactly sxx 0.0 then
     invalid_arg "Stats.linear_regression: zero-variance abscissae";
   let slope = Kahan.total sxy /. sxx in
   (slope, my -. (slope *. mx))

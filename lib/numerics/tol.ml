@@ -1,0 +1,10 @@
+let default_eps = 1e-9
+
+let exactly a b = Float.equal a b
+
+let equal ?(eps = default_eps) a b =
+  Float.equal a b
+  || Float.abs (a -. b)
+     <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let is_zero ?(eps = default_eps) x = Float.abs x <= eps

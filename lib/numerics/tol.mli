@@ -1,0 +1,32 @@
+(** Tolerance-aware float comparisons.
+
+    The guarantees reproduced here (Thm 3.1 recurrence, Thm 3.2/3.3
+    bounds, Cor 3.2 admissibility) are only as trustworthy as the float
+    discipline behind them, and polymorphic [=] on floats is the easiest
+    way to break it silently. cslint rule R1 therefore bans polymorphic
+    comparison against float operands; this module is the sanctioned
+    replacement. Use {!equal} / {!is_zero} when a tolerance is the right
+    semantics, and {!exactly} when bit-level equality is genuinely
+    intended (sentinel values, exact-zero residuals) — the call site then
+    documents that the exactness is deliberate. *)
+
+val default_eps : float
+(** Default relative/absolute tolerance used by {!equal} and {!is_zero}
+    (1e-9): far looser than one ulp, far tighter than any quantity the
+    schedules distinguish. *)
+
+val equal : ?eps:float -> float -> float -> bool
+(** [equal a b] is true when [a] and [b] agree to within [eps] scaled by
+    [max 1 (max |a| |b|)] (a mixed absolute/relative test), or when they
+    are exactly equal (covering infinities of the same sign). NaN equals
+    nothing. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is [|x| <= eps]: an absolute test, appropriate for
+    residuals and probability masses that should vanish. *)
+
+val exactly : float -> float -> bool
+(** [exactly a b] is bitwise-intent equality ([Float.equal], so [-0.]
+    equals [0.] and NaN equals NaN). Use it where an algorithm really
+    does test for an exact value, e.g. a root residual of exactly [0.]
+    or a quadrature node at the interval midpoint. *)

@@ -82,7 +82,7 @@ let bucket_index h v = int_of_float (Float.floor (log v /. h.log_gamma))
 let observe h v =
   if not (Float.is_finite v) || v < 0.0 then
     invalid_arg "Obs_metrics.observe: value must be finite and >= 0";
-  if v = 0.0 then h.zeros <- h.zeros + 1
+  if Tol.exactly v 0.0 then h.zeros <- h.zeros + 1
   else begin
     let i = bucket_index h v in
     match Hashtbl.find_opt h.buckets i with
@@ -109,8 +109,8 @@ let quantile h ~q =
      extreme ranks are tracked exactly, so answer them exactly. *)
   let rank = q *. float_of_int (h.h_count - 1) in
   let clamp v = Float.min h.h_max (Float.max h.h_min v) in
-  if q = 0.0 then h.h_min
-  else if q = 1.0 then h.h_max
+  if Tol.exactly q 0.0 then h.h_min
+  else if Tol.exactly q 1.0 then h.h_max
   else if rank < float_of_int h.zeros then clamp 0.0
   else begin
     let keys =

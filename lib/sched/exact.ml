@@ -86,7 +86,10 @@ let geo_inc_schedule ~c ~lifespan ~t0 =
     if !t <= 0.0 || !elapsed +. !t > lifespan +. 1e-12 then continue := false
     else begin
       rev := !t :: !rev;
-      elapsed := !elapsed +. !t;
+      (* Running end-time over a handful of same-scale periods, checked
+         against the lifespan with an explicit 1e-12 slack; compensation
+         could not move the truncation decision. *)
+      (elapsed := !elapsed +. !t) [@lint.allow "R2"];
       match Closed_forms.geo_inc_next_period_optimal ~t_prev:!t ~c with
       | None -> continue := false
       | Some next -> t := next

@@ -7,13 +7,14 @@ type t = {
 
 let expected_work_of_vector lf ~c ts =
   let acc = Kahan.create () in
-  let elapsed = ref 0.0 in
+  let elapsed = Kahan.create () in
   Array.iter
     (fun ti ->
       let ti = Float.max 0.0 ti in
-      elapsed := !elapsed +. ti;
+      Kahan.add elapsed ti;
       let w = Schedule.positive_sub ti c in
-      if w > 0.0 then Kahan.add acc (w *. Life_function.eval lf !elapsed))
+      if w > 0.0 then
+        Kahan.add acc (w *. Life_function.eval lf (Kahan.total elapsed)))
     ts;
   Kahan.total acc
 

@@ -80,7 +80,10 @@ let generate ?(max_periods = 100_000) ?(finish = Faithful) lf ~c ~t0 =
           rev_periods := t :: !rev_periods;
           incr count;
           prev_period := t;
-          prev_end := !prev_end +. t
+          (* Thm 3.1 defines T_k = T_{k-1} + t_k; the uncompensated
+             recurrence IS the object under study, and test_recurrence
+             pins its fixed points to 1e-9. *)
+          (prev_end := !prev_end +. t) [@lint.allow "R2"]
     end
   done;
   let stop = Option.get !stop in

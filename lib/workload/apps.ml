@@ -22,7 +22,7 @@ let parameter_sweep ~configs ~base_time ~spread g =
     invalid_arg "Apps.parameter_sweep: spread must be >= 0";
   List.init configs (fun i ->
       let duration =
-        if spread = 0.0 then base_time
+        if Tol.exactly spread 0.0 then base_time
         else begin
           let lo = log (base_time /. (1.0 +. spread)) in
           let hi = log (base_time *. (1.0 +. spread)) in

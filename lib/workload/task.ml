@@ -18,7 +18,9 @@ let jittered_batch ~n ~mean ~jitter g ?(label = "jittered") () =
     invalid_arg "Task.jittered_batch: jitter must lie in [0, 1)";
   List.init n (fun i ->
       let lo = mean *. (1.0 -. jitter) and hi = mean *. (1.0 +. jitter) in
-      let duration = if jitter = 0.0 then mean else Prng.float_range g ~lo ~hi in
+      let duration =
+        if Tol.exactly jitter 0.0 then mean else Prng.float_range g ~lo ~hi
+      in
       make ~task_id:i ~duration ~label ())
 
 let total_duration tasks =

@@ -1,0 +1,196 @@
+(* cslint rule fixtures: each rule gets a positive case, a suppressed
+   case, and a clean case, asserted on exact finding counts and
+   locations. Fixtures are inline strings fed through
+   Lint_engine.lint_source, so the tests exercise the same parse +
+   iterate + suppress pipeline as the CLI without touching the
+   filesystem. *)
+
+let lint ?(path = "lib/fixture.ml") src =
+  match Lint_engine.lint_source ~path src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let rules (r : Lint_engine.report) =
+  List.map (fun (f : Lint_finding.t) -> f.rule) r.findings
+
+let check_rules name expected r =
+  Alcotest.(check (list string)) name expected (rules r)
+
+(* ---- R1: polymorphic comparison with float operands ---- *)
+
+let test_r1_literal () =
+  let r = lint "let f x = x = 1.0\n" in
+  check_rules "literal rhs" [ "R1" ] r;
+  let f = List.hd r.findings in
+  Alcotest.(check int) "line" 1 f.Lint_finding.line;
+  Alcotest.(check int) "col" 10 f.Lint_finding.col
+
+let test_r1_arith_and_compare () =
+  let r =
+    lint "let f a b c = (a +. b) <> c\nlet g x = compare (x /. 2.0) 1\n"
+  in
+  check_rules "arith operands" [ "R1"; "R1" ] r
+
+let test_r1_clean_and_suppressed () =
+  check_rules "int = is fine" []
+    (lint "let f x = x = 1\nlet g a b = Tol.equal a b\n");
+  (* An ordering comparison on floats is not R1's business. *)
+  check_rules "ordering is fine" [] (lint "let f x = x <= 1.0\n");
+  let r = lint "let f x = (x = 1.0) [@lint.allow \"R1\"]\n" in
+  check_rules "suppressed" [] r;
+  Alcotest.(check int) "counted" 1 r.suppressed
+
+(* ---- R2: naive float accumulation (lib/ and bench/ only) ---- *)
+
+let test_r2_fold () =
+  check_rules "List.fold_left" [ "R2" ]
+    (lint "let s xs = List.fold_left ( +. ) 0.0 xs\n");
+  check_rules "Array.fold_left" [ "R2" ]
+    (lint ~path:"bench/fixture.ml" "let s a = Array.fold_left ( +. ) 0.0 a\n");
+  (* A non-float fold is fine; so is a fold with a custom combiner. *)
+  check_rules "int fold" [] (lint "let s xs = List.fold_left ( + ) 0 xs\n");
+  check_rules "combiner" []
+    (lint "let s xs = List.fold_left (fun a x -> a +. exp x) 0.0 xs\n")
+
+let test_r2_ref_accumulation () =
+  let src =
+    "let s xs =\n\
+    \  let acc = ref 0.0 in\n\
+    \  List.iter (fun x -> acc := !acc +. x) xs;\n\
+    \  !acc\n"
+  in
+  let r = lint src in
+  check_rules "ref accumulation" [ "R2" ] r;
+  Alcotest.(check int) "line" 3 (List.hd r.findings).Lint_finding.line;
+  (* Flipped operand order still counts; -. does not (not accumulation). *)
+  check_rules "flipped" [ "R2" ]
+    (lint "let f a x = a := x +. !a\n");
+  check_rules "subtraction" [] (lint "let f a x = a := !a -. x\n");
+  (* Accumulating into a different ref than the one dereferenced is a
+     plain assignment, not the accumulation idiom. *)
+  check_rules "different ref" [] (lint "let f a b x = a := !b +. x\n")
+
+let test_r2_scope_and_suppression () =
+  let src = "let s xs = List.fold_left ( +. ) 0.0 xs\n" in
+  check_rules "examples exempt" [] (lint ~path:"examples/fixture.ml" src);
+  check_rules "bin exempt" [] (lint ~path:"bin/fixture.ml" src);
+  let r =
+    lint
+      "let f a x = (a := !a +. x) [@lint.allow \"R2\"]\nlet g a x = a := !a +. x\n"
+  in
+  check_rules "one suppressed one not" [ "R2" ] r;
+  Alcotest.(check int) "line of live finding" 2
+    (List.hd r.findings).Lint_finding.line
+
+(* ---- R3: stdlib Random ---- *)
+
+let test_r3 () =
+  check_rules "value use" [ "R3" ] (lint "let r () = Random.float 1.0\n");
+  check_rules "submodule" [ "R3" ]
+    (lint "let r st = Random.State.float st 1.0\n");
+  check_rules "open" [ "R3" ] (lint "open Random\n");
+  check_rules "prng.ml exempt" []
+    (lint ~path:"lib/numerics/prng.ml" "let r () = Random.float 1.0\n");
+  check_rules "file-wide allow" []
+    (lint "[@@@lint.allow \"R3\"]\nlet r () = Random.bool ()\n")
+
+(* ---- R4: printing from lib/ ---- *)
+
+let test_r4 () =
+  check_rules "print_endline" [ "R4" ] (lint "let p () = print_endline \"x\"\n");
+  check_rules "Printf.printf" [ "R4" ]
+    (lint "let p n = Printf.printf \"%d\" n\n");
+  check_rules "sprintf fine" []
+    (lint "let p n = Printf.sprintf \"%d\" n\n");
+  check_rules "bin exempt" []
+    (lint ~path:"bin/fixture.ml" "let p () = print_endline \"x\"\n")
+
+(* ---- R5: .mli pairing ---- *)
+
+let test_r5 () =
+  let fs =
+    Lint_engine.missing_mli_findings
+      [ "lib/a.ml"; "lib/b.ml"; "lib/b.mli"; "bin/c.ml"; "lib/dune" ]
+  in
+  Alcotest.(check (list string))
+    "only unpaired lib ml" [ "R5" ]
+    (List.map (fun (f : Lint_finding.t) -> f.rule) fs);
+  Alcotest.(check string) "file" "lib/a.ml" (List.hd fs).Lint_finding.file
+
+(* ---- R6: Obj.magic / Obj.repr ---- *)
+
+let test_r6 () =
+  check_rules "magic" [ "R6" ] (lint "let c x = Obj.magic x\n");
+  check_rules "repr" [ "R6" ] (lint "let c x = Obj.repr x\n");
+  check_rules "benign Obj fine" [] (lint "let t x = Obj.tag x\n");
+  check_rules "suppressed" []
+    (lint "let c x = (Obj.magic x) [@lint.allow \"R6\"]\n")
+
+(* ---- malformed suppression payloads, parse errors, baseline ---- *)
+
+let test_malformed_allow () =
+  let r = lint "let f x = (x = 1.0) [@lint.allow]\n" in
+  (* The R1 finding survives and the bad attribute is itself reported. *)
+  Alcotest.(check (list string))
+    "E1 plus live R1" [ "E1"; "R1" ]
+    (List.sort_uniq String.compare (rules r))
+
+let test_parse_error () =
+  match Lint_engine.lint_source ~path:"lib/bad.ml" "let let let\n" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e ->
+      Alcotest.(check bool) "names the file" true
+        (String.length e > 0
+        && String.sub e 0 (min 10 (String.length e)) = "lib/bad.ml")
+
+let test_baseline_roundtrip () =
+  let f rule file line =
+    { Lint_finding.rule; file; line; col = 0; message = "m" }
+  in
+  let findings = [ f "R1" "lib/a.ml" 3; f "R2" "lib/b.ml" 7 ] in
+  let path = Filename.temp_file "cslint" ".baseline" in
+  Lint_baseline.save path findings;
+  (match Lint_baseline.load path with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      let fresh, baselined = Lint_baseline.apply entries findings in
+      Alcotest.(check int) "all baselined" 2 baselined;
+      Alcotest.(check int) "none fresh" 0 (List.length fresh);
+      let fresh, _ = Lint_baseline.apply entries (f "R1" "lib/a.ml" 9 :: findings) in
+      Alcotest.(check int) "moved finding is fresh" 1 (List.length fresh));
+  Sys.remove path
+
+let test_rule_metadata_complete () =
+  Alcotest.(check (list string))
+    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "float literal" `Quick test_r1_literal;
+          Alcotest.test_case "arith and compare" `Quick test_r1_arith_and_compare;
+          Alcotest.test_case "clean and suppressed" `Quick
+            test_r1_clean_and_suppressed;
+        ] );
+      ( "r2",
+        [
+          Alcotest.test_case "fold_left (+.)" `Quick test_r2_fold;
+          Alcotest.test_case "ref accumulation" `Quick test_r2_ref_accumulation;
+          Alcotest.test_case "scope and suppression" `Quick
+            test_r2_scope_and_suppression;
+        ] );
+      ("r3", [ Alcotest.test_case "stdlib Random" `Quick test_r3 ]);
+      ("r4", [ Alcotest.test_case "printing from lib" `Quick test_r4 ]);
+      ("r5", [ Alcotest.test_case "mli pairing" `Quick test_r5 ]);
+      ("r6", [ Alcotest.test_case "Obj escape hatches" `Quick test_r6 ]);
+      ( "machinery",
+        [
+          Alcotest.test_case "malformed allow" `Quick test_malformed_allow;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "baseline round-trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "rule metadata" `Quick test_rule_metadata_complete;
+        ] );
+    ]
