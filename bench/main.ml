@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- timing  # only the Bechamel benchmarks
 
    [timing] also writes BENCH_T1.json (machine-readable ns/call + r^2
-   per benchmark) to the working directory. *)
+   per benchmark plus git SHA / hostname / OCaml metadata) and appends
+   the same record to BENCH_HISTORY.jsonl. [--quick] shrinks the
+   sampling quota and warmups so CI can exercise the pipeline without
+   burning minutes; its numbers are for plumbing, not comparison. *)
 
 let usage () =
   print_endline "cycle-stealing reproduction harness";
@@ -19,16 +22,18 @@ let usage () =
   Printf.printf "  %-7s %s\n" "tables" "all experiment tables";
   Printf.printf "  %-7s %s\n" "all" "tables + timing (default)"
 
+let quick = ref false
+
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) Tables.all with
   | Some (_, _, f) -> f ()
   | None -> (
       match id with
-      | "timing" -> Timing.run ()
+      | "timing" -> Timing.run ~quick:!quick ()
       | "tables" -> List.iter (fun (_, _, f) -> f ()) Tables.all
       | "all" ->
           List.iter (fun (_, _, f) -> f ()) Tables.all;
-          Timing.run ()
+          Timing.run ~quick:!quick ()
       | "help" | "-h" | "--help" -> usage ()
       | other ->
           Printf.eprintf "unknown experiment %S\n" other;
@@ -39,10 +44,14 @@ let () =
   print_endline
     "Reproduction harness: Rosenberg, \"Guidelines for Data-Parallel \
      Cycle-Stealing in Networks of Workstations, I\" (TR 98-15 / IPPS 1998)";
-  (* --csv DIR mirrors every printed table into DIR/<experiment>.csv. *)
+  (* --csv DIR mirrors every printed table into DIR/<experiment>.csv;
+     --quick shrinks the timing suite's quota/warmups for CI. *)
   let rec split_flags acc = function
     | "--csv" :: dir :: rest ->
         Tbl.set_csv_dir (Some dir);
+        split_flags acc rest
+    | "--quick" :: rest ->
+        quick := true;
         split_flags acc rest
     | id :: rest -> split_flags (id :: acc) rest
     | [] -> List.rev acc

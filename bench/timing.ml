@@ -1,14 +1,23 @@
 (* T1 — Bechamel micro-benchmarks of the core algorithms: one Test.make
-   per hot path. Estimated via OLS on monotonic-clock samples. Besides
-   the printed table, the run writes BENCH_T1.json (ns/call + r^2 per
-   benchmark plus run metadata) to the working directory so regressions
-   can be diffed by machines.
+   per hot path, estimated by a trimmed through-origin OLS
+   (Bench_fit) over the raw monotonic-clock samples. Two harness
+   defenses against noisy hosts: every thunk is warmed before sampling
+   (so allocation-rate ramp-up and lazy initialisation don't pollute the
+   samples), and per-sample rates outside central quantiles are trimmed
+   before fitting (so preemption/GC spikes can't crater r^2 — the seed's
+   reclaim-draw fit sat at r^2 ~ 0.34 without this).
 
-   The three "episode-run (obs ...)" variants pin the observability
+   Besides the printed table, the run writes BENCH_T1.json (schema v2:
+   ns/call + r^2 per benchmark plus git SHA / OCaml / hostname metadata)
+   and appends the same record to BENCH_HISTORY.jsonl, the append-only
+   bench trajectory consumed by `csbench diff/check/history`.
+
+   The four "episode-run (obs ...)" variants pin the observability
    overhead budget: disabled and null-sink must be statistically
    indistinguishable from the uninstrumented baseline (the ?obs default
-   is one branch), and the metrics variant bounds the live-registry
-   cost. *)
+   — including the span-recorder test — is one branch), the metrics
+   variant bounds the live-registry cost, and the spans variant bounds
+   the live-recorder cost. *)
 
 open Bechamel
 open Toolkit
@@ -19,102 +28,114 @@ let geo_inc_lf = Families.geometric_increasing ~lifespan:30.0
 let schedule = (Guideline.plan uniform_lf ~c:1.0).Guideline.schedule
 let sampler = Reclaim.create uniform_lf
 
-let tests =
+(* (name, thunk, warmup iterations). Cheap thunks get large warmups;
+   planner-grade ones only need a few calls to fault everything in. *)
+let workloads : (string * (unit -> unit) * int) list =
   [
-    Test.make ~name:"recurrence-step (uniform)"
-      (Staged.stage (fun () ->
-           Recurrence.next_period uniform_lf ~c:1.0 ~prev_period:10.0
-             ~prev_end:20.0));
-    Test.make ~name:"recurrence-generate (uniform, ~13 periods)"
-      (Staged.stage (fun () ->
-           Recurrence.generate uniform_lf ~c:1.0 ~t0:13.6));
-    Test.make ~name:"expected-work (13 periods)"
-      (Staged.stage (fun () ->
-           Schedule.expected_work ~c:1.0 uniform_lf schedule));
-    Test.make ~name:"t0-bracket (Thm 3.2/3.3, uniform)"
-      (Staged.stage (fun () -> Bounds.bracket uniform_lf ~c:1.0));
-    Test.make ~name:"guideline-plan (uniform)"
-      (Staged.stage (fun () -> Guideline.plan uniform_lf ~c:1.0));
-    Test.make ~name:"guideline-plan (geo-dec)"
-      (Staged.stage (fun () -> Guideline.plan geo_dec_lf ~c:1.0));
-    Test.make ~name:"exact-uniform ([3] closed form)"
-      (Staged.stage (fun () -> Exact.uniform ~c:1.0 ~lifespan:100.0));
-    Test.make ~name:"lambert-t* (geo-dec closed form)"
-      (Staged.stage (fun () ->
-           Closed_forms.geo_dec_t_optimal ~a:(exp 0.05) ~c:1.0));
-    Test.make ~name:"optimizer (geo-inc, coordinate ascent)"
-      (Staged.stage (fun () ->
-           Optimizer.optimal_schedule ~m_max:4 ~patience:1 geo_inc_lf ~c:1.0));
-    Test.make ~name:"episode-run (13 periods)"
-      (Staged.stage
-         (let g = Prng.create ~seed:1L in
-          fun () ->
-            Episode.run schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g)));
-    Test.make ~name:"episode-run (obs disabled)"
-      (Staged.stage
-         (let g = Prng.create ~seed:1L in
-          fun () ->
-            Episode.run ~obs:Obs.disabled schedule ~c:1.0
-              ~reclaim_at:(Reclaim.draw sampler g)));
-    Test.make ~name:"episode-run (obs null sink)"
-      (Staged.stage
-         (let g = Prng.create ~seed:1L in
-          let obs = Obs.create ~sink:Obs.Sink.Null () in
-          fun () ->
-            Episode.run ~obs schedule ~c:1.0
-              ~reclaim_at:(Reclaim.draw sampler g)));
-    Test.make ~name:"episode-run (obs metrics)"
-      (Staged.stage
-         (let g = Prng.create ~seed:1L in
-          let obs = Obs.create ~metrics:(Obs.Metrics.create ()) () in
-          fun () ->
-            Episode.run ~obs schedule ~c:1.0
-              ~reclaim_at:(Reclaim.draw sampler g)));
-    Test.make ~name:"reclaim-draw (tabulated inverse CDF)"
-      (Staged.stage
-         (let g = Prng.create ~seed:2L in
-          fun () -> Reclaim.draw sampler g));
-    Test.make ~name:"prng-xoshiro256++ (float)"
-      (Staged.stage
-         (let g = Prng.create ~seed:3L in
-          fun () -> Prng.float g));
+    ( "recurrence-step (uniform)",
+      (fun () ->
+        ignore
+          (Recurrence.next_period uniform_lf ~c:1.0 ~prev_period:10.0
+             ~prev_end:20.0)),
+      2_000 );
+    ( "recurrence-generate (uniform, ~13 periods)",
+      (fun () -> ignore (Recurrence.generate uniform_lf ~c:1.0 ~t0:13.6)),
+      500 );
+    ( "expected-work (13 periods)",
+      (fun () -> ignore (Schedule.expected_work ~c:1.0 uniform_lf schedule)),
+      2_000 );
+    ( "t0-bracket (Thm 3.2/3.3, uniform)",
+      (fun () -> ignore (Bounds.bracket uniform_lf ~c:1.0)),
+      100 );
+    ( "guideline-plan (uniform)",
+      (fun () -> ignore (Guideline.plan uniform_lf ~c:1.0)),
+      5 );
+    ( "guideline-plan (geo-dec)",
+      (fun () -> ignore (Guideline.plan geo_dec_lf ~c:1.0)),
+      5 );
+    ( "exact-uniform ([3] closed form)",
+      (fun () -> ignore (Exact.uniform ~c:1.0 ~lifespan:100.0)),
+      200 );
+    ( "lambert-t* (geo-dec closed form)",
+      (fun () -> ignore (Closed_forms.geo_dec_t_optimal ~a:(exp 0.05) ~c:1.0)),
+      2_000 );
+    ( "optimizer (geo-inc, coordinate ascent)",
+      (fun () ->
+        ignore (Optimizer.optimal_schedule ~m_max:4 ~patience:1 geo_inc_lf ~c:1.0)),
+      2 );
+    ( "episode-run (13 periods)",
+      (let g = Prng.create ~seed:1L in
+       fun () ->
+         ignore (Episode.run schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g))),
+      2_000 );
+    ( "episode-run (obs disabled)",
+      (let g = Prng.create ~seed:1L in
+       fun () ->
+         ignore
+           (Episode.run ~obs:Obs.disabled schedule ~c:1.0
+              ~reclaim_at:(Reclaim.draw sampler g))),
+      2_000 );
+    ( "episode-run (obs null sink)",
+      (let g = Prng.create ~seed:1L in
+       let obs = Obs.create ~sink:Obs.Sink.Null () in
+       fun () ->
+         ignore
+           (Episode.run ~obs schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g))),
+      2_000 );
+    ( "episode-run (obs metrics)",
+      (let g = Prng.create ~seed:1L in
+       let obs = Obs.create ~metrics:(Obs.Metrics.create ()) () in
+       fun () ->
+         ignore
+           (Episode.run ~obs schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g))),
+      2_000 );
+    ( "episode-run (obs spans)",
+      (let g = Prng.create ~seed:1L in
+       (* A fresh recorder per call would measure allocation, not
+          recording; reuse one and let it hit its cap — after that each
+          episode costs the enter/exit path plus the drop branch, which
+          is the steady-state profile cost. *)
+       let obs = Obs.create ~spans:(Obs.Span.create ~max_spans:100_000 ()) () in
+       fun () ->
+         ignore
+           (Episode.run ~obs schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g))),
+      2_000 );
+    ( "reclaim-draw (tabulated inverse CDF)",
+      (let g = Prng.create ~seed:2L in
+       fun () -> ignore (Reclaim.draw sampler g)),
+      5_000 );
+    ( "prng-xoshiro256++ (float)",
+      (let g = Prng.create ~seed:3L in
+       fun () -> ignore (Prng.float g)),
+      5_000 );
   ]
 
-let quota_seconds = 0.5
+let min_r2_warn = 0.5
 
-let json_num x = if Float.is_finite x then Jsonx.Float x else Jsonx.Null
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
-let write_json rows =
-  let results =
-    List.map
-      (fun (name, ns, r2) ->
-        ( name,
-          Jsonx.Obj
-            [ ("ns_per_call", json_num ns); ("r_square", json_num r2) ] ))
-      rows
-  in
-  let doc =
-    Jsonx.Obj
-      [
-        ("v", Jsonx.Int 1);
-        ("suite", Jsonx.String "T1");
-        ("ocaml", Jsonx.String Sys.ocaml_version);
-        ("quota_seconds", Jsonx.Float quota_seconds);
-        ("unix_time", Jsonx.Float (Unix.time ()));
-        ("results", Jsonx.Obj results);
-      ]
-  in
-  let oc = open_out "BENCH_T1.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Jsonx.to_string doc ^ "\n"));
-  print_endline "wrote BENCH_T1.json"
-
-let run () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+let run ?(quick = false) () =
+  let quota_seconds = if quick then 0.05 else 0.5 in
+  let warmup_scale = if quick then 10 else 1 in
+  (* Warm every thunk before any sampling starts. *)
+  List.iter
+    (fun (_, f, warmup) ->
+      for _ = 1 to Stdlib.max 1 (warmup / warmup_scale) do
+        f ()
+      done)
+    workloads;
+  let tests =
+    List.map (fun (name, f, _) -> Test.make ~name (Staged.stage f)) workloads
   in
   let instance = Instance.monotonic_clock in
+  let clock_label = Measure.label instance in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~kde:None ()
   in
@@ -122,34 +143,72 @@ let run () =
     Benchmark.all cfg [ instance ]
       (Test.make_grouped ~name:"cyclesteal" tests)
   in
-  let results = Analyze.all ols instance raw in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> x
-        | Some [] | None -> Float.nan
+    (fun name (b : Benchmark.t) ->
+      let samples = b.Benchmark.lr in
+      let runs =
+        Array.map (fun m -> Measurement_raw.run m) samples
       in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> r
-        | None -> Float.nan
+      let nanos =
+        Array.map (fun m -> Measurement_raw.get ~label:clock_label m) samples
       in
-      rows := (name, ns, r2) :: !rows)
-    results;
-  let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
+      let fit =
+        if Array.length runs = 0 then
+          { Bench_fit.ns_per_run = Float.nan; r_square = Float.nan; kept = 0; total = 0 }
+        else Bench_fit.trimmed ~runs ~nanos ()
+      in
+      rows := (name, fit) :: !rows)
+    raw;
+  let rows =
+    List.sort
+      (fun (_, a) (_, b) ->
+        Float.compare a.Bench_fit.ns_per_run b.Bench_fit.ns_per_run)
+      !rows
+  in
   Tbl.render
-    ~title:"T1  Bechamel micro-benchmarks (OLS estimate per call)"
-    ~header:[ "operation"; "time/call"; "r^2" ]
+    ~title:
+      "T1  Bechamel micro-benchmarks (trimmed through-origin OLS per call)"
+    ~header:[ "operation"; "time/call"; "r^2"; "kept" ]
     (List.map
-       (fun (name, ns, r2) ->
+       (fun (name, fit) ->
+         let ns = fit.Bench_fit.ns_per_run in
          let time =
            if Float.is_nan ns then "n/a"
            else if ns < 1e3 then Printf.sprintf "%.1f ns" ns
            else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
            else Printf.sprintf "%.2f ms" (ns /. 1e6)
          in
-         [ name; time; (if Float.is_nan r2 then "n/a" else Tbl.f3 r2) ])
+         [
+           name;
+           time;
+           (if Float.is_nan fit.Bench_fit.r_square then "n/a"
+            else Tbl.f3 fit.Bench_fit.r_square);
+           Printf.sprintf "%d/%d" fit.Bench_fit.kept fit.Bench_fit.total;
+         ])
        rows);
-  write_json rows
+  List.iter
+    (fun (name, fit) ->
+      let r2 = fit.Bench_fit.r_square in
+      if Float.is_nan r2 || r2 < min_r2_warn then
+        Printf.printf
+          "warning: %s fits at r^2 %s (< %.2f) — treat its estimate as noise\n"
+          name
+          (if Float.is_nan r2 then "n/a" else Printf.sprintf "%.3f" r2)
+          min_r2_warn)
+    rows;
+  let record =
+    Bench_record.make ~ocaml:Sys.ocaml_version ~git_sha:(git_sha ())
+      ~hostname:(Unix.gethostname ()) ~quota_seconds ~unix_time:(Unix.time ())
+      (List.map
+         (fun (name, fit) ->
+           ( name,
+             {
+               Bench_record.ns_per_call = fit.Bench_fit.ns_per_run;
+               r_square = fit.Bench_fit.r_square;
+             } ))
+         rows)
+  in
+  Bench_record.save "BENCH_T1.json" record;
+  Bench_record.append_history "BENCH_HISTORY.jsonl" record;
+  print_endline "wrote BENCH_T1.json; appended BENCH_HISTORY.jsonl"

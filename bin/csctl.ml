@@ -8,6 +8,7 @@
      csctl fit       --model exponential --mean 40 --samples 1000 -c 1
      csctl checkpoint --work 720 --mtbf 240 -c 1.5
      csctl report    trace.jsonl
+     csctl profile   --family uniform -c 1 --out trace.json
 
    [schedule] and [simulate] accept --trace FILE (write a JSONL event
    trace of the run) and --metrics (print the metrics registry after);
@@ -499,6 +500,85 @@ let report_cmd =
     Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                              *)
+
+let profile_cmd =
+  let trials =
+    Arg.(
+      value & opt int 2_000
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo episodes to profile.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "profile_trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the Chrome trace-event JSON (load it in \
+             $(b,chrome://tracing) or $(b,https://ui.perfetto.dev)).")
+  in
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:
+            "Also print the aggregated self-time/total-time span tree \
+             (per-span wall times vary run to run).")
+  in
+  let run spec c trials seed out tree =
+    with_family spec (fun lf ->
+        let recorder = Obs.Span.create () in
+        let obs = Obs.create ~spans:recorder () in
+        let plan = Guideline.plan ~obs lf ~c in
+        let (_ : Monte_carlo.estimate) =
+          Monte_carlo.estimate ~obs ~trials lf ~c
+            ~schedule:plan.Guideline.schedule ~seed:(Int64.of_int seed)
+        in
+        let doc = Obs.Span.to_chrome_json recorder in
+        (try
+           let oc = open_out out in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc (Jsonx.to_string doc ^ "\n"))
+         with Sys_error msg ->
+           prerr_endline ("error: " ^ msg);
+           exit 1);
+        (* Round-trip the emitted JSON through the parser and validate
+           the trace-event shape — the cram test keys on this line. *)
+        let round_trip =
+          Result.bind
+            (Jsonx.of_string (Jsonx.to_string doc))
+            Obs_span.validate_chrome
+        in
+        (match round_trip with
+        | Ok (events, depth) ->
+            Format.printf "trace summary: %d events, max depth %d, \
+                           round-trip ok@."
+              events depth
+        | Error msg ->
+            prerr_endline ("error: invalid Chrome trace: " ^ msg);
+            exit 1);
+        (if Obs.Span.dropped recorder > 0 then
+           Format.printf "note: %d span(s) dropped at the buffer cap@."
+             (Obs.Span.dropped recorder));
+        Format.printf "wrote %s@." out;
+        if tree then
+          Format.printf "%a"
+            Trace_report.pp_span_tree
+            (Trace_report.span_tree (Obs.Span.spans recorder)))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a plan + Monte-Carlo run with hierarchical spans and \
+          export a Chrome trace-event JSON.")
+    Term.(const run $ family_term $ c_term $ trials $ seed $ out $ tree)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -519,4 +599,5 @@ let () =
             worst_case_cmd;
             distribution_cmd;
             report_cmd;
+            profile_cmd;
           ]))

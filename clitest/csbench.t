@@ -1,0 +1,75 @@
+csbench gates BENCH_T1.json records against each other. Build two
+fixtures by hand: a baseline and a candidate with a clean 2x slowdown
+on one benchmark, a big shift on a noisy (low r^2) benchmark that must
+stay within its widened band, and an improvement.
+
+  $ cat > old.json <<'EOF'
+  > {"v":2,"suite":"T1","ocaml":"5.2.0","git_sha":"aaaaaaa","hostname":"ci",
+  >  "quota_seconds":0.5,"unix_time":1754300000,
+  >  "results":{"clean-op":{"ns_per_call":100.0,"r_square":0.99},
+  >             "noisy-op":{"ns_per_call":20.0,"r_square":0.34},
+  >             "fast-op":{"ns_per_call":900.0,"r_square":0.98}}}
+  > EOF
+  $ tr -d '\n' < old.json > old.tmp && mv old.tmp old.json
+  $ cat > new.json <<'EOF'
+  > {"v":2,"suite":"T1","ocaml":"5.2.0","git_sha":"bbbbbbb","hostname":"ci",
+  >  "quota_seconds":0.5,"unix_time":1754400000,
+  >  "results":{"clean-op":{"ns_per_call":200.0,"r_square":0.99},
+  >             "noisy-op":{"ns_per_call":30.0,"r_square":0.34},
+  >             "fast-op":{"ns_per_call":420.0,"r_square":0.98}}}
+  > EOF
+  $ tr -d '\n' < new.json > new.tmp && mv new.tmp new.json
+
+Self-comparison is always clean and exits 0.
+
+  $ ../bin/csbench.exe check old.json old.json
+  old: T1 @ aaaaaaa (ocaml 5.2.0, host ci)
+  new: T1 @ aaaaaaa (ocaml 5.2.0, host ci)
+  
+  benchmark                                                   old        new   ratio    tol  verdict
+  clean-op                                                100.0ns    100.0ns   1.000    16%  ok
+  fast-op                                                 900.0ns    900.0ns   1.000    17%  ok
+  noisy-op                                                 20.0ns     20.0ns   1.000    71%  ok
+  summary: 3 compared, 0 regression(s), 0 improvement(s)
+
+The injected 2x slowdown on the clean benchmark trips the gate (exit
+1), while the noisy benchmark's 1.5x shift stays inside its widened
+band (tol 71% from r^2 = 0.34) and the improvement is flagged as such.
+
+  $ ../bin/csbench.exe check old.json new.json
+  old: T1 @ aaaaaaa (ocaml 5.2.0, host ci)
+  new: T1 @ bbbbbbb (ocaml 5.2.0, host ci)
+  
+  benchmark                                                   old        new   ratio    tol  verdict
+  clean-op                                                100.0ns    200.0ns   2.000    16%  REGRESSION
+  fast-op                                                 900.0ns    420.0ns   0.467    17%  improvement
+  noisy-op                                                 20.0ns     30.0ns   1.500    71%  ok
+  summary: 3 compared, 1 regression(s), 1 improvement(s)
+  [1]
+
+diff prints the same table but never fails the build; check --advisory
+reports and exits 0.
+
+  $ ../bin/csbench.exe diff old.json new.json > /dev/null
+  $ ../bin/csbench.exe check --advisory old.json new.json > advisory.out
+  $ tail -1 advisory.out
+  advisory mode: regressions reported but not fatal
+
+Malformed or missing input exits 2.
+
+  $ echo 'not json' > bad.json
+  $ ../bin/csbench.exe check old.json bad.json 2>/dev/null
+  [2]
+  $ ../bin/csbench.exe check old.json nosuch.json 2>/dev/null
+  [2]
+
+history summarises a JSONL trajectory.
+
+  $ { cat old.json; echo; cat new.json; echo; } > hist.jsonl
+  $ ../bin/csbench.exe history hist.jsonl
+  2 run(s)
+    T1 @ aaaaaaa (ocaml 5.2.0, host ci) — 3 benchmark(s), quota 0.50s
+    T1 @ bbbbbbb (ocaml 5.2.0, host ci) — 3 benchmark(s), quota 0.50s
+  $ ../bin/csbench.exe history --bench clean-op hist.jsonl
+    aaaaaaa                         100.0 ns/call  r^2 0.990
+    bbbbbbb                         200.0 ns/call  r^2 0.990

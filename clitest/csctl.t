@@ -98,3 +98,16 @@ Malformed traces fail cleanly.
   $ ../bin/csctl.exe report no-such-trace.jsonl
   error: no-such-trace.jsonl: No such file or directory
   [1]
+
+The profile subcommand exports a Chrome trace-event JSON and validates
+it by re-parsing its own output: the summary line is only printed when
+the round-trip through Jsonx and the shape validator succeeds. The
+planner and the simulator are deterministic in the seed, so the event
+count and nesting depth are stable.
+
+  $ ../bin/csctl.exe profile --family uniform -L 100 -c 1 --trials 200 --seed 42 --out trace.json
+  trace summary: 673 events, max depth 4, round-trip ok
+  wrote trace.json
+
+  $ head -c 66 trace.json
+  {"traceEvents":[{"name":"guideline.plan","cat":"cs","ph":"X","ts":

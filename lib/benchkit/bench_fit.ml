@@ -1,0 +1,67 @@
+type fit = { ns_per_run : float; r_square : float; kept : int; total : int }
+
+let ols_kept ~runs ~nanos ~keep ~total =
+  (* Through-origin slope: argmin_b Σ (y_i − b·x_i)², i.e.
+     b = Σ x·y / Σ x². r² is measured about the mean of the kept y so a
+     constant-y degenerate set reads as undefined, not perfect. *)
+  let sxx = Kahan.create () in
+  let sxy = Kahan.create () in
+  let sy = Kahan.create () in
+  let n = ref 0 in
+  Array.iteri
+    (fun i keep_i ->
+      if keep_i then begin
+        incr n;
+        Kahan.add sxx (runs.(i) *. runs.(i));
+        Kahan.add sxy (runs.(i) *. nanos.(i));
+        Kahan.add sy nanos.(i)
+      end)
+    keep;
+  let kept = !n in
+  if kept = 0 then { ns_per_run = Float.nan; r_square = Float.nan; kept; total }
+  else begin
+    let slope = Kahan.total sxy /. Kahan.total sxx in
+    let mean_y = Kahan.total sy /. float_of_int kept in
+    let ss_res = Kahan.create () in
+    let ss_tot = Kahan.create () in
+    Array.iteri
+      (fun i keep_i ->
+        if keep_i then begin
+          let r = nanos.(i) -. (slope *. runs.(i)) in
+          Kahan.add ss_res (r *. r);
+          let d = nanos.(i) -. mean_y in
+          Kahan.add ss_tot (d *. d)
+        end)
+      keep;
+    let r_square =
+      if kept < 2 || Tol.is_zero (Kahan.total ss_tot) then Float.nan
+      else 1.0 -. (Kahan.total ss_res /. Kahan.total ss_tot)
+    in
+    { ns_per_run = slope; r_square; kept; total }
+  end
+
+let validate ~runs ~nanos =
+  let n = Array.length runs in
+  if n = 0 || Array.length nanos <> n then
+    invalid_arg "Bench_fit: runs and nanos must have equal positive length";
+  Array.iter
+    (fun x -> if not (x > 0.0) then invalid_arg "Bench_fit: runs must be > 0")
+    runs;
+  n
+
+let ols ~runs ~nanos =
+  let n = validate ~runs ~nanos in
+  ols_kept ~runs ~nanos ~keep:(Array.make n true) ~total:n
+
+let trimmed ?(lo_q = 0.02) ?(hi_q = 0.85) ~runs ~nanos () =
+  if not (lo_q >= 0.0 && lo_q < hi_q && hi_q <= 1.0) then
+    invalid_arg "Bench_fit.trimmed: need 0 <= lo_q < hi_q <= 1";
+  let n = validate ~runs ~nanos in
+  if n < 8 then ols_kept ~runs ~nanos ~keep:(Array.make n true) ~total:n
+  else begin
+    let rates = Array.init n (fun i -> nanos.(i) /. runs.(i)) in
+    let lo = Stats.quantile rates ~q:lo_q in
+    let hi = Stats.quantile rates ~q:hi_q in
+    let keep = Array.map (fun r -> r >= lo && r <= hi) rates in
+    ols_kept ~runs ~nanos ~keep ~total:n
+  end

@@ -1,0 +1,37 @@
+(** Robust per-call time estimation for microbenchmark samples.
+
+    A Bechamel-style sampler hands us pairs [(runs_i, nanos_i)]: the
+    wall nanoseconds [nanos_i] spent executing the benchmarked thunk
+    [runs_i] times. The per-call cost is the slope of the
+    through-the-origin regression [nanos ≈ slope · runs]. On a quiet
+    machine plain OLS is fine; on a shared one, preemption and GC pauses
+    inject large upward outliers that both bias the slope and destroy
+    [r²] — [reclaim-draw] fitting at r² ≈ 0.34 in the seed BENCH_T1 is
+    exactly this failure. {!trimmed} discards samples whose per-call rate
+    falls outside central quantiles before fitting, which restores the
+    fit on noisy hosts while being a no-op on clean data. *)
+
+type fit = {
+  ns_per_run : float;  (** Through-origin OLS slope over the kept samples. *)
+  r_square : float;
+      (** Coefficient of determination of the kept samples about their
+          mean; [nan] when undefined (fewer than 2 samples or zero
+          variance). *)
+  kept : int;  (** Samples surviving the trim. *)
+  total : int;  (** Samples supplied. *)
+}
+
+val ols : runs:float array -> nanos:float array -> fit
+(** Plain through-the-origin least squares over all samples. Arrays must
+    have equal positive length; runs must be [> 0].
+    @raise Invalid_argument otherwise. *)
+
+val trimmed :
+  ?lo_q:float -> ?hi_q:float -> runs:float array -> nanos:float array -> unit ->
+  fit
+(** [trimmed ~runs ~nanos ()] drops samples whose rate [nanos/runs] lies
+    below the [lo_q] (default [0.02]) or above the [hi_q] (default
+    [0.85]) quantile of all rates — microbenchmark noise is one-sided, so
+    the upper trim is the aggressive one — then fits {!ols} on the rest.
+    With fewer than 8 samples no trimming is applied. Requires
+    [0 <= lo_q < hi_q <= 1]. *)

@@ -1,0 +1,126 @@
+type verdict = Regression | Improvement | Within_noise
+
+type comparison = {
+  bench_name : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;
+  tolerance : float;
+  verdict : verdict;
+}
+
+type report = {
+  compared : comparison list;
+  only_old : string list;
+  only_new : string list;
+  skipped : string list;
+  regressions : int;
+  improvements : int;
+}
+
+let usable x = Float.is_finite x && x > 0.0
+
+let r2_effective a b =
+  let clamp r = if Float.is_nan r then 0.0 else Float.max 0.0 (Float.min 1.0 r) in
+  Float.min (clamp a) (clamp b)
+
+let compare_runs ?(base_tolerance = 0.15) ?(noise_scale = 0.85) ~old_run
+    ~new_run () =
+  if not (base_tolerance > 0.0) then
+    invalid_arg "Bench_gate.compare_runs: base_tolerance must be > 0";
+  if noise_scale < 0.0 then
+    invalid_arg "Bench_gate.compare_runs: noise_scale must be >= 0";
+  let old_results = old_run.Bench_record.results in
+  let new_results = new_run.Bench_record.results in
+  let only_old =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name new_results then None else Some name)
+      old_results
+  in
+  let only_new =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name old_results then None else Some name)
+      new_results
+  in
+  let compared, skipped =
+    List.fold_left
+      (fun (cmp, skip) (name, (o : Bench_record.entry)) ->
+        match List.assoc_opt name new_results with
+        | None -> (cmp, skip)
+        | Some (n : Bench_record.entry) ->
+            if not (usable o.Bench_record.ns_per_call && usable n.Bench_record.ns_per_call)
+            then (cmp, name :: skip)
+            else begin
+              let ratio = n.Bench_record.ns_per_call /. o.Bench_record.ns_per_call in
+              let tolerance =
+                base_tolerance
+                +. noise_scale
+                   *. (1.0
+                      -. r2_effective o.Bench_record.r_square
+                           n.Bench_record.r_square)
+              in
+              let verdict =
+                if ratio > 1.0 +. tolerance then Regression
+                else if ratio < 1.0 /. (1.0 +. tolerance) then Improvement
+                else Within_noise
+              in
+              ( {
+                  bench_name = name;
+                  old_ns = o.Bench_record.ns_per_call;
+                  new_ns = n.Bench_record.ns_per_call;
+                  ratio;
+                  tolerance;
+                  verdict;
+                }
+                :: cmp,
+                skip )
+            end)
+      ([], []) old_results
+  in
+  let compared = List.rev compared in
+  let count v =
+    List.length (List.filter (fun c -> c.verdict = v) compared)
+  in
+  {
+    compared;
+    only_old;
+    only_new;
+    skipped = List.rev skipped;
+    regressions = count Regression;
+    improvements = count Improvement;
+  }
+
+let has_regressions r = r.regressions > 0
+
+let verdict_label = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Within_noise -> "ok"
+
+let ns_pretty ns =
+  if ns < 1e3 then Printf.sprintf "%.1fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.2fms" (ns /. 1e6)
+
+let pp ppf r =
+  Format.fprintf ppf "%-52s %10s %10s %7s %6s  %s@." "benchmark" "old" "new"
+    "ratio" "tol" "verdict";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-52s %10s %10s %7.3f %5.0f%%  %s@." c.bench_name
+        (ns_pretty c.old_ns) (ns_pretty c.new_ns) c.ratio
+        (100.0 *. c.tolerance)
+        (verdict_label c.verdict))
+    r.compared;
+  let listing label names =
+    if names <> [] then
+      Format.fprintf ppf "%s: %s@." label (String.concat ", " names)
+  in
+  listing "appeared" r.only_new;
+  listing "disappeared" r.only_old;
+  listing "skipped (unusable timing)" r.skipped;
+  Format.fprintf ppf
+    "summary: %d compared, %d regression(s), %d improvement(s)@."
+    (List.length r.compared) r.regressions r.improvements

@@ -1,0 +1,52 @@
+(** The noise-aware bench regression gate: compare two
+    {!Bench_record} runs and classify every shared benchmark as a
+    regression, an improvement, or within noise.
+
+    The tolerance is per-benchmark: a fit you can trust (r² near 1) is
+    held to the base tolerance, while a noisy fit widens its own band —
+    [tol = base + noise_scale · (1 − min(r²_old, r²_new))], with a
+    missing/NaN r² treated as 0 (maximum widening). With the defaults
+    (base 0.15, noise_scale 0.85) a clean benchmark flags at a ±15%
+    shift, while the seed's [reclaim-draw] at r² ≈ 0.34 would need a
+    ~71% shift — the gate never cries wolf on a benchmark whose own
+    timing data is mush. Verdicts are symmetric in log-space: regression
+    when [new/old > 1 + tol], improvement when [new/old < 1/(1 + tol)]. *)
+
+type verdict = Regression | Improvement | Within_noise
+
+type comparison = {
+  bench_name : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (** [new_ns / old_ns]. *)
+  tolerance : float;  (** The widened fractional tolerance applied. *)
+  verdict : verdict;
+}
+
+type report = {
+  compared : comparison list;  (** Name-sorted. *)
+  only_old : string list;  (** Benchmarks that disappeared. *)
+  only_new : string list;  (** Benchmarks that appeared. *)
+  skipped : string list;  (** Shared but with non-positive/NaN ns. *)
+  regressions : int;
+  improvements : int;
+}
+
+val compare_runs :
+  ?base_tolerance:float ->
+  ?noise_scale:float ->
+  old_run:Bench_record.t ->
+  new_run:Bench_record.t ->
+  unit ->
+  report
+(** Requires [base_tolerance > 0] and [noise_scale >= 0]. *)
+
+val has_regressions : report -> bool
+
+val verdict_label : verdict -> string
+(** ["REGRESSION"], ["improvement"], ["ok"]. *)
+
+val pp : Format.formatter -> report -> unit
+(** The diff table: one line per compared benchmark (old, new, ratio,
+    tolerance, verdict), then appeared/disappeared/skipped notes and a
+    one-line summary. Deterministic given the two records. *)

@@ -1,21 +1,26 @@
 module Metrics = Obs_metrics
 module Event = Obs_event
 module Sink = Obs_sink
+module Span = Obs_span
 
 type t = {
   sink : Sink.t;
   registry : Metrics.t option;
+  spans : Span.t option;
   trace_on : bool;  (** Cached [Sink.consumes sink]. *)
 }
 
-let disabled = { sink = Sink.Null; registry = None; trace_on = false }
+let disabled = { sink = Sink.Null; registry = None; spans = None; trace_on = false }
 
-let create ?(sink = Sink.Null) ?metrics () =
-  { sink; registry = metrics; trace_on = Sink.consumes sink }
+let create ?(sink = Sink.Null) ?metrics ?spans () =
+  { sink; registry = metrics; spans; trace_on = Sink.consumes sink }
 
 let tracing t = t.trace_on
 let metrics t = t.registry
-let instrumented t = t.trace_on || t.registry <> None
+let span_recorder t = t.spans
+
+let instrumented t =
+  t.trace_on || t.registry <> None || t.spans <> None
 
 let emit t ev = if t.trace_on then Sink.emit t.sink ev
 
@@ -41,3 +46,6 @@ let observe t name v =
 
 let time t name f =
   match t.registry with None -> f () | Some m -> Metrics.time m name f
+
+let span ?attrs t name f =
+  match t.spans with None -> f () | Some r -> Span.record ?attrs r name f

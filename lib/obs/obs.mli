@@ -28,15 +28,17 @@
 module Metrics = Obs_metrics
 module Event = Obs_event
 module Sink = Obs_sink
+module Span = Obs_span
 
 type t
 
 val disabled : t
-(** No sink, no metrics: {!tracing} is [false], {!metrics} is [None],
-    every operation is a cheap no-op. The default everywhere. *)
+(** No sink, no metrics, no span recorder: {!tracing} is [false],
+    {!metrics} and {!span_recorder} are [None], every operation is a
+    cheap no-op. The default everywhere. *)
 
-val create : ?sink:Sink.t -> ?metrics:Metrics.t -> unit -> t
-(** [create ()] with neither argument behaves like {!disabled}. *)
+val create : ?sink:Sink.t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> t
+(** [create ()] with no argument behaves like {!disabled}. *)
 
 val tracing : t -> bool
 (** [true] iff the sink consumes events ([Sink.Null] does not). Hoist
@@ -45,9 +47,13 @@ val tracing : t -> bool
 val metrics : t -> Metrics.t option
 (** The attached registry, for hot paths that pre-resolve instruments. *)
 
+val span_recorder : t -> Span.t option
+(** The attached span recorder. Hot paths hoist this once and call
+    {!Obs_span} directly when it is [Some]; cooler paths use {!span}. *)
+
 val instrumented : t -> bool
-(** [tracing t || metrics t <> None] — whether any observation work is
-    wanted at all. *)
+(** Whether any observation work is wanted at all (sink, registry, or
+    span recorder attached). *)
 
 val emit : t -> Event.t -> unit
 (** Deliver one event; no-op unless {!tracing}. *)
@@ -65,3 +71,9 @@ val observe : t -> string -> float -> unit
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Span-time [f] into histogram [name] (seconds); runs [f] untimed
     without a registry. *)
+
+val span : ?attrs:(string * Jsonx.t) list -> t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] profiles [f] as a {!Obs_span} interval when a
+    recorder is attached, and is [f ()] otherwise (one branch — but note
+    the closure and any [?attrs] list are built by the caller either
+    way, so inner loops should hoist {!span_recorder} instead). *)

@@ -4,7 +4,15 @@ type gauge = { g_name : string; mutable g_value : float }
 type histogram = {
   h_name : string;
   log_gamma : float;  (** ln of the bucket growth factor. *)
-  buckets : (int, int ref) Hashtbl.t;  (** bucket index -> count, v > 0. *)
+  inv_log_gamma : float;  (** [1 / log_gamma], so bucketing multiplies. *)
+  mutable base : int;  (** Bucket index of [counts.(0)]. *)
+  mutable counts : int array;
+      (** Dense per-bucket counts for indices [base .. base+len-1];
+          [[||]] until the first positive observation. Preallocated and
+          grown geometrically, so the observe hot path allocates
+          nothing. *)
+  mutable memo_v : float;  (** Last positive value bucketed … *)
+  mutable memo_i : int;  (** … and its bucket index. *)
   mutable zeros : int;  (** Observations of exactly 0. *)
   mutable h_count : int;
   mutable h_sum : float;
@@ -62,11 +70,16 @@ let histogram t name =
   | Some _ -> kind_error name "histogram"
   | None ->
       let gamma = (1.0 +. t.accuracy) /. (1.0 -. t.accuracy) in
+      let log_gamma = log gamma in
       let h =
         {
           h_name = name;
-          log_gamma = log gamma;
-          buckets = Hashtbl.create 64;
+          log_gamma;
+          inv_log_gamma = 1.0 /. log_gamma;
+          base = 0;
+          counts = [||];
+          memo_v = Float.nan;
+          memo_i = 0;
           zeros = 0;
           h_count = 0;
           h_sum = 0.0;
@@ -77,17 +90,48 @@ let histogram t name =
       Hashtbl.replace t.instruments name (Histogram h);
       h
 
-let bucket_index h v = int_of_float (Float.floor (log v /. h.log_gamma))
+let bucket_index h v = int_of_float (Float.floor (log v *. h.inv_log_gamma))
+
+(* Regrow [h.counts] to cover bucket index [i]. Rare: the span of live
+   indices is the log of the value range (~700 buckets for six decades at
+   1% accuracy), and each growth at least doubles coverage. *)
+let grow h i =
+  let pad = 16 in
+  let len = Array.length h.counts in
+  if len = 0 then begin
+    h.base <- i - pad;
+    h.counts <- Array.make ((2 * pad) + 1) 0
+  end
+  else begin
+    let lo = Stdlib.min h.base (i - len - pad) in
+    let hi = Stdlib.max (h.base + len) (i + len + pad + 1) in
+    let counts = Array.make (hi - lo) 0 in
+    Array.blit h.counts 0 counts (h.base - lo) len;
+    h.counts <- counts;
+    h.base <- lo
+  end
 
 let observe h v =
   if not (Float.is_finite v) || v < 0.0 then
     invalid_arg "Obs_metrics.observe: value must be finite and >= 0";
   if Tol.exactly v 0.0 then h.zeros <- h.zeros + 1
   else begin
-    let i = bucket_index h v in
-    match Hashtbl.find_opt h.buckets i with
-    | Some r -> Stdlib.incr r
-    | None -> Hashtbl.replace h.buckets i (ref 1)
+    (* Episodes replay the same schedule, so consecutive observations
+       repeat a handful of values; one memo slot skips the [log] for
+       them. [v] is finite here, so a NaN memo (the initial state) never
+       matches. *)
+    let i =
+      if Tol.exactly v h.memo_v then h.memo_i
+      else begin
+        let i = bucket_index h v in
+        h.memo_v <- v;
+        h.memo_i <- i;
+        i
+      end
+    in
+    if i < h.base || i - h.base >= Array.length h.counts then grow h i;
+    let off = i - h.base in
+    h.counts.(off) <- h.counts.(off) + 1
   end;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
@@ -113,22 +157,22 @@ let quantile h ~q =
   else if Tol.exactly q 1.0 then h.h_max
   else if rank < float_of_int h.zeros then clamp 0.0
   else begin
-    let keys =
-      List.sort Int.compare
-        (Hashtbl.fold (fun k _ acc -> k :: acc) h.buckets [])
-    in
+    (* The dense array is already in bucket-index order. *)
     let cum = ref h.zeros in
     let result = ref h.h_max in
     (try
-       List.iter
-         (fun k ->
-           cum := !cum + !(Hashtbl.find h.buckets k);
-           if float_of_int !cum > rank then begin
-             (* Geometric midpoint of [γ^k, γ^{k+1}). *)
-             result := exp (h.log_gamma *. (float_of_int k +. 0.5));
-             raise Exit
+       Array.iteri
+         (fun off n ->
+           if n > 0 then begin
+             cum := !cum + n;
+             if float_of_int !cum > rank then begin
+               (* Geometric midpoint of [γ^k, γ^{k+1}). *)
+               let k = h.base + off in
+               result := exp (h.log_gamma *. (float_of_int k +. 0.5));
+               raise Exit
+             end
            end)
-         keys
+         h.counts
      with Exit -> ());
     clamp !result
   end

@@ -11,10 +11,12 @@
     bucket [⌊ln v / ln γ⌋] where [γ = (1 + α)/(1 − α)] for the registry's
     relative accuracy [α] (default 1%), so {!quantile} answers are exact
     in rank and within relative error [α] in value — the DDSketch
-    guarantee. Memory is proportional to the number of occupied buckets
-    (the log of the dynamic range), not to the observation count, so an
-    instrument can absorb millions of period lengths or span timings.
-    Exact zeros are counted separately; [min]/[max]/[sum] are tracked
+    guarantee. Buckets live in one dense, preallocated [int array]
+    spanning the observed index range (proportional to the log of the
+    dynamic range, not to the observation count), grown geometrically on
+    range extension; together with a one-slot bucket-index memo for
+    repeated values, {!observe} allocates nothing on the hot path. Exact
+    zeros are counted separately; [min]/[max]/[sum] are tracked
     exactly. *)
 
 type t

@@ -1,0 +1,157 @@
+type span = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  start_us : float;
+  dur_us : float;
+  attrs : (string * Jsonx.t) list;
+}
+
+type frame = {
+  f_id : int;
+  f_parent : int;
+  f_depth : int;
+  f_name : string;
+  f_start : float;  (** {!Obs_clock} seconds, absolute. *)
+  f_attrs : (string * Jsonx.t) list;
+}
+
+type t = {
+  epoch : float;  (** {!Obs_clock} seconds at creation. *)
+  max_spans : int;
+  mutable stack : frame list;
+  mutable next_id : int;
+  mutable rev_done : span list;
+  mutable n_done : int;
+  mutable n_dropped : int;
+  mutable deepest : int;  (** Level count, 0 before any enter. *)
+}
+
+let create ?(max_spans = 1_000_000) () =
+  if max_spans <= 0 then invalid_arg "Obs_span.create: max_spans must be > 0";
+  {
+    epoch = Obs_clock.now ();
+    max_spans;
+    stack = [];
+    next_id = 0;
+    rev_done = [];
+    n_done = 0;
+    n_dropped = 0;
+    deepest = 0;
+  }
+
+let enter ?(attrs = []) t name =
+  let depth = match t.stack with [] -> 0 | f :: _ -> f.f_depth + 1 in
+  let parent = match t.stack with [] -> -1 | f :: _ -> f.f_id in
+  let f =
+    {
+      f_id = t.next_id;
+      f_parent = parent;
+      f_depth = depth;
+      f_name = name;
+      f_start = Obs_clock.now ();
+      f_attrs = attrs;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  if depth + 1 > t.deepest then t.deepest <- depth + 1;
+  t.stack <- f :: t.stack
+
+let exit ?(attrs = []) t =
+  match t.stack with
+  | [] -> invalid_arg "Obs_span.exit: no open span"
+  | f :: rest ->
+      t.stack <- rest;
+      if t.n_done >= t.max_spans then t.n_dropped <- t.n_dropped + 1
+      else begin
+        let dur = Obs_clock.elapsed_since f.f_start in
+        let sp =
+          {
+            id = f.f_id;
+            parent = f.f_parent;
+            depth = f.f_depth;
+            name = f.f_name;
+            start_us = (f.f_start -. t.epoch) *. 1e6;
+            dur_us = dur *. 1e6;
+            attrs = (match attrs with [] -> f.f_attrs | _ -> f.f_attrs @ attrs);
+          }
+        in
+        t.rev_done <- sp :: t.rev_done;
+        t.n_done <- t.n_done + 1
+      end
+
+let record ?attrs t name f =
+  enter ?attrs t name;
+  Fun.protect ~finally:(fun () -> exit t) f
+
+let open_depth t = List.length t.stack
+let count t = t.n_done
+let dropped t = t.n_dropped
+let max_depth t = t.deepest
+
+let spans t =
+  List.sort (fun a b -> Int.compare a.id b.id) t.rev_done
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                          *)
+
+let event_of_span sp =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String sp.name);
+      ("cat", Jsonx.String "cs");
+      ("ph", Jsonx.String "X");
+      ("ts", Jsonx.Float sp.start_us);
+      ("dur", Jsonx.Float sp.dur_us);
+      ("pid", Jsonx.Int 1);
+      ("tid", Jsonx.Int 1);
+      ("args", Jsonx.Obj (("depth", Jsonx.Int sp.depth) :: sp.attrs));
+    ]
+
+let to_chrome_json t =
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (List.map event_of_span (spans t)));
+      ("displayTimeUnit", Jsonx.String "ms");
+    ]
+
+let validate_chrome j =
+  let ( let* ) = Result.bind in
+  let field ~i name conv ev =
+    match Option.bind (Jsonx.member name ev) conv with
+    | Some v -> Ok v
+    | None ->
+        Error (Printf.sprintf "event %d: missing or ill-typed %S" i name)
+  in
+  match Jsonx.member "traceEvents" j with
+  | Some (Jsonx.List events) ->
+      let rec check i deepest = function
+        | [] -> Ok (List.length events, deepest)
+        | ev :: rest ->
+            let* _name = field ~i "name" Jsonx.get_string ev in
+            let* ph = field ~i "ph" Jsonx.get_string ev in
+            let* _ =
+              if String.equal ph "X" then Ok ()
+              else Error (Printf.sprintf "event %d: ph %S, expected \"X\"" i ph)
+            in
+            let* ts = field ~i "ts" Jsonx.get_float ev in
+            let* dur = field ~i "dur" Jsonx.get_float ev in
+            let* _ =
+              if ts >= 0.0 && dur >= 0.0 then Ok ()
+              else Error (Printf.sprintf "event %d: negative ts or dur" i)
+            in
+            let* _pid = field ~i "pid" Jsonx.get_int ev in
+            let* _tid = field ~i "tid" Jsonx.get_int ev in
+            let* args =
+              match Jsonx.member "args" ev with
+              | Some (Jsonx.Obj _ as a) -> Ok a
+              | Some _ | None ->
+                  Error (Printf.sprintf "event %d: missing args object" i)
+            in
+            let* depth = field ~i "depth" Jsonx.get_int args in
+            check (i + 1) (Int.max deepest (depth + 1)) rest
+      in
+      check 0 0 events
+  | Some _ -> Error "traceEvents is not a list"
+  | None -> Error "missing traceEvents"

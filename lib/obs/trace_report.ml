@@ -238,3 +238,80 @@ let pp ppf t =
           w.work_lost w.overhead)
       t.per_ws
   end
+
+(* ------------------------------------------------------------------ *)
+(* Span trees                                                         *)
+
+type span_node = {
+  sn_name : string;
+  sn_count : int;
+  sn_total_us : float;
+  sn_self_us : float;
+  sn_children : span_node list;
+}
+
+let span_tree spans =
+  (* Children of each span id, in creation order. *)
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Obs_span.span) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt children sp.Obs_span.parent)
+      in
+      Hashtbl.replace children sp.Obs_span.parent (sp :: prev))
+    (List.rev spans);
+  (* Aggregate a sibling list: group by name (first-seen order), pool the
+     groups' children, recurse. Self time is what the group's own
+     durations don't pass down to children. *)
+  let rec aggregate siblings =
+    let order = ref [] in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (sp : Obs_span.span) ->
+        if not (Hashtbl.mem groups sp.Obs_span.name) then
+          order := sp.Obs_span.name :: !order;
+        let total, count, kids =
+          Option.value ~default:(0.0, 0, [])
+            (Hashtbl.find_opt groups sp.Obs_span.name)
+        in
+        let own =
+          Option.value ~default:[] (Hashtbl.find_opt children sp.Obs_span.id)
+        in
+        Hashtbl.replace groups sp.Obs_span.name
+          (total +. sp.Obs_span.dur_us, count + 1, List.rev_append own kids))
+      siblings;
+    List.rev_map
+      (fun name ->
+        let total, count, kids = Hashtbl.find groups name in
+        let sn_children =
+          aggregate (List.sort (fun (a : Obs_span.span) b ->
+               Int.compare a.Obs_span.id b.Obs_span.id) kids)
+        in
+        let child_total =
+          Kahan.sum_list (List.map (fun c -> c.sn_total_us) sn_children)
+        in
+        {
+          sn_name = name;
+          sn_count = count;
+          sn_total_us = total;
+          sn_self_us = Float.max 0.0 (total -. child_total);
+          sn_children;
+        })
+      !order
+  in
+  aggregate (List.filter (fun (sp : Obs_span.span) -> sp.Obs_span.parent < 0) spans)
+
+let pp_span_tree ppf nodes =
+  let us v =
+    if v < 1e3 then Printf.sprintf "%.1fus" v
+    else if v < 1e6 then Printf.sprintf "%.2fms" (v /. 1e3)
+    else Printf.sprintf "%.3fs" (v /. 1e6)
+  in
+  Format.fprintf ppf "  %-42s %10s %10s %8s@." "span" "total" "self" "calls";
+  let rec go indent n =
+    Format.fprintf ppf "  %-42s %10s %10s %8d@."
+      (String.make indent ' ' ^ n.sn_name)
+      (us n.sn_total_us) (us n.sn_self_us) n.sn_count;
+    List.iter (go (indent + 2)) n.sn_children
+  in
+  List.iter (go 0) nodes

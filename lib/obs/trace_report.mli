@@ -61,3 +61,29 @@ val pp : Format.formatter -> t -> unit
 (** Deterministic multi-line summary: totals, quantiles
     ({!Stats.quantile} over the exact collected values, not bucketed),
     plan lines, and the per-workstation table. *)
+
+(** {1 Span trees}
+
+    The span-profiler side of the report: fold the flat span list of an
+    {!Obs_span} recorder into a call tree with total and self wall time
+    per (path, name) — the terminal-friendly complement of the Chrome
+    trace export. *)
+
+type span_node = {
+  sn_name : string;
+  sn_count : int;  (** Spans aggregated into this node. *)
+  sn_total_us : float;  (** Σ duration of those spans. *)
+  sn_self_us : float;
+      (** Total minus the children's totals, clamped at 0 (clock
+          granularity can make nested sums exceed the parent). *)
+  sn_children : span_node list;  (** First-seen order. *)
+}
+
+val span_tree : Obs_span.span list -> span_node list
+(** Group sibling spans (same parent path) by name, recursively. Spans
+    whose [parent] is [-1] form the roots; pass the full
+    [Obs_span.spans] list. *)
+
+val pp_span_tree : Format.formatter -> span_node list -> unit
+(** Fixed-width indented table: one line per node — total, self,
+    call count. *)

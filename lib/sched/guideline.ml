@@ -6,9 +6,14 @@ type result = {
   stop : Recurrence.stop_reason;
 }
 
-let evaluate ?finish lf ~c ~t0 =
-  let g = Recurrence.generate ?finish lf ~c ~t0 in
-  (g, Schedule.expected_work ~c lf g.Recurrence.schedule)
+let evaluate ?(obs = Obs.disabled) ?finish lf ~c ~t0 =
+  Obs.span obs "plan.evaluate" (fun () ->
+      let g = Recurrence.generate ~obs ?finish lf ~c ~t0 in
+      let ew =
+        Obs.span obs "plan.expected_work" (fun () ->
+            Schedule.expected_work ~c lf g.Recurrence.schedule)
+      in
+      (g, ew))
 
 let plan_with_t0 ?finish lf ~c ~t0 =
   let g, ew = evaluate ?finish lf ~c ~t0 in
@@ -22,10 +27,18 @@ let plan_with_t0 ?finish lf ~c ~t0 =
 
 let plan ?(obs = Obs.disabled) ?(t0_steps = 128) ?finish lf ~c =
   let compute () =
-    let lo, hi = Bounds.bracket lf ~c in
-    let objective t0 = snd (evaluate ?finish lf ~c ~t0) in
-    let best = Optimize.grid_then_refine objective ~lo ~hi ~steps:t0_steps in
-    let g, ew = evaluate ?finish lf ~c ~t0:best.Optimize.x in
+    (* The guideline's three phases, each its own span: Thm 3.2/3.3
+       bracketing, the t0 grid-and-refine search (whose evaluations span
+       themselves), and the final regeneration at the winner. *)
+    let lo, hi =
+      Obs.span obs "plan.bracket" (fun () -> Bounds.bracket lf ~c)
+    in
+    let objective t0 = snd (evaluate ~obs ?finish lf ~c ~t0) in
+    let best =
+      Obs.span obs "plan.search" (fun () ->
+          Optimize.grid_then_refine objective ~lo ~hi ~steps:t0_steps)
+    in
+    let g, ew = evaluate ~obs ?finish lf ~c ~t0:best.Optimize.x in
     {
       schedule = g.Recurrence.schedule;
       t0 = best.Optimize.x;
@@ -37,7 +50,7 @@ let plan ?(obs = Obs.disabled) ?(t0_steps = 128) ?finish lf ~c =
   if not (Obs.instrumented obs) then compute ()
   else begin
     let t_start = Obs_clock.now () in
-    let r = compute () in
+    let r = Obs.span obs "guideline.plan" compute in
     let elapsed = Obs_clock.elapsed_since t_start in
     Obs.incr obs "plan.guideline_calls";
     Obs.observe obs "plan.guideline_seconds" elapsed;

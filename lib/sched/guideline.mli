@@ -28,8 +28,12 @@ val plan :
     [?obs] (default {!Obs.disabled}) records the planning step: a
     [Plan_computed] event (source ["guideline"], with the chosen [t_0],
     period count, expected work, and wall seconds spent) and the
-    [plan.guideline_calls] / [plan.guideline_seconds] metrics. The
-    returned plan is unaffected.
+    [plan.guideline_calls] / [plan.guideline_seconds] metrics. With a
+    span recorder attached it also profiles where the time goes — a
+    [guideline.plan] root span over [plan.bracket] (Thm 3.2/3.3),
+    [plan.search], and per-candidate [plan.evaluate] /
+    [recurrence.generate] / [plan.expected_work] children. The returned
+    plan is unaffected.
     @raise Invalid_argument when [c] is out of range. *)
 
 val plan_with_t0 :

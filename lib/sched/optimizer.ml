@@ -66,12 +66,22 @@ let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
         | Life_function.Convex | Life_function.Unknown -> 64
       end
   in
+  let spanner = Obs.span_recorder obs in
+  (match spanner with
+  | Some r -> Obs.Span.enter r "optimizer.optimal_schedule"
+  | None -> ());
   let best = ref None in
   let stale = ref 0 in
   let m = ref 1 in
   let sweeps = ref 0 in
   while !m <= m_cap && !stale < patience do
-    let xs, ew = ascend lf ~c ~horizon ~m:!m ~tol in
+    let xs, ew =
+      match spanner with
+      | None -> ascend lf ~c ~horizon ~m:!m ~tol
+      | Some r ->
+          Obs.Span.record ~attrs:[ ("m", Jsonx.Int !m) ] r "optimizer.sweep"
+            (fun () -> ascend lf ~c ~horizon ~m:!m ~tol)
+    in
     incr sweeps;
     let improved =
       match !best with
@@ -104,6 +114,12 @@ let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
           sweeps = !sweeps;
         }
       in
+      (match spanner with
+      | Some rec_ ->
+          Obs.Span.exit rec_
+            ~attrs:
+              [ ("m", Jsonx.Int m); ("sweeps", Jsonx.Int !sweeps) ]
+      | None -> ());
       if Obs.instrumented obs then begin
         let elapsed = Obs_clock.elapsed_since t_start in
         Obs.incr obs "plan.optimizer_calls";

@@ -60,9 +60,13 @@ let greedy_tail lf ~c ~elapsed =
     if best.Optimize.fx > 0.0 then Some best.Optimize.x else None
   end
 
-let generate ?(max_periods = 100_000) ?(finish = Faithful) lf ~c ~t0 =
-  if t0 <= 0.0 then invalid_arg "Recurrence.generate: t0 must be > 0";
-  if c < 0.0 then invalid_arg "Recurrence.generate: c must be >= 0";
+let stop_label = function
+  | Exhausted_support -> "exhausted-support"
+  | Unproductive -> "unproductive"
+  | Tail_negligible -> "tail-negligible"
+  | Period_cap -> "period-cap"
+
+let generate_body ~max_periods ~finish lf ~c ~t0 =
   let rev_periods = ref [ t0 ] in
   let count = ref 1 in
   let prev_period = ref t0 in
@@ -104,6 +108,28 @@ let generate ?(max_periods = 100_000) ?(finish = Faithful) lf ~c ~t0 =
     Schedule.of_periods (Array.of_list (List.rev rev_periods))
   in
   { schedule; stop }
+
+let generate ?(obs = Obs.disabled) ?(max_periods = 100_000)
+    ?(finish = Faithful) lf ~c ~t0 =
+  if t0 <= 0.0 then invalid_arg "Recurrence.generate: t0 must be > 0";
+  if c < 0.0 then invalid_arg "Recurrence.generate: c must be >= 0";
+  match Obs.span_recorder obs with
+  | None -> generate_body ~max_periods ~finish lf ~c ~t0
+  | Some r ->
+      Obs.Span.enter r "recurrence.generate";
+      let g =
+        try generate_body ~max_periods ~finish lf ~c ~t0
+        with e ->
+          Obs.Span.exit r;
+          raise e
+      in
+      Obs.Span.exit r
+        ~attrs:
+          [
+            ("periods", Jsonx.Int (Schedule.num_periods g.schedule));
+            ("stop", Jsonx.String (stop_label g.stop));
+          ];
+      g
 
 let residuals lf ~c s =
   let periods = Schedule.periods s in

@@ -47,6 +47,7 @@ type finish =
           invites in §5. *)
 
 val generate :
+  ?obs:Obs.t ->
   ?max_periods:int ->
   ?finish:finish ->
   Life_function.t -> c:float -> t0:float ->
@@ -56,7 +57,11 @@ val generate :
     [max_periods] (default 100_000). Periods that come out [<= c] end the
     iteration ({!Unproductive}) but the final sub-[c] period is kept only
     if it still contributes work ([> c] check), matching the Prop 2.1
-    normal form. Requires [t0 > 0] and [c >= 0]. *)
+    normal form. Requires [t0 > 0] and [c >= 0].
+
+    [?obs] (default {!Obs.disabled}): when a span recorder is attached,
+    the whole generation is profiled as a [recurrence.generate] span
+    carrying the period count and stop reason. *)
 
 val residuals : Life_function.t -> c:float -> Schedule.t -> float array
 (** [residuals p ~c s] evaluates, for each consecutive pair of periods, the

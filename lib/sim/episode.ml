@@ -31,7 +31,11 @@ let run ?(obs = Obs.disabled) ?(ws = 0) ?(ep = 0) s ~c ~reclaim_at =
   if reclaim_at < 0.0 then invalid_arg "Episode.run: reclaim_at must be >= 0";
   let trace = Obs.tracing obs in
   let meters = Option.map meters_of (Obs.metrics obs) in
+  let spanner = Obs.span_recorder obs in
   let instr = trace || meters <> None in
+  (match spanner with
+  | Some r -> Obs.Span.enter r "episode.run"
+  | None -> ());
   let periods = Schedule.periods s in
   let ends = Schedule.completion_times s in
   let n = Array.length periods in
@@ -147,6 +151,15 @@ let run ?(obs = Obs.disabled) ?(ws = 0) ?(ep = 0) s ~c ~reclaim_at =
     | Some m -> Obs.Metrics.observe m.m_elapsed elapsed
     | None -> ()
   end;
+  (match spanner with
+  | Some r ->
+      Obs.Span.exit r
+        ~attrs:
+          [
+            ("completed", Jsonx.Int !completed);
+            ("interrupted", Jsonx.Bool !interrupted);
+          ]
+  | None -> ());
   {
     work_done = Kahan.total done_acc;
     work_lost = !work_lost;

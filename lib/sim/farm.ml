@@ -156,7 +156,11 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
     config.workstations;
   let trace = Obs.tracing obs in
   let meters = Option.map meters_of (Obs.metrics obs) in
+  let spanner = Obs.span_recorder obs in
   let instr = trace || meters <> None in
+  (match spanner with
+  | Some r -> Obs.Span.enter r "farm.run"
+  | None -> ());
   if trace then
     Obs.emit obs
       (Obs.Event.Run_started { time = 0.0; source = "farm"; seed = Some seed });
@@ -202,7 +206,17 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
     | None -> ()
     | Some next -> (
         if !unassigned > 1e-12 then
-          match next ~elapsed:(now -. st.episode_start) with
+          (* The policy call is the planning work (the adaptive policy
+             re-plans against the conditional life function here), so it
+             gets its own span enclosing any nested guideline spans. *)
+          let choice =
+            match spanner with
+            | None -> next ~elapsed:(now -. st.episode_start)
+            | Some r ->
+                Obs.Span.record r "farm.next_period" (fun () ->
+                    next ~elapsed:(now -. st.episode_start))
+          in
+          match choice with
           | None -> st.next_period <- None
           | Some t ->
               (* Clip the bundle to the work left in the pool. *)
@@ -404,6 +418,15 @@ let run ?(obs = Obs.disabled) ?(link = Unlimited) config ~seed =
         Obs.Metrics.set m.m_pool_remaining (!unassigned +. in_flight_total)
     | None -> ()
   end;
+  (match spanner with
+  | Some r ->
+      Obs.Span.exit r
+        ~attrs:
+          [
+            ("makespan", Jsonx.Float makespan);
+            ("finished", Jsonx.Bool (!finished_at <> None));
+          ]
+  | None -> ());
   {
     finished = !finished_at <> None;
     makespan;

@@ -20,15 +20,40 @@ let estimate ?(obs = Obs.disabled) ?(trials = 20_000) lf ~c ~schedule ~seed =
   let overhead = Kahan.create () in
   let lost = Kahan.create () in
   let interrupted = ref 0 in
+  let run_trial i =
+    let reclaim_at = Reclaim.draw sampler g in
+    let o = Episode.run ~obs ~ep:i schedule ~c ~reclaim_at in
+    works.(i) <- o.Episode.work_done;
+    Kahan.add overhead o.Episode.overhead;
+    Kahan.add lost o.Episode.work_lost;
+    if o.Episode.interrupted then incr interrupted
+  in
   Obs.time obs "mc.estimate_seconds" (fun () ->
-      for i = 0 to trials - 1 do
-        let reclaim_at = Reclaim.draw sampler g in
-        let o = Episode.run ~obs ~ep:i schedule ~c ~reclaim_at in
-        works.(i) <- o.Episode.work_done;
-        Kahan.add overhead o.Episode.overhead;
-        Kahan.add lost o.Episode.work_lost;
-        if o.Episode.interrupted then incr interrupted
-      done);
+      match Obs.span_recorder obs with
+      | None ->
+          for i = 0 to trials - 1 do
+            run_trial i
+          done
+      | Some r ->
+          (* Profile in batches so the Perfetto lane shows amortised
+             episode cost without a million leaf spans dominating. *)
+          let batch = 1024 in
+          Obs.Span.record r "mc.estimate" (fun () ->
+              let i = ref 0 in
+              while !i < trials do
+                let stop = Int.min trials (!i + batch) in
+                Obs.Span.record r "mc.batch"
+                  ~attrs:
+                    [
+                      ("first", Jsonx.Int !i);
+                      ("count", Jsonx.Int (stop - !i));
+                    ]
+                  (fun () ->
+                    for j = !i to stop - 1 do
+                      run_trial j
+                    done);
+                i := stop
+              done));
   if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });
   let tf = float_of_int trials in
   {
@@ -62,18 +87,20 @@ let compare_policies ?(obs = Obs.disabled) ?(trials = 20_000) lf ~c ~policies
   let runs =
     List.mapi
       (fun pi (policy_name, schedule) ->
-        let acc = Kahan.create () in
-        Array.iteri
-          (fun ti r ->
-            Kahan.add acc
-              (Episode.run ~obs ~ws:pi ~ep:ti schedule ~c ~reclaim_at:r)
-                .Episode.work_done)
-          reclaims;
-        {
-          policy_name;
-          mean_work_per_episode = Kahan.total acc /. float_of_int trials;
-          episodes = trials;
-        })
+        Obs.span ~attrs:[ ("policy", Jsonx.String policy_name) ] obs
+          "mc.policy" (fun () ->
+            let acc = Kahan.create () in
+            Array.iteri
+              (fun ti r ->
+                Kahan.add acc
+                  (Episode.run ~obs ~ws:pi ~ep:ti schedule ~c ~reclaim_at:r)
+                    .Episode.work_done)
+              reclaims;
+            {
+              policy_name;
+              mean_work_per_episode = Kahan.total acc /. float_of_int trials;
+              episodes = trials;
+            }))
       policies
   in
   if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });

@@ -1,0 +1,301 @@
+(* Benchkit: trimmed OLS fits (including the harness self-test — on
+   outlier-laden data the trimmed fit must recover a high r^2, which is
+   what keeps reclaim-draw from shipping r^2 ~ 0.34 estimates again),
+   the record schema round-trip with v1 compatibility, the noise-aware
+   regression gate's verdicts, and history append/load. *)
+
+let synthetic_runs n = Array.init n (fun i -> float_of_int (i + 1))
+
+let test_ols_exact () =
+  (* nanos = 37 * runs exactly: slope recovered, r^2 = 1. *)
+  let runs = synthetic_runs 64 in
+  let nanos = Array.map (fun r -> 37.0 *. r) runs in
+  let fit = Bench_fit.ols ~runs ~nanos in
+  Alcotest.(check (float 1e-9)) "slope" 37.0 fit.Bench_fit.ns_per_run;
+  Alcotest.(check (float 1e-9)) "r^2" 1.0 fit.Bench_fit.r_square;
+  Alcotest.(check int) "kept all" 64 fit.Bench_fit.kept
+
+let test_trimmed_recovers_r2 () =
+  (* The bench self-test: clean linear data polluted by large upward
+     outliers (GC pauses / preemption). Plain OLS craters; the trimmed
+     fit must restore both the slope and a trustworthy r^2. *)
+  let n = 200 in
+  let runs = synthetic_runs n in
+  let nanos =
+    Array.mapi
+      (fun i r ->
+        let base = 100.0 *. r in
+        (* Deterministic "noise": every 13th sample is a 20x spike. *)
+        if i mod 13 = 0 then base *. 20.0 else base +. Float.of_int (i mod 7))
+      runs
+  in
+  let plain = Bench_fit.ols ~runs ~nanos in
+  let fit = Bench_fit.trimmed ~runs ~nanos () in
+  Alcotest.(check bool)
+    "plain OLS is poisoned" true
+    (plain.Bench_fit.r_square < 0.9);
+  Alcotest.(check bool)
+    "trimmed r^2 >= 0.95" true
+    (fit.Bench_fit.r_square >= 0.95);
+  Alcotest.(check bool)
+    "slope within 2%" true
+    (Float.abs (fit.Bench_fit.ns_per_run -. 100.0) < 2.0);
+  Alcotest.(check bool)
+    "trim actually dropped samples" true
+    (fit.Bench_fit.kept < fit.Bench_fit.total);
+  Alcotest.(check int) "total is n" n fit.Bench_fit.total
+
+let test_trimmed_noop_small () =
+  let runs = synthetic_runs 5 in
+  let nanos = Array.map (fun r -> 10.0 *. r) runs in
+  let fit = Bench_fit.trimmed ~runs ~nanos () in
+  Alcotest.(check int) "no trim under 8 samples" 5 fit.Bench_fit.kept
+
+let entry ns r2 = { Bench_record.ns_per_call = ns; r_square = r2 }
+
+let record ?(git_sha = "abc1234") results =
+  Bench_record.make ~ocaml:"5.2.0" ~git_sha ~hostname:"testhost"
+    ~quota_seconds:0.5 ~unix_time:1754300000.0 results
+
+let test_record_roundtrip () =
+  let r =
+    record
+      [
+        ("zeta", entry 12.5 0.998);
+        ("alpha", entry 892.0 Float.nan);
+      ]
+  in
+  (* make sorts. *)
+  Alcotest.(check (list string))
+    "sorted" [ "alpha"; "zeta" ]
+    (List.map fst r.Bench_record.results);
+  match Bench_record.of_json (Bench_record.to_json r) with
+  | Error e -> Alcotest.failf "round-trip: %s" e
+  | Ok r' ->
+      Alcotest.(check int) "schema" 2 r'.Bench_record.schema;
+      Alcotest.(check string) "sha" "abc1234" r'.Bench_record.git_sha;
+      Alcotest.(check string) "host" "testhost" r'.Bench_record.hostname;
+      let a = List.assoc "alpha" r'.Bench_record.results in
+      Alcotest.(check bool)
+        "nan r^2 survives as nan" true
+        (Float.is_nan a.Bench_record.r_square);
+      Alcotest.(check (float 1e-9))
+        "ns survives" 892.0 a.Bench_record.ns_per_call
+
+let test_record_v1_compat () =
+  (* A PR-1-era record: v1, no git_sha/hostname. *)
+  let v1 =
+    Jsonx.Obj
+      [
+        ("v", Jsonx.Int 1);
+        ("suite", Jsonx.String "T1");
+        ("ocaml", Jsonx.String "5.1.1");
+        ("quota_seconds", Jsonx.Float 0.5);
+        ("unix_time", Jsonx.Float 1751000000.0);
+        ( "results",
+          Jsonx.Obj
+            [
+              ( "episode-run",
+                Jsonx.Obj
+                  [
+                    ("ns_per_call", Jsonx.Float 300.0);
+                    ("r_square", Jsonx.Float 0.99);
+                  ] );
+            ] );
+      ]
+  in
+  match Bench_record.of_json v1 with
+  | Error e -> Alcotest.failf "v1 rejected: %s" e
+  | Ok r ->
+      Alcotest.(check string) "sha default" "unknown" r.Bench_record.git_sha;
+      Alcotest.(check string)
+        "host default" "unknown" r.Bench_record.hostname;
+      Alcotest.(check int) "one result" 1 (List.length r.Bench_record.results)
+
+let test_record_rejects () =
+  List.iter
+    (fun (label, j) ->
+      match Bench_record.of_json j with
+      | Ok _ -> Alcotest.failf "accepted %s" label
+      | Error _ -> ())
+    [
+      ("empty object", Jsonx.Obj []);
+      ( "future schema",
+        Jsonx.Obj [ ("v", Jsonx.Int 99); ("suite", Jsonx.String "T1") ] );
+    ]
+
+let verdict =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Bench_gate.verdict_label v))
+    ( = )
+
+let find_cmp report name =
+  List.find
+    (fun c -> c.Bench_gate.bench_name = name)
+    report.Bench_gate.compared
+
+let test_gate_self_compare () =
+  let r = record [ ("a", entry 100.0 0.99); ("b", entry 55.0 0.34) ] in
+  let report = Bench_gate.compare_runs ~old_run:r ~new_run:r () in
+  Alcotest.(check int) "no regressions" 0 report.Bench_gate.regressions;
+  Alcotest.(check int) "no improvements" 0 report.Bench_gate.improvements;
+  List.iter
+    (fun c ->
+      Alcotest.check verdict c.Bench_gate.bench_name Bench_gate.Within_noise
+        c.Bench_gate.verdict)
+    report.Bench_gate.compared;
+  Alcotest.(check bool)
+    "gate passes" false
+    (Bench_gate.has_regressions report)
+
+let test_gate_slowdown () =
+  let old_run = record [ ("clean", entry 100.0 0.99) ] in
+  let new_run = record [ ("clean", entry 200.0 0.99) ] in
+  let report = Bench_gate.compare_runs ~old_run ~new_run () in
+  Alcotest.check verdict "2x on a clean fit" Bench_gate.Regression
+    (find_cmp report "clean").Bench_gate.verdict;
+  Alcotest.(check bool) "gate trips" true (Bench_gate.has_regressions report)
+
+let test_gate_improvement () =
+  let old_run = record [ ("clean", entry 892.0 0.99) ] in
+  let new_run = record [ ("clean", entry 420.0 0.99) ] in
+  let report = Bench_gate.compare_runs ~old_run ~new_run () in
+  Alcotest.check verdict "halving flags improvement" Bench_gate.Improvement
+    (find_cmp report "clean").Bench_gate.verdict;
+  Alcotest.(check int) "counted" 1 report.Bench_gate.improvements
+
+let test_gate_noise_widening () =
+  (* reclaim-draw scenario: r^2 = 0.34 on both sides. tol = 0.15 +
+     0.85*0.66 = 0.711, so a 1.5x shift must stay within noise while a
+     2x shift still trips. *)
+  let old_run = record [ ("noisy", entry 20.0 0.34) ] in
+  let report15 =
+    Bench_gate.compare_runs ~old_run
+      ~new_run:(record [ ("noisy", entry 30.0 0.34) ])
+      ()
+  in
+  Alcotest.check verdict "1.5x within widened noise" Bench_gate.Within_noise
+    (find_cmp report15 "noisy").Bench_gate.verdict;
+  let c = find_cmp report15 "noisy" in
+  Alcotest.(check (float 1e-9)) "tolerance" 0.711 c.Bench_gate.tolerance;
+  let report2 =
+    Bench_gate.compare_runs ~old_run
+      ~new_run:(record [ ("noisy", entry 40.0 0.34) ])
+      ()
+  in
+  Alcotest.check verdict "2x still trips" Bench_gate.Regression
+    (find_cmp report2 "noisy").Bench_gate.verdict
+
+let test_gate_nan_r2_max_widening () =
+  (* NaN r^2 clamps to 0: tol = 1.0, regression only beyond 2x. *)
+  let old_run = record [ ("nofit", entry 10.0 Float.nan) ] in
+  let within =
+    Bench_gate.compare_runs ~old_run
+      ~new_run:(record [ ("nofit", entry 19.9 0.99) ])
+      ()
+  in
+  Alcotest.check verdict "1.99x within" Bench_gate.Within_noise
+    (find_cmp within "nofit").Bench_gate.verdict;
+  let beyond =
+    Bench_gate.compare_runs ~old_run
+      ~new_run:(record [ ("nofit", entry 20.5 0.99) ])
+      ()
+  in
+  Alcotest.check verdict "2.05x trips" Bench_gate.Regression
+    (find_cmp beyond "nofit").Bench_gate.verdict
+
+let test_gate_disjoint_and_skipped () =
+  let old_run =
+    record [ ("gone", entry 10.0 0.9); ("bad", entry Float.nan 0.9) ]
+  in
+  let new_run =
+    record [ ("new", entry 10.0 0.9); ("bad", entry 12.0 0.9) ]
+  in
+  let report = Bench_gate.compare_runs ~old_run ~new_run () in
+  Alcotest.(check (list string)) "disappeared" [ "gone" ]
+    report.Bench_gate.only_old;
+  Alcotest.(check (list string)) "appeared" [ "new" ]
+    report.Bench_gate.only_new;
+  Alcotest.(check (list string)) "skipped" [ "bad" ]
+    report.Bench_gate.skipped;
+  Alcotest.(check int) "nothing compared" 0
+    (List.length report.Bench_gate.compared)
+
+let with_tmp f =
+  let path = Filename.temp_file "benchkit" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_save_load () =
+  with_tmp (fun path ->
+      let r = record [ ("a", entry 1.5 0.9) ] in
+      Bench_record.save path r;
+      match Bench_record.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok r' ->
+          Alcotest.(check bool) "save/load round-trip" true (r = r'))
+
+let test_history_append_load () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      (* append_history must create the file... *)
+      let r1 = record ~git_sha:"run1" [ ("a", entry 1.0 0.9) ] in
+      let r2 = record ~git_sha:"run2" [ ("a", entry 2.0 0.9) ] in
+      Bench_record.append_history path r1;
+      Bench_record.append_history path r2;
+      match Bench_record.load_history path with
+      | Error e -> Alcotest.failf "load_history: %s" e
+      | Ok records ->
+          Alcotest.(check (list string))
+            "...and keep appending, oldest first" [ "run1"; "run2" ]
+            (List.map (fun r -> r.Bench_record.git_sha) records))
+
+let test_history_rejects_garbage () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"v\":2}\nnot json\n";
+      close_out oc;
+      match Bench_record.load_history path with
+      | Ok _ -> Alcotest.fail "accepted malformed history"
+      | Error e ->
+          Alcotest.(check bool)
+            "error names the line" true
+            (String.length e > 0))
+
+let () =
+  Alcotest.run "benchkit"
+    [
+      ( "fit",
+        [
+          Alcotest.test_case "exact linear data" `Quick test_ols_exact;
+          Alcotest.test_case "trimmed fit recovers r^2 (self-test)" `Quick
+            test_trimmed_recovers_r2;
+          Alcotest.test_case "no trim on tiny samples" `Quick
+            test_trimmed_noop_small;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "v2 round-trip" `Quick test_record_roundtrip;
+          Alcotest.test_case "v1 compatibility" `Quick test_record_v1_compat;
+          Alcotest.test_case "malformed rejected" `Quick test_record_rejects;
+          Alcotest.test_case "save/load file" `Quick test_save_load;
+          Alcotest.test_case "history append/load" `Quick
+            test_history_append_load;
+          Alcotest.test_case "history rejects garbage" `Quick
+            test_history_rejects_garbage;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "self-compare all within noise" `Quick
+            test_gate_self_compare;
+          Alcotest.test_case "2x slowdown regresses" `Quick
+            test_gate_slowdown;
+          Alcotest.test_case "improvement detected" `Quick
+            test_gate_improvement;
+          Alcotest.test_case "low r^2 widens tolerance" `Quick
+            test_gate_noise_widening;
+          Alcotest.test_case "nan r^2 widens maximally" `Quick
+            test_gate_nan_r2_max_widening;
+          Alcotest.test_case "disjoint and unusable entries" `Quick
+            test_gate_disjoint_and_skipped;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Span profiler: nesting/parent bookkeeping, unbalanced-exit failure,
+   attribute encoding, the Chrome trace-event shape contract (via the
+   exporter's own validator, round-tripped through Jsonx), the buffer
+   cap, and the Obs facade passthrough. *)
+
+let spin () =
+  (* Burn a little real time so durations are observably positive on
+     coarse clocks without sleeping. *)
+  let acc = ref 0.0 in
+  for i = 1 to 1_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* a > (b > c), then d: two roots, three levels. *)
+let build_recorder () =
+  let r = Obs.Span.create () in
+  Obs.Span.enter r "a";
+  Obs.Span.enter r "b" ~attrs:[ ("k", Jsonx.Int 7) ];
+  Obs.Span.enter r "c";
+  spin ();
+  Obs.Span.exit r;
+  Obs.Span.exit r ~attrs:[ ("done", Jsonx.Bool true) ];
+  Obs.Span.exit r;
+  Obs.Span.enter r "d";
+  Obs.Span.exit r;
+  r
+
+let test_nesting () =
+  let r = build_recorder () in
+  Alcotest.(check int) "count" 4 (Obs.Span.count r);
+  Alcotest.(check int) "open_depth" 0 (Obs.Span.open_depth r);
+  Alcotest.(check int) "max_depth levels" 3 (Obs.Span.max_depth r);
+  let by_name name =
+    List.find (fun s -> s.Obs_span.name = name) (Obs.Span.spans r)
+  in
+  let a = by_name "a" and b = by_name "b" and c = by_name "c" in
+  let d = by_name "d" in
+  Alcotest.(check int) "a is a root" (-1) a.Obs_span.parent;
+  Alcotest.(check int) "d is a root" (-1) d.Obs_span.parent;
+  Alcotest.(check int) "b under a" a.Obs_span.id b.Obs_span.parent;
+  Alcotest.(check int) "c under b" b.Obs_span.id c.Obs_span.parent;
+  Alcotest.(check int) "a depth" 0 a.Obs_span.depth;
+  Alcotest.(check int) "c depth" 2 c.Obs_span.depth;
+  (* Completion order is innermost-first; ids are creation order. *)
+  Alcotest.(check (list int))
+    "spans sorted by creation" [ 0; 1; 2; 3 ]
+    (List.map (fun s -> s.Obs_span.id) (Obs.Span.spans r));
+  Alcotest.(check bool)
+    "child contained in parent" true
+    (b.Obs_span.start_us >= a.Obs_span.start_us
+    && b.Obs_span.start_us +. b.Obs_span.dur_us
+       <= a.Obs_span.start_us +. a.Obs_span.dur_us +. 1e-6);
+  Alcotest.(check bool)
+    "durations non-negative" true
+    (List.for_all (fun s -> s.Obs_span.dur_us >= 0.0) (Obs.Span.spans r))
+
+let test_unbalanced_exit () =
+  let r = Obs.Span.create () in
+  Alcotest.check_raises "exit on empty stack"
+    (Invalid_argument "Obs_span.exit: no open span") (fun () ->
+      Obs.Span.exit r);
+  Obs.Span.enter r "only";
+  Obs.Span.exit r;
+  Alcotest.check_raises "exit after balance restored"
+    (Invalid_argument "Obs_span.exit: no open span") (fun () ->
+      Obs.Span.exit r)
+
+let test_attrs () =
+  let r = build_recorder () in
+  let b =
+    List.find (fun s -> s.Obs_span.name = "b") (Obs.Span.spans r)
+  in
+  (* Enter attrs first, exit attrs appended. *)
+  Alcotest.(check bool)
+    "attrs in order" true
+    (b.Obs_span.attrs
+    = [ ("k", Jsonx.Int 7); ("done", Jsonx.Bool true) ]);
+  (* And they surface under args in the Chrome export, with depth. *)
+  let doc = Obs.Span.to_chrome_json r in
+  let events =
+    match Jsonx.member "traceEvents" doc with
+    | Some (Jsonx.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let ev_b =
+    List.find
+      (fun ev -> Jsonx.member "name" ev = Some (Jsonx.String "b"))
+      events
+  in
+  let args =
+    match Jsonx.member "args" ev_b with
+    | Some a -> a
+    | None -> Alcotest.fail "no args"
+  in
+  Alcotest.(check bool)
+    "depth in args" true
+    (Jsonx.member "depth" args = Some (Jsonx.Int 1));
+  Alcotest.(check bool)
+    "attr k in args" true
+    (Jsonx.member "k" args = Some (Jsonx.Int 7));
+  Alcotest.(check bool)
+    "attr done in args" true
+    (Jsonx.member "done" args = Some (Jsonx.Bool true))
+
+let test_chrome_roundtrip () =
+  let r = build_recorder () in
+  let doc = Obs.Span.to_chrome_json r in
+  match Jsonx.of_string (Jsonx.to_string doc) with
+  | Error e -> Alcotest.failf "chrome JSON does not re-parse: %s" e
+  | Ok j -> (
+      Alcotest.(check bool) "round-trip exact" true (j = doc);
+      match Obs_span.validate_chrome j with
+      | Error e -> Alcotest.failf "validate_chrome: %s" e
+      | Ok (events, depth) ->
+          Alcotest.(check int) "events" 4 events;
+          Alcotest.(check int) "depth levels" 3 depth)
+
+let test_validate_rejects () =
+  List.iter
+    (fun (label, j) ->
+      match Obs_span.validate_chrome j with
+      | Ok _ -> Alcotest.failf "accepted %s" label
+      | Error _ -> ())
+    [
+      ("bare object", Jsonx.Obj []);
+      ("traceEvents not a list", Jsonx.Obj [ ("traceEvents", Jsonx.Int 1) ]);
+      ( "event without ph",
+        Jsonx.Obj
+          [
+            ( "traceEvents",
+              Jsonx.List
+                [ Jsonx.Obj [ ("name", Jsonx.String "x") ] ] );
+          ] );
+    ]
+
+let test_max_spans_cap () =
+  let r = Obs.Span.create ~max_spans:3 () in
+  for i = 1 to 5 do
+    Obs.Span.record r (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "stored at cap" 3 (Obs.Span.count r);
+  Alcotest.(check int) "dropped the rest" 2 (Obs.Span.dropped r)
+
+let test_record_closes_on_exception () =
+  let r = Obs.Span.create () in
+  (try Obs.Span.record r "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "stack rebalanced" 0 (Obs.Span.open_depth r);
+  Alcotest.(check int) "span still completed" 1 (Obs.Span.count r)
+
+let test_obs_facade () =
+  (* Disabled obs: Obs.span is a passthrough and records nothing. *)
+  let x = Obs.span Obs.disabled "nope" (fun () -> 41 + 1) in
+  Alcotest.(check int) "passthrough result" 42 x;
+  Alcotest.(check bool)
+    "disabled has no recorder" true
+    (Obs.span_recorder Obs.disabled = None);
+  (* Enabled: the same call lands in the recorder. *)
+  let r = Obs.Span.create () in
+  let obs = Obs.create ~spans:r () in
+  Alcotest.(check bool) "spans imply instrumented" true (Obs.instrumented obs);
+  let y = Obs.span obs "yep" (fun () -> 7) in
+  Alcotest.(check int) "enabled result" 7 y;
+  Alcotest.(check int) "span recorded" 1 (Obs.Span.count r)
+
+let test_profiled_plan_nests () =
+  (* The wired instrumentation: a profiled Guideline.plan must produce
+     >= 3 nesting levels (guideline.plan > plan.search > plan.evaluate >
+     recurrence.generate) and a clean chrome export. *)
+  let r = Obs.Span.create () in
+  let obs = Obs.create ~spans:r () in
+  let lf = Families.uniform ~lifespan:100.0 in
+  let (_ : Guideline.result) = Guideline.plan ~obs lf ~c:1.0 in
+  Alcotest.(check bool) "closed out" true (Obs.Span.open_depth r = 0);
+  Alcotest.(check bool)
+    "at least 3 levels" true
+    (Obs.Span.max_depth r >= 3);
+  match Obs_span.validate_chrome (Obs.Span.to_chrome_json r) with
+  | Error e -> Alcotest.failf "validate_chrome: %s" e
+  | Ok (events, depth) ->
+      Alcotest.(check bool) "many events" true (events = Obs.Span.count r);
+      Alcotest.(check bool) "export depth agrees" true
+        (depth = Obs.Span.max_depth r)
+
+let test_span_tree () =
+  let r = build_recorder () in
+  let tree = Trace_report.span_tree (Obs.Span.spans r) in
+  Alcotest.(check (list string))
+    "roots in first-seen order" [ "a"; "d" ]
+    (List.map (fun n -> n.Trace_report.sn_name) tree);
+  let a = List.hd tree in
+  Alcotest.(check int) "a count" 1 a.Trace_report.sn_count;
+  let b = List.hd a.Trace_report.sn_children in
+  Alcotest.(check (list string))
+    "b's child" [ "c" ]
+    (List.map
+       (fun n -> n.Trace_report.sn_name)
+       b.Trace_report.sn_children);
+  (* self = total - children, never negative. *)
+  let rec check_self n =
+    let child_total =
+      List.fold_left
+        (fun acc ch -> acc +. ch.Trace_report.sn_total_us)
+        0.0 n.Trace_report.sn_children
+    in
+    Alcotest.(check bool)
+      (n.Trace_report.sn_name ^ " self consistent")
+      true
+      (n.Trace_report.sn_self_us >= 0.0
+      && n.Trace_report.sn_self_us
+         <= n.Trace_report.sn_total_us -. child_total +. 1e-6);
+    List.iter check_self n.Trace_report.sn_children
+  in
+  List.iter check_self tree
+
+let () =
+  Alcotest.run "span"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "nesting and parents" `Quick test_nesting;
+          Alcotest.test_case "unbalanced exit raises" `Quick
+            test_unbalanced_exit;
+          Alcotest.test_case "buffer cap drops, not grows" `Quick
+            test_max_spans_cap;
+          Alcotest.test_case "record closes on exception" `Quick
+            test_record_closes_on_exception;
+        ] );
+      ( "chrome export",
+        [
+          Alcotest.test_case "attribute encoding" `Quick test_attrs;
+          Alcotest.test_case "round-trip + validator" `Quick
+            test_chrome_roundtrip;
+          Alcotest.test_case "validator rejects wrong shapes" `Quick
+            test_validate_rejects;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "Obs facade passthrough" `Quick test_obs_facade;
+          Alcotest.test_case "profiled plan nests >= 3 levels" `Quick
+            test_profiled_plan_nests;
+          Alcotest.test_case "span tree aggregation" `Quick test_span_tree;
+        ] );
+    ]
