@@ -10,7 +10,8 @@
    per benchmark plus git SHA / hostname / OCaml metadata) and appends
    the same record to BENCH_HISTORY.jsonl. [--quick] shrinks the
    sampling quota and warmups so CI can exercise the pipeline without
-   burning minutes; its numbers are for plumbing, not comparison. *)
+   burning minutes; its numbers are for plumbing, not comparison.
+   [--jobs N] sizes the domain pool behind the "(parallel)" variants. *)
 
 let usage () =
   print_endline "cycle-stealing reproduction harness";
@@ -23,17 +24,18 @@ let usage () =
   Printf.printf "  %-7s %s\n" "all" "tables + timing (default)"
 
 let quick = ref false
+let jobs = ref 4
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) Tables.all with
   | Some (_, _, f) -> f ()
   | None -> (
       match id with
-      | "timing" -> Timing.run ~quick:!quick ()
+      | "timing" -> Timing.run ~quick:!quick ~jobs:!jobs ()
       | "tables" -> List.iter (fun (_, _, f) -> f ()) Tables.all
       | "all" ->
           List.iter (fun (_, _, f) -> f ()) Tables.all;
-          Timing.run ~quick:!quick ()
+          Timing.run ~quick:!quick ~jobs:!jobs ()
       | "help" | "-h" | "--help" -> usage ()
       | other ->
           Printf.eprintf "unknown experiment %S\n" other;
@@ -45,7 +47,9 @@ let () =
     "Reproduction harness: Rosenberg, \"Guidelines for Data-Parallel \
      Cycle-Stealing in Networks of Workstations, I\" (TR 98-15 / IPPS 1998)";
   (* --csv DIR mirrors every printed table into DIR/<experiment>.csv;
-     --quick shrinks the timing suite's quota/warmups for CI. *)
+     --quick shrinks the timing suite's quota/warmups for CI; --jobs N
+     sizes the domain pool behind the "(parallel)" timing variants
+     (default 4; results are bit-identical for any N). *)
   let rec split_flags acc = function
     | "--csv" :: dir :: rest ->
         Tbl.set_csv_dir (Some dir);
@@ -53,6 +57,14 @@ let () =
     | "--quick" :: rest ->
         quick := true;
         split_flags acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            split_flags acc rest
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2)
     | id :: rest -> split_flags (id :: acc) rest
     | [] -> List.rev acc
   in

@@ -4,6 +4,8 @@
      csctl schedule  --family uniform --lifespan 100 -c 1
      csctl bounds    --family geo-dec --a 1.05 -c 1
      csctl simulate  --family geo-inc --lifespan 30 -c 1 --trials 50000
+     csctl compare   --family uniform -c 1 --trials 2000 --jobs 4
+     csctl table     --family uniform --c-min 0.5 --c-max 4 --steps 8
      csctl admissible --family power-law --d 2 -c 1
      csctl fit       --model exponential --mean 40 --samples 1000 -c 1
      csctl checkpoint --work 720 --mtbf 240 -c 1.5
@@ -12,7 +14,10 @@
 
    [schedule] and [simulate] accept --trace FILE (write a JSONL event
    trace of the run) and --metrics (print the metrics registry after);
-   [report] aggregates a JSONL trace back into summary numbers. *)
+   [report] aggregates a JSONL trace back into summary numbers. The
+   Monte-Carlo and batch-planning commands ([simulate], [compare],
+   [table]) accept --jobs N to run on N domains; output is bit-identical
+   for any N (DESIGN.md §10). *)
 
 open Cmdliner
 
@@ -114,6 +119,24 @@ let with_family spec k =
       with Invalid_argument msg | Failure msg ->
         prerr_endline ("error: " ^ msg);
         exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Parallelism flag (shared by simulate, compare and table)            *)
+
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains to run the Monte-Carlo / planning work on \
+           (default 1 = serial). Output is bit-identical for any $(docv); \
+           only wall time changes.")
+
+(* [k] receives [None] for the untouched serial path, or a transient
+   pool that is shut down when [k] returns. *)
+let with_jobs jobs k =
+  if jobs = 1 then k None
+  else Domain_pool.with_pool ~domains:jobs (fun p -> k (Some p))
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by schedule and simulate)               *)
@@ -221,12 +244,13 @@ let simulate_cmd =
     Arg.(
       value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run spec c trials seed trace metrics =
+  let run spec c trials seed jobs trace metrics =
     with_family spec (fun lf ->
         with_obs ~trace ~metrics (fun obs ->
+            with_jobs jobs (fun pool ->
             let plan = Guideline.plan ~obs lf ~c in
             let est =
-              Monte_carlo.estimate ~obs ~trials lf ~c
+              Monte_carlo.estimate ~obs ?pool ~trials lf ~c
                 ~schedule:plan.Guideline.schedule ~seed:(Int64.of_int seed)
             in
             let lo, hi = est.Monte_carlo.ci95 in
@@ -238,14 +262,121 @@ let simulate_cmd =
             Format.printf "interrupted   : %.2f%%@."
               (100.0 *. est.Monte_carlo.interrupted_fraction);
             Format.printf "mean overhead : %.6f ; mean work lost: %.6f@."
-              est.Monte_carlo.mean_overhead est.Monte_carlo.mean_lost))
+              est.Monte_carlo.mean_overhead est.Monte_carlo.mean_lost)))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Monte-Carlo-validate the guideline schedule for a scenario.")
     Term.(
-      const run $ family_term $ c_term $ trials $ seed $ trace_term
-      $ metrics_term)
+      const run $ family_term $ c_term $ trials $ seed $ jobs_term
+      $ trace_term $ metrics_term)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_cmd =
+  let trials =
+    Arg.(
+      value & opt int 2_000
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Monte-Carlo episodes per policy (common random numbers).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run spec c trials seed jobs trace metrics =
+    with_family spec (fun lf ->
+        with_obs ~trace ~metrics (fun obs ->
+            with_jobs jobs (fun pool ->
+                let plan = Guideline.plan ~obs lf ~c in
+                let policies =
+                  ("guideline", plan.Guideline.schedule)
+                  :: List.map
+                       (fun b -> (b.Baselines.name, b.Baselines.schedule))
+                       (Baselines.all lf ~c)
+                in
+                let runs =
+                  Monte_carlo.compare_policies ~obs ?pool ~trials lf ~c
+                    ~policies ~seed:(Int64.of_int seed)
+                in
+                Format.printf "life function : %a@." Life_function.pp lf;
+                Format.printf "policies ranked by mean work per episode \
+                               (n=%d, shared reclaim stream):@."
+                  trials;
+                List.iter
+                  (fun r ->
+                    Format.printf "  %-20s : %12.6f@."
+                      r.Monte_carlo.policy_name
+                      r.Monte_carlo.mean_work_per_episode)
+                  runs)))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Monte-Carlo-race the guideline schedule against the naive \
+          baseline policies on a shared reclaim stream.")
+    Term.(
+      const run $ family_term $ c_term $ trials $ seed $ jobs_term
+      $ trace_term $ metrics_term)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                               *)
+
+let table_cmd =
+  let c_min =
+    Arg.(
+      value & opt float 0.5
+      & info [ "c-min" ] ~docv:"C" ~doc:"Smallest overhead in the sweep.")
+  in
+  let c_max =
+    Arg.(
+      value & opt float 4.0
+      & info [ "c-max" ] ~docv:"C" ~doc:"Largest overhead in the sweep.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 8
+      & info [ "steps" ] ~docv:"N" ~doc:"Number of grid points.")
+  in
+  let run spec c_min c_max steps jobs =
+    with_family spec (fun lf ->
+        if steps < 1 then
+          invalid_arg
+            (Printf.sprintf "table: steps must be >= 1, got %d" steps);
+        if not (c_min > 0.0 && c_max >= c_min) then
+          invalid_arg
+            (Printf.sprintf
+               "table: need 0 < c-min <= c-max, got c-min %g, c-max %g" c_min
+               c_max);
+        with_jobs jobs (fun pool ->
+            let grid =
+              if steps = 1 then [ c_min ]
+              else
+                List.init steps (fun i ->
+                    c_min
+                    +. (c_max -. c_min) *. float_of_int i
+                       /. float_of_int (steps - 1))
+            in
+            let results =
+              Guideline.plan_batch ?pool (List.map (fun c -> (lf, c)) grid)
+            in
+            Format.printf "life function : %a@." Life_function.pp lf;
+            Format.printf "%9s  %9s  %7s  %12s@." "c" "t0" "periods"
+              "E[work]";
+            List.iter2
+              (fun c r ->
+                Format.printf "%9.4f  %9.4f  %7d  %12.6f@." c r.Guideline.t0
+                  (Schedule.num_periods r.Guideline.schedule)
+                  r.Guideline.expected_work)
+              grid results))
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:
+         "Sweep the guideline planner over an overhead grid and print the \
+          schedule table (one batch, parallel with --jobs).")
+    Term.(const run $ family_term $ c_min $ c_max $ steps $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* admissible                                                          *)
@@ -593,6 +724,8 @@ let () =
             schedule_cmd;
             bounds_cmd;
             simulate_cmd;
+            compare_cmd;
+            table_cmd;
             admissible_cmd;
             fit_cmd;
             checkpoint_cmd;

@@ -46,7 +46,7 @@ The simulate subcommand is deterministic in its seed.
 
   $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 5000 --seed 42 | sed -n '2,3p'
   analytic E    : 41.066071
-  MC mean (n=5000): 41.015957  95% CI [40.259984, 41.771930]
+  MC mean (n=5000): 41.136971  95% CI [40.384944, 41.888999]
 
 The worst-case planner prints its guarantee.
 
@@ -67,13 +67,13 @@ The fit pipeline recovers an exponential rate from synthetic absences.
     shape      = 0.985003
 
 A fixed-seed run writes a schema-versioned JSONL trace, and report
-aggregates it back to the live run's own numbers (MC mean 39.953571
+aggregates it back to the live run's own numbers (MC mean 42.305714
 below = work done / episode in the summary).
 
   $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --trace t.jsonl --metrics | grep -E "^counter|MC mean"
-  MC mean (n=200): 39.953571  95% CI [36.286050, 43.621093]
-  counter episode.periods_completed = 810
-  counter episode.periods_killed = 199
+  MC mean (n=200): 42.305714  95% CI [38.515989, 46.095439]
+  counter episode.periods_completed = 876
+  counter episode.periods_killed = 200
   counter episode.runs = 200
   counter plan.guideline_calls = 1
 
@@ -81,17 +81,45 @@ below = work done / episode in the summary).
   {"v":1,"type":"run_started","t":0.0,"source":"monte_carlo","seed":42}
 
   $ ../bin/csctl.exe report t.jsonl
-  trace summary (schema v1, 2620 events)
+  trace summary (schema v1, 2755 events)
     source(s)     : monte_carlo
-    episodes      : 200 started, 200 finished, 199 interrupted
-    periods       : 1009 dispatched, 810 completed, 199 killed (kill rate 19.72%)
-    work done     : 7990.714290 (39.953571 / episode)
-    work lost     : 730.821470 (3.654107 / episode)
-    overhead      : 992.209550 (4.961048 / episode)
-    overhead frac : 10.21% of busy time
-    period length: min 1.6429 / p50 11.6429 / p90 13.6429 / max 13.6429
-    episode time : min 0.0042 / p50 47.5539 / p90 85.8460 / max 99.3571
+    episodes      : 200 started, 200 finished, 200 interrupted
+    periods       : 1076 dispatched, 876 completed, 200 killed (kill rate 18.59%)
+    work done     : 8461.142862 (42.305714 / episode)
+    work lost     : 757.542778 (3.787714 / episode)
+    overhead      : 1063.924007 (5.319620 / episode)
+    overhead frac : 10.35% of busy time
+    period length: min 1.6429 / p50 10.6429 / p90 13.6429 / max 13.6429
+    episode time : min 0.2118 / p50 53.1951 / p90 90.7329 / max 99.1188
     plan          : guideline t0=13.6429 periods=13 E=41.066071
+
+Parallel execution is bit-identical to serial: the same comparison with
+--jobs 2 (two domains racing over the policy × chunk grid) must produce
+byte-identical output, and a --jobs 4 simulate must reproduce the serial
+MC mean above exactly.
+
+  $ ../bin/csctl.exe compare --family uniform -L 100 -c 1 --trials 512 --seed 42 --jobs 1 > one.txt
+  $ ../bin/csctl.exe compare --family uniform -L 100 -c 1 --trials 512 --seed 42 --jobs 2 > two.txt
+  $ cmp one.txt two.txt && echo identical
+  identical
+  $ head -3 one.txt
+  life function : uniform(L=100) (lifespan 100, linear)
+  policies ranked by mean work per episode (n=512, shared reclaim stream):
+    guideline            :    40.524275
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 5000 --seed 42 --jobs 4 | sed -n '3p'
+  MC mean (n=5000): 41.136971  95% CI [40.384944, 41.888999]
+
+The table subcommand sweeps the planner over an overhead grid — one
+plan_batch call, parallel under --jobs.
+
+  $ ../bin/csctl.exe table --family uniform -L 100 --c-min 0.5 --c-max 4 --steps 4 --jobs 2
+  life function : uniform(L=100) (lifespan 100, linear)
+          c         t0  periods       E[work]
+     0.5000     9.7500       19     43.581250
+     1.6667    17.4242       10     38.648990
+     2.8333    22.4167        7     35.519167
+     4.0000    26.2857        7     33.097143
 
 Malformed traces fail cleanly.
 

@@ -25,6 +25,7 @@ let scope_of_path path : Lint_rules.scope =
     in_lib = under "lib" n;
     in_bench = under "bench" n;
     is_prng = String.ends_with ~suffix:"numerics/prng.ml" n;
+    in_parallel = under "parallel" n;
   }
 
 let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =

@@ -3,6 +3,7 @@ type scope = {
   in_lib : bool;
   in_bench : bool;
   is_prng : bool;
+  in_parallel : bool;
 }
 
 type meta = { id : string; title : string; remedy : string }
@@ -38,6 +39,13 @@ let all_meta =
       id = "R6";
       title = "no Obj.magic / Obj.repr";
       remedy = "restructure the types instead of defeating them";
+    };
+    {
+      id = "R7";
+      title = "no raw Domain.spawn outside lib/parallel/";
+      remedy =
+        "run the work through Domain_pool, which keeps the chunk-grid \
+         determinism contract auditable";
     };
   ]
 
@@ -162,6 +170,13 @@ let check_structure (scope : scope) (str : structure) :
     | Longident.Ldot (Longident.Lident "Obj", ("magic" | "repr")) ->
         report "R6" loc
           "Obj.magic/Obj.repr defeat the type system; restructure the types"
+    | _ -> ());
+    (match lid with
+    | Longident.Ldot (Longident.Lident "Domain", "spawn")
+      when not scope.in_parallel ->
+        report "R7" loc
+          "raw Domain.spawn outside lib/parallel/; run the work through \
+           Domain_pool so the determinism contract stays auditable"
     | _ -> ());
     (if (not scope.is_prng) && String.equal (longident_head lid) "Random" then
        report "R3" loc

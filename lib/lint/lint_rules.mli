@@ -13,6 +13,7 @@ type scope = {
   in_lib : bool;  (** Under [lib/]: R2 and R4 apply. *)
   in_bench : bool;  (** Under [bench/]: R2 applies. *)
   is_prng : bool;  (** [lib/numerics/prng.ml] itself: exempt from R3. *)
+  in_parallel : bool;  (** Under [lib/parallel/]: exempt from R7. *)
 }
 
 type meta = { id : string; title : string; remedy : string }

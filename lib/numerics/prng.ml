@@ -50,6 +50,19 @@ let split g =
   let s3 = splitmix64 st in
   { s0; s1; s2; s3 }
 
+let split_n g n =
+  if n < 0 then invalid_arg "Prng.split_n: n must be >= 0";
+  if n = 0 then [||]
+  else begin
+    (* Explicit loop: the children must be drawn from [g] in index
+       order, and Array.init's evaluation order is unspecified. *)
+    let a = Array.make n g in
+    for i = 0 to n - 1 do
+      a.(i) <- split g
+    done;
+    a
+  end
+
 let float g =
   (* Top 53 bits give a uniform dyadic rational in [0, 1). *)
   let bits = Int64.shift_right_logical (next_int64 g) 11 in

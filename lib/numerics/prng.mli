@@ -21,6 +21,13 @@ val split : t -> t
 (** [split g] advances [g] and returns a child generator seeded from fresh
     output of [g]; child and parent streams do not overlap in practice. *)
 
+val split_n : t -> int -> t array
+(** [split_n g n] is [n] child generators drawn from [g] by {!split} in
+    index order — the chunk-stream grid of the parallel execution layer:
+    chunk [k] of a partitioned computation always owns stream [k],
+    whatever domain runs it, so results cannot depend on the domain
+    count. Requires [n >= 0]. *)
+
 val next_int64 : t -> int64
 (** [next_int64 g] is the next raw 64-bit output. *)
 

@@ -73,6 +73,21 @@ val hist_min : histogram -> float
 val hist_max : histogram -> float
 (** Exact extremes; [nan] when empty. *)
 
+(** {1 Merging} *)
+
+val accuracy : t -> float
+(** The relative quantile accuracy the registry was created with. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every instrument of [src] into [into],
+    find-or-creating by name: counters add, gauges take [src]'s value
+    when it has ever been set, histograms add bucket-by-bucket (exact in
+    rank — both registries must have the same {!accuracy}, or the merge
+    raises [Invalid_argument]). [src] is left untouched. The parallel
+    execution layer gives each worker chunk a private registry and merges
+    them through this in chunk-index order, so metrics stay race-free and
+    deterministic for any domain count. *)
+
 (** {1 Span timer} *)
 
 val time : t -> string -> (unit -> 'a) -> 'a

@@ -93,6 +93,41 @@ let max_depth t = t.deepest
 let spans t =
   List.sort (fun a b -> Int.compare a.id b.id) t.rev_done
 
+let absorb t src =
+  if src.stack <> [] then
+    invalid_arg "Obs_span.absorb: source recorder has open spans";
+  (* Graft src's completed spans under t's innermost open span (or as
+     roots). Ids are rebased past t's next id; timestamps are re-expressed
+     against t's epoch, so the merged timeline stays consistent — spans
+     recorded on sibling domains may overlap in time, which the Chrome
+     format renders fine. *)
+  let base_parent = match t.stack with [] -> -1 | f :: _ -> f.f_id in
+  let base_depth = match t.stack with [] -> 0 | f :: _ -> f.f_depth + 1 in
+  let offset_us = (src.epoch -. t.epoch) *. 1e6 in
+  let id_base = t.next_id in
+  List.iter
+    (fun sp ->
+      if t.n_done >= t.max_spans then t.n_dropped <- t.n_dropped + 1
+      else begin
+        let sp =
+          {
+            sp with
+            id = id_base + sp.id;
+            parent =
+              (if sp.parent < 0 then base_parent else id_base + sp.parent);
+            depth = base_depth + sp.depth;
+            start_us = sp.start_us +. offset_us;
+          }
+        in
+        t.rev_done <- sp :: t.rev_done;
+        t.n_done <- t.n_done + 1
+      end)
+    (spans src);
+  t.next_id <- t.next_id + src.next_id;
+  t.n_dropped <- t.n_dropped + src.n_dropped;
+  if base_depth + src.deepest > t.deepest then
+    t.deepest <- base_depth + src.deepest
+
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                          *)
 

@@ -79,6 +79,17 @@ val spans : t -> span list
 (** Completed spans in creation (= start-time) order. Open spans are not
     included; close them before exporting. *)
 
+val absorb : t -> t -> unit
+(** [absorb t src] grafts every completed span of [src] into [t] as
+    descendants of [t]'s innermost open span (or as roots when none is
+    open): ids are rebased, depths shifted, and timestamps re-expressed
+    against [t]'s epoch, so the merged recorder exports one consistent
+    Chrome trace. [src]'s dropped count carries over; [src] itself is
+    left untouched and must have no open spans ([Invalid_argument]
+    otherwise). This is how the parallel execution layer merges the
+    per-chunk recorders of worker domains back into the caller's
+    profile, in chunk-index order. *)
+
 val to_chrome_json : t -> Jsonx.t
 (** The completed spans in Chrome trace-event JSON Array Format:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}] where each event is

@@ -66,6 +66,31 @@ let plan ?(obs = Obs.disabled) ?(t0_steps = 128) ?finish lf ~c =
     r
   end
 
+let plan_batch ?(obs = Obs.disabled) ?pool ?domains ?t0_steps ?finish scenarios
+    =
+  match scenarios with
+  | [] -> []
+  | _ :: _ ->
+      let scen = Array.of_list scenarios in
+      let n = Array.length scen in
+      let slots = Array.make n None in
+      (* One scenario per chunk: plans are pure in (lf, c), so any
+         domain assignment yields the same slot contents; observability
+         goes to per-scenario children gathered in scenario order. *)
+      let kids = Obs_fork.scatter obs ~n in
+      Obs.span obs "guideline.plan_batch" (fun () ->
+          Domain_pool.run ?pool ?domains ~chunks:n (fun i ->
+              let lf, c = scen.(i) in
+              slots.(i) <-
+                Some (plan ~obs:(Obs_fork.child kids i) ?t0_steps ?finish lf ~c));
+          Obs_fork.gather obs kids);
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None -> assert false (* every chunk filled its slot *))
+           slots)
+
 let plan_risk_averse ?(t0_steps = 128) ~lambda_ lf ~c =
   if lambda_ < 0.0 then
     invalid_arg "Guideline.plan_risk_averse: lambda_ must be >= 0";

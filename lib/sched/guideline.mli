@@ -36,6 +36,27 @@ val plan :
     plan is unaffected.
     @raise Invalid_argument when [c] is out of range. *)
 
+val plan_batch :
+  ?obs:Obs.t ->
+  ?pool:Domain_pool.t ->
+  ?domains:int ->
+  ?t0_steps:int ->
+  ?finish:Recurrence.finish ->
+  (Life_function.t * float) list ->
+  result list
+(** [plan_batch scenarios] is [List.map (fun (p, c) -> plan p ~c)
+    scenarios], except the scenarios may run concurrently — one chunk per
+    scenario on [?pool] (or a transient [?domains]-wide {!Domain_pool};
+    default inline). Plans are pure in [(p, c)], so the returned list is
+    bit-identical for any domain count and keeps the input order. This is
+    the batch entry point [csctl table] uses to sweep an overhead grid.
+
+    [?obs] observes the whole batch: each scenario records into a private
+    child handle, merged back in scenario order under a
+    [guideline.plan_batch] span ({!Obs_fork}), so counters like
+    [plan.guideline_calls] count all scenarios and the profile groups
+    per-scenario [guideline.plan] spans. *)
+
 val plan_with_t0 :
   ?finish:Recurrence.finish ->
   Life_function.t -> c:float -> t0:float ->

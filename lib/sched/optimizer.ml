@@ -36,20 +36,42 @@ let seeds ~horizon ~m =
   in
   [ flat 1.0; flat 0.5; arithmetic; geometric ]
 
-let ascend lf ~c ~horizon ~m ~tol =
+let n_seeds = 4 (* length of [seeds] *)
+
+let ascend_seed lf ~c ~horizon ~m ~tol init =
   let eps = 1e-9 in
   let lower = Array.make m eps in
   let upper = Array.make m horizon in
   let objective ts = expected_work_of_vector lf ~c ts in
-  let run init =
-    Optimize.coordinate_ascent ~tol ~f:objective ~lower ~upper init
-  in
-  let candidates = List.map run (seeds ~horizon ~m) in
+  Optimize.coordinate_ascent ~tol ~f:objective ~lower ~upper init
+
+let best_candidate candidates =
   List.fold_left
     (fun (bx, bew) (x, ew) -> if ew > bew then (x, ew) else (bx, bew))
     (List.hd candidates) (List.tl candidates)
 
-let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
+let ascend lf ~c ~horizon ~m ~tol =
+  best_candidate
+    (List.map (ascend_seed lf ~c ~horizon ~m ~tol) (seeds ~horizon ~m))
+
+(* Speculative block: evaluate every (m, seed) ascent for [count]
+   consecutive period counts starting at [m0] as one flat job grid, then
+   reduce each m's seed candidates in seed order — the exact fold
+   [ascend] performs, so each per-m result is bit-identical to the
+   serial one. Ascents are pure float computations from their seed
+   vector; which domain runs which job cannot change a bit. *)
+let ascend_block pool lf ~c ~horizon ~tol ~m0 ~count =
+  let jobs = count * n_seeds in
+  let slots = Array.make jobs None in
+  Domain_pool.parallel_for pool ~chunks:jobs (fun j ->
+      let m = m0 + (j / n_seeds) and si = j mod n_seeds in
+      let init = List.nth (seeds ~horizon ~m) si in
+      slots.(j) <- Some (ascend_seed lf ~c ~horizon ~m ~tol init));
+  Array.init count (fun i ->
+      best_candidate
+        (List.init n_seeds (fun si -> Option.get slots.((i * n_seeds) + si))))
+
+let optimal_schedule ?(obs = Obs.disabled) ?pool ?m_max ?(patience = 3)
     ?(tol = 1e-10) lf ~c =
   if c <= 0.0 then invalid_arg "Optimizer.optimal_schedule: c must be > 0";
   let horizon = Life_function.horizon lf in
@@ -74,14 +96,9 @@ let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
   let stale = ref 0 in
   let m = ref 1 in
   let sweeps = ref 0 in
-  while !m <= m_cap && !stale < patience do
-    let xs, ew =
-      match spanner with
-      | None -> ascend lf ~c ~horizon ~m:!m ~tol
-      | Some r ->
-          Obs.Span.record ~attrs:[ ("m", Jsonx.Int !m) ] r "optimizer.sweep"
-            (fun () -> ascend lf ~c ~horizon ~m:!m ~tol)
-    in
+  (* Replay of the serial improvement rule on the result for count [mi];
+     shared by both execution paths below. *)
+  let consider mi (xs, ew) =
     incr sweeps;
     let improved =
       match !best with
@@ -89,12 +106,47 @@ let optimal_schedule ?(obs = Obs.disabled) ?m_max ?(patience = 3)
       | None -> true
     in
     if improved then begin
-      best := Some (xs, ew, !m);
+      best := Some (xs, ew, mi);
       stale := 0
     end
-    else incr stale;
-    incr m
-  done;
+    else incr stale
+  in
+  (match pool with
+  | Some p when Domain_pool.domains p > 1 ->
+      (* Speculate up to [patience - stale] consecutive counts per block:
+         the serial scan provably evaluates every one of them before it
+         can stop (stale resets on improvement and the block is no longer
+         than the remaining patience), so replaying the blocks in m-order
+         yields the identical best schedule and the identical sweep
+         count — speculation buys concurrency, never extra sweeps. *)
+      while !m <= m_cap && !stale < patience do
+        let m0 = !m in
+        let count = Int.min (m_cap - m0 + 1) (patience - !stale) in
+        let results =
+          match spanner with
+          | None -> ascend_block p lf ~c ~horizon ~tol ~m0 ~count
+          | Some r ->
+              Obs.Span.record
+                ~attrs:
+                  [ ("m_first", Jsonx.Int m0); ("count", Jsonx.Int count) ]
+                r "optimizer.block"
+                (fun () -> ascend_block p lf ~c ~horizon ~tol ~m0 ~count)
+        in
+        Array.iteri (fun i result -> consider (m0 + i) result) results;
+        m := m0 + count
+      done
+  | Some _ | None ->
+      while !m <= m_cap && !stale < patience do
+        let result =
+          match spanner with
+          | None -> ascend lf ~c ~horizon ~m:!m ~tol
+          | Some r ->
+              Obs.Span.record ~attrs:[ ("m", Jsonx.Int !m) ] r
+                "optimizer.sweep" (fun () -> ascend lf ~c ~horizon ~m:!m ~tol)
+        in
+        consider !m result;
+        incr m
+      done);
   match !best with
   | None -> assert false (* m = 1 always evaluated *)
   | Some (xs, _, m) ->

@@ -17,6 +17,7 @@ type t = {
 
 val optimal_schedule :
   ?obs:Obs.t ->
+  ?pool:Domain_pool.t ->
   ?m_max:int ->
   ?patience:int ->
   ?tol:float ->
@@ -32,10 +33,20 @@ val optimal_schedule :
 
     The returned schedule is in Proposition 2.1 productive normal form.
 
+    [?pool] runs the search on a {!Domain_pool}: the four multi-start
+    seeds of each count ascend concurrently, and consecutive counts are
+    evaluated speculatively in blocks sized by the patience still
+    remaining — a block the serial scan would provably also have
+    evaluated in full. The winning schedule, [m] and [sweeps] are
+    bit-identical to the serial search; only wall time changes. A
+    one-domain pool (or no pool) takes the untouched serial path.
+
     [?obs] (default {!Obs.disabled}) records the search: a
     [Plan_computed] event (source ["optimizer"]) plus the
     [plan.optimizer_calls], [optimizer.sweeps], and
-    [plan.optimizer_seconds] metrics. The result is unaffected. *)
+    [plan.optimizer_seconds] metrics; a span recorder sees per-count
+    [optimizer.sweep] spans (serial) or per-block [optimizer.block]
+    spans (parallel). The result is unaffected. *)
 
 val expected_work_of_vector :
   Life_function.t -> c:float -> float array -> float

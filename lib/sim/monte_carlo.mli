@@ -1,7 +1,23 @@
 (** Monte-Carlo estimation of a schedule's expected work — the empirical
     side of eq. 2.1, used by experiment E8 to validate the analytic
     expectation and by users whose life functions come from traces rather
-    than formulas. *)
+    than formulas.
+
+    {2 Parallel execution}
+
+    Both entry points split their trial loop over a fixed {e chunk grid}
+    of {!chunk_size} trials per chunk: chunk [k] draws from the [k]-th
+    {!Prng.split_n} child stream and accumulates its own compensated
+    partial sums, which are reduced in chunk-index order afterwards. The
+    grid's geometry depends only on the trial count, so results are
+    {e bit-identical} whether the chunks run inline (the default), on a
+    caller-supplied {!Domain_pool.t} ([?pool]) or on a transient pool
+    ([?domains]) — see DESIGN.md §10. Observability merges the same way:
+    each chunk records into a private handle that is folded back in chunk
+    order ({!Obs_fork}). *)
+
+val chunk_size : int
+(** Trials per chunk of the fixed grid (512). *)
 
 type estimate = {
   trials : int;
@@ -15,19 +31,24 @@ type estimate = {
 
 val estimate :
   ?obs:Obs.t ->
+  ?pool:Domain_pool.t ->
+  ?domains:int ->
   ?trials:int ->
   Life_function.t -> c:float -> schedule:Schedule.t -> seed:int64 ->
   estimate
 (** [estimate p ~c ~schedule ~seed] runs [trials] (default 20_000)
     independent episodes with reclaim times drawn from [p] and summarises
-    the outcomes. Deterministic in [seed]. Requires [trials >= 2].
+    the outcomes. Deterministic in [seed] — and in [seed] only: [?pool] /
+    [?domains] change wall time, never a bit of the result. Requires
+    [trials >= 2].
 
     [?obs] (default {!Obs.disabled}) is forwarded to every
     {!Episode.run}, with the trial index as the episode ordinal [ep] (and
     [ws = 0]), bracketed by [Run_started] / [Run_finished] marker events;
     with a metrics registry attached the whole sweep is additionally span-
-    timed into the [mc.estimate_seconds] histogram. Results are identical
-    with and without [?obs]. *)
+    timed into the [mc.estimate_seconds] histogram, and a span recorder
+    sees an [mc.estimate] span over per-chunk [mc.chunk] children.
+    Results are identical with and without [?obs]. *)
 
 type policy_run = {
   policy_name : string;
@@ -37,6 +58,8 @@ type policy_run = {
 
 val compare_policies :
   ?obs:Obs.t ->
+  ?pool:Domain_pool.t ->
+  ?domains:int ->
   ?trials:int ->
   Life_function.t -> c:float ->
   policies:(string * Schedule.t) list -> seed:int64 ->
@@ -44,8 +67,13 @@ val compare_policies :
 (** [compare_policies p ~c ~policies ~seed] runs every named schedule
     against the {e same} stream of sampled reclaim times (common random
     numbers, so policy differences are not drowned in sampling noise) and
-    reports mean work per episode, sorted best-first.
+    reports mean work per episode, sorted best-first. The reclaim stream
+    is drawn serially up front; the policy × chunk grid then runs on
+    [?pool] / [?domains] with the same bit-identical guarantee as
+    {!estimate}. Requires [trials >= 1] and [policies <> []].
 
     [?obs] is forwarded to every {!Episode.run}; in the emitted events the
     [ws] field carries the {e policy index} (position in [policies]) and
-    [ep] the trial index, so a trace can be cut per policy. *)
+    [ep] the trial index, so a trace can be cut per policy. A span
+    recorder sees an [mc.compare] span over per-chunk [mc.policy]
+    children. *)

@@ -126,6 +126,21 @@ let test_r6 () =
   check_rules "suppressed" []
     (lint "let c x = (Obj.magic x) [@lint.allow \"R6\"]\n")
 
+(* ---- R7: raw Domain.spawn outside lib/parallel/ ---- *)
+
+let test_r7 () =
+  check_rules "spawn in lib" [ "R7" ]
+    (lint "let d f = Domain.spawn f\n");
+  check_rules "spawn in bin" [ "R7" ]
+    (lint ~path:"bin/fixture.ml" "let d f = Domain.spawn f\n");
+  check_rules "lib/parallel exempt" []
+    (lint ~path:"lib/parallel/domain_pool.ml" "let d f = Domain.spawn f\n");
+  (* The rest of the Domain API is fine anywhere — only spawn creates
+     execution contexts the pool can't account for. *)
+  check_rules "join fine" [] (lint "let j d = Domain.join d\n");
+  check_rules "suppressed" []
+    (lint "let d f = (Domain.spawn f) [@lint.allow \"R7\"]\n")
+
 (* ---- malformed suppression payloads, parse errors, baseline ---- *)
 
 let test_malformed_allow () =
@@ -162,7 +177,7 @@ let test_baseline_roundtrip () =
 
 let test_rule_metadata_complete () =
   Alcotest.(check (list string))
-    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
 let () =
@@ -186,6 +201,7 @@ let () =
       ("r4", [ Alcotest.test_case "printing from lib" `Quick test_r4 ]);
       ("r5", [ Alcotest.test_case "mli pairing" `Quick test_r5 ]);
       ("r6", [ Alcotest.test_case "Obj escape hatches" `Quick test_r6 ]);
+      ("r7", [ Alcotest.test_case "raw Domain.spawn" `Quick test_r7 ]);
       ( "machinery",
         [
           Alcotest.test_case "malformed allow" `Quick test_malformed_allow;

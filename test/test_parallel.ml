@@ -1,0 +1,323 @@
+(* The determinism contract of lib/parallel (DESIGN.md §10): results are
+   bit-identical for any domain count. These tests pin both halves —
+   Domain_pool's chunk-order reduce discipline in isolation, and the
+   instrumented hot paths (Monte_carlo, Optimizer, Guideline.plan_batch)
+   run serially vs on a 4-domain pool. All float checks use exact
+   equality (Alcotest's [float 0.0]): "close" would mask exactly the
+   reduction-order bugs this layer exists to rule out. *)
+
+let exact = Alcotest.(check (float 0.0))
+let uniform_lf = Families.uniform ~lifespan:100.0
+let schedule = (Guideline.plan uniform_lf ~c:1.0).Guideline.schedule
+
+(* ---- Domain_pool mechanics ---- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "domains 0" (Invalid_argument
+    "Domain_pool.create: domains must be in [1, 128] (got 0)")
+    (fun () -> ignore (Domain_pool.create ~domains:0));
+  Domain_pool.with_pool ~domains:3 (fun p ->
+      Alcotest.(check int) "domains" 3 (Domain_pool.domains p))
+
+let test_parallel_for_covers_all_chunks () =
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let hits = Array.make 1000 0 in
+      Domain_pool.parallel_for p ~chunks:1000 (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each chunk exactly once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+let test_map_reduce_order () =
+  (* A non-commutative reduce exposes any deviation from chunk-index
+     order: build the chunk list and compare to the identity. *)
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let r =
+        Domain_pool.map_reduce p ~chunks:100 ~map:(fun i -> [ i ])
+          ~reduce:(fun acc x -> acc @ x)
+          ~init:[]
+      in
+      Alcotest.(check (list int)) "in chunk order" (List.init 100 Fun.id) r)
+
+let test_pool_reuse () =
+  Domain_pool.with_pool ~domains:2 (fun p ->
+      let total () =
+        Domain_pool.map_reduce p ~chunks:50 ~map:Fun.id ~reduce:( + ) ~init:0
+      in
+      Alcotest.(check int) "first use" 1225 (total ());
+      Alcotest.(check int) "second use" 1225 (total ());
+      Alcotest.(check int) "third use" 1225 (total ()))
+
+exception Chunk_failed of int
+
+let test_exception_propagation () =
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      (* Several chunks raise; the lowest-indexed failure must surface,
+         matching what a serial in-order run would hit first. *)
+      (try
+         Domain_pool.parallel_for p ~chunks:64 (fun i ->
+             if i mod 10 = 3 then raise (Chunk_failed i));
+         Alcotest.fail "expected Chunk_failed"
+       with Chunk_failed i ->
+         Alcotest.(check int) "lowest failing chunk" 3 i);
+      (* ... and the pool must remain usable afterwards. *)
+      let r =
+        Domain_pool.map_reduce p ~chunks:10 ~map:Fun.id ~reduce:( + ) ~init:0
+      in
+      Alcotest.(check int) "pool usable after failure" 45 r)
+
+let test_shutdown () =
+  let p = Domain_pool.create ~domains:2 in
+  Domain_pool.shutdown p;
+  Domain_pool.shutdown p;
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Domain_pool.parallel_for: pool is shut down") (fun () ->
+      Domain_pool.parallel_for p ~chunks:1 ignore)
+
+let test_run_front_end () =
+  let sum chunks f =
+    let acc = ref 0 in
+    f ~chunks (fun i -> acc := !acc + i);
+    !acc
+  in
+  let serial = sum 100 (fun ~chunks f -> Domain_pool.run ~chunks f) in
+  let via_domains =
+    sum 100 (fun ~chunks f -> Domain_pool.run ~domains:3 ~chunks f)
+  in
+  Alcotest.(check int) "inline" 4950 serial;
+  Alcotest.(check int) "transient pool" 4950 via_domains
+
+(* ---- Prng.split_n: the chunk-stream grid ---- *)
+
+let test_split_n () =
+  let drain g = Array.init 8 (fun _ -> Prng.next_int64 g) in
+  let a = Prng.split_n (Prng.create ~seed:9L) 5 in
+  let b = Prng.split_n (Prng.create ~seed:9L) 5 in
+  Alcotest.(check int) "count" 5 (Array.length a);
+  (* Deterministic: same parent seed, same child streams, index-wise. *)
+  Array.iteri
+    (fun i gi ->
+      Alcotest.(check (array int64))
+        (Printf.sprintf "child %d reproducible" i)
+        (drain gi) (drain b.(i)))
+    a;
+  (* A longer grid is a prefix-extension: chunk k's stream must not
+     depend on how many chunks follow it (the grid geometry depends on
+     the trial count, and trials differing must not re-seed chunk 0). *)
+  let long = Prng.split_n (Prng.create ~seed:9L) 9 in
+  let short = Prng.split_n (Prng.create ~seed:9L) 5 in
+  Alcotest.(check (array int64))
+    "prefix stability" (drain short.(0)) (drain long.(0))
+
+(* ---- Monte_carlo: bit-identical across domain counts ---- *)
+
+let check_estimate_equal msg (a : Monte_carlo.estimate)
+    (b : Monte_carlo.estimate) =
+  let lo_a, hi_a = a.ci95 and lo_b, hi_b = b.ci95 in
+  Alcotest.(check int) (msg ^ ": trials") a.trials b.trials;
+  exact (msg ^ ": mean_work") a.mean_work b.mean_work;
+  exact (msg ^ ": ci95 lo") lo_a lo_b;
+  exact (msg ^ ": ci95 hi") hi_a hi_b;
+  exact (msg ^ ": mean_overhead") a.mean_overhead b.mean_overhead;
+  exact (msg ^ ": mean_lost") a.mean_lost b.mean_lost;
+  exact (msg ^ ": interrupted_fraction") a.interrupted_fraction
+    b.interrupted_fraction;
+  exact (msg ^ ": analytic") a.analytic b.analytic
+
+let test_estimate_bit_identical () =
+  (* 2500 trials → 5 chunks: enough to spread over 4 domains while
+     staying fast. Also an uneven tail chunk (2500 = 4×512 + 452). *)
+  let serial =
+    Monte_carlo.estimate ~trials:2500 uniform_lf ~c:1.0 ~schedule ~seed:11L
+  in
+  let four =
+    Monte_carlo.estimate ~domains:4 ~trials:2500 uniform_lf ~c:1.0 ~schedule
+      ~seed:11L
+  in
+  let one =
+    Monte_carlo.estimate ~domains:1 ~trials:2500 uniform_lf ~c:1.0 ~schedule
+      ~seed:11L
+  in
+  check_estimate_equal "serial vs 4 domains" serial four;
+  check_estimate_equal "serial vs 1 domain" serial one
+
+let test_estimate_pool_reuse () =
+  (* One pool, two different estimates: results must match the
+     transient-pool runs (pool identity carries no state between calls),
+     and the reclaim stream of each call is fully seed-determined. *)
+  Domain_pool.with_pool ~domains:4 (fun p ->
+      let e1 =
+        Monte_carlo.estimate ~pool:p ~trials:1500 uniform_lf ~c:1.0 ~schedule
+          ~seed:3L
+      in
+      let e2 =
+        Monte_carlo.estimate ~pool:p ~trials:1500 uniform_lf ~c:2.0 ~schedule
+          ~seed:3L
+      in
+      let e1' =
+        Monte_carlo.estimate ~trials:1500 uniform_lf ~c:1.0 ~schedule ~seed:3L
+      in
+      let e2' =
+        Monte_carlo.estimate ~trials:1500 uniform_lf ~c:2.0 ~schedule ~seed:3L
+      in
+      check_estimate_equal "first call" e1' e1;
+      check_estimate_equal "second call" e2' e2)
+
+let test_estimate_validation () =
+  Alcotest.check_raises "trials 1"
+    (Invalid_argument "Monte_carlo.estimate: trials must be >= 2, got 1")
+    (fun () ->
+      ignore
+        (Monte_carlo.estimate ~trials:1 uniform_lf ~c:1.0 ~schedule ~seed:1L))
+
+let test_compare_policies_bit_identical () =
+  let policies =
+    [ ("guideline", schedule);
+      ("half", (Guideline.plan uniform_lf ~c:0.5).Guideline.schedule) ]
+  in
+  let run ?domains () =
+    Monte_carlo.compare_policies ?domains ~trials:1200 uniform_lf ~c:1.0
+      ~policies ~seed:21L
+  in
+  let serial = run () and four = run ~domains:4 () in
+  Alcotest.(check int) "policy count" (List.length serial) (List.length four);
+  List.iter2
+    (fun (a : Monte_carlo.policy_run) (b : Monte_carlo.policy_run) ->
+      Alcotest.(check string) "policy order" a.policy_name b.policy_name;
+      Alcotest.(check int) "episodes" a.episodes b.episodes;
+      exact "mean work" a.mean_work_per_episode b.mean_work_per_episode)
+    serial four;
+  (* Best-first ordering. *)
+  (match serial with
+  | first :: rest ->
+      List.iter
+        (fun (r : Monte_carlo.policy_run) ->
+          Alcotest.(check bool) "sorted best-first" true
+            (first.mean_work_per_episode >= r.mean_work_per_episode))
+        rest
+  | [] -> Alcotest.fail "no policies returned");
+  Alcotest.check_raises "empty policies"
+    (Invalid_argument
+       "Monte_carlo.compare_policies: policies must not be empty")
+    (fun () ->
+      ignore
+        (Monte_carlo.compare_policies ~trials:10 uniform_lf ~c:1.0 ~policies:[]
+           ~seed:1L))
+
+(* ---- Optimizer: multi-start + speculative sweep parity ---- *)
+
+let test_optimizer_parallel_parity () =
+  let geo_inc = Families.geometric_increasing ~lifespan:30.0 in
+  let serial = Optimizer.optimal_schedule ~m_max:5 ~patience:2 geo_inc ~c:1.0 in
+  let parallel =
+    Domain_pool.with_pool ~domains:4 (fun p ->
+        Optimizer.optimal_schedule ~pool:p ~m_max:5 ~patience:2 geo_inc ~c:1.0)
+  in
+  exact "expected_work" serial.Optimizer.expected_work
+    parallel.Optimizer.expected_work;
+  Alcotest.(check int) "m" serial.Optimizer.m parallel.Optimizer.m;
+  Alcotest.(check int) "sweeps" serial.Optimizer.sweeps
+    parallel.Optimizer.sweeps;
+  Alcotest.(check (array (float 0.0)))
+    "schedule periods"
+    (Schedule.periods serial.Optimizer.schedule)
+    (Schedule.periods parallel.Optimizer.schedule)
+
+(* ---- Guideline.plan_batch ---- *)
+
+let test_plan_batch_matches_plan () =
+  let cs = [ 0.5; 1.0; 2.0; 3.0 ] in
+  let scenarios = List.map (fun c -> (uniform_lf, c)) cs in
+  let batch =
+    Domain_pool.with_pool ~domains:4 (fun p ->
+        Guideline.plan_batch ~pool:p scenarios)
+  in
+  let serial = List.map (fun c -> Guideline.plan uniform_lf ~c) cs in
+  Alcotest.(check int) "length" (List.length serial) (List.length batch);
+  List.iter2
+    (fun (a : Guideline.result) (b : Guideline.result) ->
+      exact "t0" a.t0 b.t0;
+      exact "expected_work" a.expected_work b.expected_work;
+      Alcotest.(check (array (float 0.0)))
+        "periods" (Schedule.periods a.schedule) (Schedule.periods b.schedule))
+    serial batch;
+  Alcotest.(check int) "empty batch" 0 (List.length (Guideline.plan_batch []))
+
+(* ---- Observability merge: serial and parallel runs agree ---- *)
+
+let obs_fingerprint ~domains =
+  (* Everything here is simulated-time or count data; wall-clock
+     instruments (mc.estimate_seconds, span durations) are exempt from
+     the contract and deliberately left out of the fingerprint. *)
+  let events = ref [] in
+  let metrics = Obs.Metrics.create () in
+  let spans = Obs.Span.create () in
+  let obs =
+    Obs.create
+      ~sink:(Obs.Sink.Custom (fun e -> events := e :: !events))
+      ~metrics ~spans ()
+  in
+  ignore
+    (Monte_carlo.estimate ~obs ~domains ~trials:1500 uniform_lf ~c:1.0
+       ~schedule ~seed:5L);
+  let counter n = Obs.Metrics.(count (counter metrics n)) in
+  let hist = Obs.Metrics.(histogram metrics "episode.period_length") in
+  ( List.rev !events,
+    ( counter "episode.runs",
+      counter "episode.periods_completed",
+      counter "episode.periods_killed" ),
+    (Obs.Metrics.n_observations hist, Obs.Metrics.sum hist),
+    List.map
+      (fun (s : Obs.Span.span) -> (s.name, s.parent, s.depth))
+      (Obs.Span.spans spans) )
+
+let test_obs_merge_parity () =
+  let ev1, c1, h1, s1 = obs_fingerprint ~domains:1 in
+  let ev4, c4, h4, s4 = obs_fingerprint ~domains:4 in
+  Alcotest.(check bool) "event streams equal" true (ev1 = ev4);
+  Alcotest.(check (triple int int int)) "counters" c1 c4;
+  let n1, sum1 = h1 and n4, sum4 = h4 in
+  Alcotest.(check int) "period_length count" n1 n4;
+  exact "period_length sum" sum1 sum4;
+  Alcotest.(check (list (triple string int int)))
+    "span topology" s1 s4
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_parallel_for_covers_all_chunks;
+          Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "run front-end" `Quick test_run_front_end;
+        ] );
+      ("prng", [ Alcotest.test_case "split_n grid" `Quick test_split_n ]);
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "estimate bit-identical" `Quick
+            test_estimate_bit_identical;
+          Alcotest.test_case "estimate pool reuse" `Quick
+            test_estimate_pool_reuse;
+          Alcotest.test_case "estimate validation" `Quick
+            test_estimate_validation;
+          Alcotest.test_case "compare_policies bit-identical" `Quick
+            test_compare_policies_bit_identical;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "parallel parity" `Quick
+            test_optimizer_parallel_parity;
+        ] );
+      ( "guideline",
+        [
+          Alcotest.test_case "plan_batch matches plan" `Quick
+            test_plan_batch_matches_plan;
+        ] );
+      ( "obs",
+        [ Alcotest.test_case "merge parity" `Quick test_obs_merge_parity ] );
+    ]
