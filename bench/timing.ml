@@ -273,7 +273,7 @@ let run ?(quick = false) ?(jobs = 1) () =
     "cyclesteal/optimizer (geo-inc, parallel)";
   let record =
     Bench_record.make ~ocaml:Sys.ocaml_version ~git_sha:(git_sha ())
-      ~hostname:(Unix.gethostname ()) ~quota_seconds ~unix_time:(Unix.time ())
+      ~hostname:(Unix.gethostname ()) ~quota_seconds ~unix_time:(Unix.time () [@lint.allow "R8"])
       (List.map
          (fun (name, fit) ->
            ( name,

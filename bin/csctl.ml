@@ -13,8 +13,12 @@
      csctl profile   --family uniform -c 1 --out trace.json
 
    [schedule] and [simulate] accept --trace FILE (write a JSONL event
-   trace of the run) and --metrics (print the metrics registry after);
-   [report] aggregates a JSONL trace back into summary numbers. The
+   trace of the run, opened by an Obs_meta provenance header) and
+   --metrics (print the metrics registry after); [simulate] additionally
+   accepts --prom FILE (Prometheus text exposition of the registry) and
+   --snapshot-every N / --snapshot-out FILE (periodic metric snapshots,
+   plottable with cstrace timeline); [report] aggregates a JSONL trace
+   back into summary numbers. The
    Monte-Carlo and batch-planning commands ([simulate], [compare],
    [table]) accept --jobs N to run on N domains; output is bit-identical
    for any N (DESIGN.md §10). *)
@@ -156,21 +160,88 @@ let metrics_term =
     & info [ "metrics" ]
         ~doc:"Print the collected metrics registry after the run.")
 
-(* Build an [Obs.t] from the flags, run [k] with it, and print the
-   registry afterwards when --metrics was given. *)
-let with_obs ~trace ~metrics k =
-  let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+let prom_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry as Prometheus text exposition to \
+           $(docv) after the run.")
+
+let snapshot_every_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Capture a metrics snapshot every $(docv) trials (rounded up to \
+           the Monte-Carlo chunk size); write the JSONL timeline to \
+           $(b,--snapshot-out).")
+
+let snapshot_out_term =
+  Arg.(
+    value
+    & opt string "snapshots.jsonl"
+    & info [ "snapshot-out" ] ~docv:"FILE"
+        ~doc:"Where $(b,--snapshot-every) writes its snapshot timeline.")
+
+(* Build an [Obs.t] from the flags and run [k obs snap] with it. [meta]
+   is a thunk so the git-sha capture only happens when a trace file is
+   actually being written. Afterwards: print the registry (--metrics),
+   write the Prometheus exposition (--prom) and the snapshot timeline
+   (--snapshot-every/--snapshot-out). *)
+let with_obs ~meta ~trace ~metrics ?prom ?snapshot k =
+  let registry =
+    if metrics || prom <> None || snapshot <> None then
+      Some (Obs.Metrics.create ())
+    else None
+  in
+  let snap =
+    match (snapshot, registry) with
+    | Some (every, _), Some m -> (
+        try Some (Obs.Snapshot.create ~every m)
+        with Invalid_argument msg ->
+          prerr_endline ("error: " ^ msg);
+          exit 2)
+    | _ -> None
+  in
+  let write_file path writer =
+    try
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> writer oc)
+    with Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+  in
   let finish obs =
-    k obs;
-    match Obs.metrics obs with
-    | Some m -> Format.printf "%a" Obs.Metrics.pp m
-    | None -> ()
+    k obs snap;
+    (match Obs.metrics obs with
+    | Some m when metrics -> Format.printf "%a" Obs.Metrics.pp m
+    | _ -> ());
+    (match (prom, Obs.metrics obs) with
+    | Some path, Some m ->
+        write_file path (fun oc ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              (Obs_export.prometheus m));
+        Format.printf "wrote prometheus exposition to %s@." path
+    | _ -> ());
+    match (snapshot, snap) with
+    | Some (_, out), Some s ->
+        write_file out (fun oc -> Obs.Snapshot.write_jsonl s oc);
+        Format.printf "wrote %d snapshot(s) to %s@."
+          (List.length (Obs.Snapshot.entries s))
+          out
+    | _ -> ()
   in
   match trace with
   | None -> finish (Obs.create ?metrics:registry ())
   | Some path -> (
       try
-        Obs.Sink.with_jsonl_file path (fun sink ->
+        Obs.Sink.with_jsonl_file ~meta:(meta ()) path (fun sink ->
             finish (Obs.create ~sink ?metrics:registry ()))
       with Sys_error msg ->
         prerr_endline ("error: " ^ msg);
@@ -181,8 +252,13 @@ let with_obs ~trace ~metrics k =
 
 let schedule_cmd =
   let run spec c trace metrics =
+    let meta () =
+      Obs.Meta.make
+        ~scenario:(Printf.sprintf "schedule family=%s c=%g" spec.family c)
+        ()
+    in
     with_family spec (fun lf ->
-        with_obs ~trace ~metrics (fun obs ->
+        with_obs ~meta ~trace ~metrics (fun obs _snap ->
             let plan = Guideline.plan ~obs lf ~c in
             let lo, hi = plan.Guideline.bracket in
             Format.printf "life function : %a@." Life_function.pp lf;
@@ -244,13 +320,22 @@ let simulate_cmd =
     Arg.(
       value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run spec c trials seed jobs trace metrics =
+  let run spec c trials seed jobs trace metrics prom snapshot_every
+      snapshot_out =
+    let meta () =
+      Obs.Meta.make ~seed:(Int64.of_int seed) ~jobs
+        ~scenario:
+          (Printf.sprintf "simulate family=%s c=%g trials=%d" spec.family c
+             trials)
+        ()
+    in
+    let snapshot = Option.map (fun n -> (n, snapshot_out)) snapshot_every in
     with_family spec (fun lf ->
-        with_obs ~trace ~metrics (fun obs ->
+        with_obs ~meta ~trace ~metrics ?prom ?snapshot (fun obs snap ->
             with_jobs jobs (fun pool ->
             let plan = Guideline.plan ~obs lf ~c in
             let est =
-              Monte_carlo.estimate ~obs ?pool ~trials lf ~c
+              Monte_carlo.estimate ~obs ?pool ?snapshot:snap ~trials lf ~c
                 ~schedule:plan.Guideline.schedule ~seed:(Int64.of_int seed)
             in
             let lo, hi = est.Monte_carlo.ci95 in
@@ -269,7 +354,8 @@ let simulate_cmd =
        ~doc:"Monte-Carlo-validate the guideline schedule for a scenario.")
     Term.(
       const run $ family_term $ c_term $ trials $ seed $ jobs_term
-      $ trace_term $ metrics_term)
+      $ trace_term $ metrics_term $ prom_term $ snapshot_every_term
+      $ snapshot_out_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -286,8 +372,15 @@ let compare_cmd =
       value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
   let run spec c trials seed jobs trace metrics =
+    let meta () =
+      Obs.Meta.make ~seed:(Int64.of_int seed) ~jobs
+        ~scenario:
+          (Printf.sprintf "compare family=%s c=%g trials=%d" spec.family c
+             trials)
+        ()
+    in
     with_family spec (fun lf ->
-        with_obs ~trace ~metrics (fun obs ->
+        with_obs ~meta ~trace ~metrics (fun obs _snap ->
             with_jobs jobs (fun pool ->
                 let plan = Guideline.plan ~obs lf ~c in
                 let policies =

@@ -1,0 +1,369 @@
+(* cstrace — trace analytics for the observability layer.
+
+   Subcommands:
+     cstrace report   trace.jsonl [--kind K] [--ws N] [--ep N]
+                      [--since T] [--until T] [--episodes]
+     cstrace diff     a.jsonl b.jsonl [--context N] [--force]
+     cstrace flame    profile_trace.json -o profile.folded
+     cstrace prom     trace.jsonl [-o FILE]
+     cstrace timeline snapshots.jsonl --metric NAME
+
+   [report] filters and summarises one JSONL event trace; [diff]
+   compares two runs event-by-event and pinpoints the first divergence
+   (exit 1) — the semantic form of the DESIGN.md §10 determinism check;
+   [flame] folds a Chrome span profile into flamegraph.pl/speedscope
+   input; [prom] reconstructs deterministic trace.* metrics from the
+   events and renders Prometheus text exposition; [timeline] plots one
+   metric's trajectory from a --snapshot-every capture file.
+
+   Exit codes: 0 success (and "traces are identical" for diff), 1 data
+   error or divergence, 2 usage error (including a refused
+   different-seed diff). *)
+
+open Cmdliner
+
+let die_data msg =
+  prerr_endline ("error: " ^ msg);
+  exit 1
+
+let load_trace path =
+  match Obs_query.load path with Ok t -> t | Error msg -> die_data msg
+
+let write_lines path lines =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines)
+  with Sys_error msg -> die_data msg
+
+let trace_pos ~docv ~idx =
+  Arg.(
+    required
+    & pos idx (some string) None
+    & info [] ~docv ~doc:"JSONL event trace file (written by --trace).")
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Keep only events of this kind (period_completed, \
+             episode_finished, ...).")
+  in
+  let ws =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ws" ] ~docv:"N" ~doc:"Keep only events of workstation $(docv).")
+  in
+  let ep =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ep" ] ~docv:"N" ~doc:"Keep only events of episode $(docv).")
+  in
+  let since =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since" ] ~docv:"T"
+          ~doc:"Keep only events at simulated time >= $(docv).")
+  in
+  let until =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"T"
+          ~doc:"Keep only events at simulated time <= $(docv).")
+  in
+  let episodes =
+    Arg.(
+      value & flag
+      & info [ "episodes" ]
+          ~doc:"Also print the per-episode timeline table.")
+  in
+  let run file kind ws ep since until episodes =
+    let t = load_trace file in
+    (match t.Obs_query.meta with
+    | Some m ->
+        (* The git sha varies build to build; keep the header line
+           reproducible for the cram tests and leave the sha in the
+           file. *)
+        Format.printf "meta          : %a@." Obs.Meta.pp
+          { m with Obs.Meta.git_sha = None }
+    | None -> ());
+    let events =
+      Obs_query.filter ?kind ?ws ?ep ?since ?until t.Obs_query.events
+    in
+    Format.printf "%a" Trace_report.pp (Trace_report.of_events events);
+    if episodes then
+      Format.printf "per-episode timeline:@.%a" Obs_query.pp_episodes
+        (Obs_query.episodes events)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Filter and summarise a JSONL event trace (totals, quantiles, \
+          per-episode timelines).")
+    Term.(
+      const run $ trace_pos ~docv:"TRACE" ~idx:0 $ kind $ ws $ ep $ since
+      $ until $ episodes)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+
+let diff_cmd =
+  let context =
+    Arg.(
+      value & opt int 3
+      & info [ "context" ] ~docv:"N"
+          ~doc:"Shared events to show before the divergence point.")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Compare even when the traces record different seeds (normally \
+             refused: different seeds are expected to diverge).")
+  in
+  let run left right context force =
+    let a = load_trace left and b = load_trace right in
+    let seed_of (t : Obs_query.trace) =
+      Option.bind t.Obs_query.meta (fun m -> m.Obs.Meta.seed)
+    in
+    (match (seed_of a, seed_of b) with
+    | Some sa, Some sb when (not (Int64.equal sa sb)) && not force ->
+        prerr_endline
+          (Printf.sprintf
+             "error: traces were recorded with different seeds (%Ld vs %Ld); \
+              a divergence is expected, not a determinism bug. Pass --force \
+              to compare anyway."
+             sa sb);
+        exit 2
+    | _ -> ());
+    match Obs_query.diff ~context a.Obs_query.events b.Obs_query.events with
+    | None ->
+        Format.printf "traces are identical (%d events)@."
+          (List.length a.Obs_query.events)
+    | Some d ->
+        Format.printf "%a" Obs_query.pp_divergence d;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two runs event-by-event; exit 0 when identical, exit 1 \
+          with the first divergence pinpointed otherwise."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Two same-seed runs must produce identical event streams for \
+              any --jobs value (DESIGN.md \xc2\xa710). $(tname) checks that \
+              contract semantically: provenance headers and wall-time \
+              fields (planning elapsed seconds) are not compared (so a \
+              --jobs 1 and a --jobs 2 trace of the same run compare \
+              equal), and the first differing event is printed with its \
+              surrounding context.";
+         ])
+    Term.(
+      const run
+      $ trace_pos ~docv:"LEFT" ~idx:0
+      $ trace_pos ~docv:"RIGHT" ~idx:1
+      $ context $ force)
+
+(* ------------------------------------------------------------------ *)
+(* flame                                                               *)
+
+let flame_cmd =
+  let file =
+    Arg.(
+      required
+      & Arg.pos 0 (some string) None
+      & info [] ~docv:"PROFILE"
+          ~doc:"Chrome trace-event JSON written by $(b,csctl profile).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "profile.folded"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the folded stacks (feed to flamegraph.pl or \
+             speedscope).")
+  in
+  let run file out =
+    let text =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error msg -> die_data msg
+    in
+    let j =
+      match Jsonx.of_string text with
+      | Ok j -> j
+      | Error msg -> die_data (file ^ ": " ^ msg)
+    in
+    let spans =
+      match Obs_export.spans_of_chrome j with
+      | Ok s -> s
+      | Error msg -> die_data (file ^ ": " ^ msg)
+    in
+    let folded = Obs_export.folded_of_spans spans in
+    let stacks =
+      match Obs_export.validate_folded folded with
+      | Ok n -> n
+      | Error msg -> die_data ("internal: invalid folded output: " ^ msg)
+    in
+    write_lines out folded;
+    Format.printf "wrote %s (%d stacks)@." out stacks
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Fold a Chrome span profile into flamegraph.pl / speedscope input \
+          (self time per call path).")
+    Term.(const run $ file $ out)
+
+(* ------------------------------------------------------------------ *)
+(* prom                                                                *)
+
+let prom_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of standard output.")
+  in
+  let namespace =
+    Arg.(
+      value & opt string "cs"
+      & info [ "namespace" ] ~docv:"NS" ~doc:"Metric name prefix.")
+  in
+  let run file out namespace =
+    let t = load_trace file in
+    let reg = Obs_query.metrics_of_events t.Obs_query.events in
+    let lines = Obs_export.prometheus ~namespace reg in
+    let samples =
+      match Obs_export.validate_prometheus lines with
+      | Ok n -> n
+      | Error msg -> die_data ("internal: invalid exposition: " ^ msg)
+    in
+    match out with
+    | None -> List.iter print_endline lines
+    | Some path ->
+        write_lines path lines;
+        Format.printf "wrote %d sample(s) to %s@." samples path
+  in
+  Cmd.v
+    (Cmd.info "prom"
+       ~doc:
+         "Reconstruct deterministic trace.* metrics from an event trace \
+          and render Prometheus text exposition.")
+    Term.(const run $ trace_pos ~docv:"TRACE" ~idx:0 $ out $ namespace)
+
+(* ------------------------------------------------------------------ *)
+(* timeline                                                            *)
+
+let timeline_cmd =
+  let file =
+    Arg.(
+      required
+      & Arg.pos 0 (some string) None
+      & info [] ~docv:"SNAPSHOTS"
+          ~doc:"Snapshot JSONL written by $(b,csctl simulate --snapshot-every).")
+  in
+  let metric =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "metric" ] ~docv:"NAME"
+          ~doc:
+            "Metric to plot: a counter (its count), a gauge (its value) or \
+             a histogram (its mean).")
+  in
+  let width = 40 in
+  let run file metric =
+    let entries =
+      match Obs_snapshot.load file with
+      | Ok es -> es
+      | Error msg -> die_data msg
+    in
+    if entries = [] then die_data (file ^ ": no snapshots");
+    let value (s : Obs.Metrics.snapshot) =
+      match List.assoc_opt metric s.Obs.Metrics.snap_counters with
+      | Some c -> Some (float_of_int c)
+      | None -> (
+          match List.assoc_opt metric s.Obs.Metrics.snap_gauges with
+          | Some g -> Some g
+          | None ->
+              Option.map
+                (fun (h : Obs.Metrics.hist_stats) -> h.Obs.Metrics.hs_mean)
+                (List.assoc_opt metric s.Obs.Metrics.snap_histograms))
+    in
+    let points =
+      List.map
+        (fun (e : Obs_snapshot.entry) ->
+          match value e.Obs_snapshot.metrics with
+          | Some v -> (e.Obs_snapshot.at, v)
+          | None ->
+              let names (s : Obs.Metrics.snapshot) =
+                List.map fst s.Obs.Metrics.snap_counters
+                @ List.map fst s.Obs.Metrics.snap_gauges
+                @ List.map fst s.Obs.Metrics.snap_histograms
+              in
+              die_data
+                (Printf.sprintf "metric %S not in snapshots (have: %s)" metric
+                   (String.concat ", " (names e.Obs_snapshot.metrics))))
+        entries
+    in
+    let finite = List.filter (fun (_, v) -> Float.is_finite v) points in
+    let vmax =
+      List.fold_left (fun m (_, v) -> Float.max m v) 0.0 finite
+    in
+    Format.printf "%s@." metric;
+    List.iter
+      (fun (at, v) ->
+        let bar =
+          if not (Float.is_finite v) then "?"
+          else if vmax <= 0.0 then ""
+          else
+            String.make
+              (Stdlib.max 0
+                 (int_of_float
+                    (Float.round (float_of_int width *. v /. vmax))))
+              '#'
+        in
+        Format.printf "%10d | %-*s %g@." at width bar v)
+      points
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Plot one metric's trajectory over a run from a snapshot JSONL \
+          file (text bars).")
+    Term.(const run $ file $ metric)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "trace analytics for cycle-stealing runs: summarise, diff, flamegraph \
+     and export the observability layer's artifacts"
+  in
+  let info = Cmd.info "cstrace" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ report_cmd; diff_cmd; flame_cmd; prom_cmd; timeline_cmd ]))

@@ -77,7 +77,13 @@ below = work done / episode in the summary).
   counter episode.runs = 200
   counter plan.guideline_calls = 1
 
-  $ sed -n 2p t.jsonl
+The first line is the provenance header (the git sha varies build to
+build, so it is redacted here); events follow from line 2.
+
+  $ sed -n 1p t.jsonl | sed -E 's/"git_sha":"[^"]*",//'
+  {"v":1,"type":"meta","schema":1,"seed":42,"jobs":1,"scenario":"simulate family=uniform c=1 trials=200"}
+
+  $ sed -n 3p t.jsonl
   {"v":1,"type":"run_started","t":0.0,"source":"monte_carlo","seed":42}
 
   $ ../bin/csctl.exe report t.jsonl
@@ -89,8 +95,8 @@ below = work done / episode in the summary).
     work lost     : 757.542778 (3.787714 / episode)
     overhead      : 1063.924007 (5.319620 / episode)
     overhead frac : 10.35% of busy time
-    period length: min 1.6429 / p50 10.6429 / p90 13.6429 / max 13.6429
-    episode time : min 0.2118 / p50 53.1951 / p90 90.7329 / max 99.1188
+    period length: min 1.6429 / p50 10.6429 / p90 13.6429 / p95 13.6429 / p99 13.6429 / max 13.6429
+    episode time : min 0.2118 / p50 53.1951 / p90 90.7329 / p95 94.4875 / p99 98.7812 / max 99.1188
     plan          : guideline t0=13.6429 periods=13 E=41.066071
 
 Parallel execution is bit-identical to serial: the same comparison with

@@ -1,0 +1,146 @@
+cstrace is the read side of the observability layer: it analyzes the
+JSONL event traces, span profiles and metric snapshots that csctl
+writes.
+
+Two same-seed runs must produce identical event streams for any --jobs
+value (DESIGN.md §10). cstrace diff checks that contract semantically:
+the provenance headers (which record the differing --jobs) and planning
+wall time are not compared.
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --trace a.jsonl > /dev/null
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --jobs 2 --trace b.jsonl > /dev/null
+  $ ../bin/cstrace.exe diff a.jsonl b.jsonl
+  traces are identical (2755 events)
+
+Comparing runs with different seeds is refused: a divergence there is
+expected, not a determinism bug.
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 43 --trace c.jsonl > /dev/null
+  $ ../bin/cstrace.exe diff a.jsonl c.jsonl
+  error: traces were recorded with different seeds (42 vs 43); a divergence is expected, not a determinism bug. Pass --force to compare anyway.
+  [2]
+
+--force overrides; the first divergence is pinpointed — here the
+run_started marker, which carries the seed.
+
+  $ ../bin/cstrace.exe diff --force --context 0 a.jsonl c.jsonl
+  traces diverge at event 1
+    left : [      0.0000] run_started source=monte_carlo seed=42
+    right: [      0.0000] run_started source=monte_carlo seed=43
+  [1]
+
+A truncated trace diverges where it ends.
+
+  $ head -n 20 a.jsonl > short.jsonl
+  $ ../bin/cstrace.exe diff --context 0 a.jsonl short.jsonl > /dev/null
+  [1]
+
+Missing files fail cleanly.
+
+  $ ../bin/cstrace.exe diff a.jsonl missing.jsonl
+  error: missing.jsonl: No such file or directory
+  [1]
+
+report prints the provenance header (sha redacted for reproducibility)
+and summarises the — optionally filtered — event stream; --episodes
+adds the per-episode timeline table.
+
+  $ ../bin/cstrace.exe report a.jsonl --ep 3 --episodes
+  meta          : schema v1, scenario "simulate family=uniform c=1 trials=200", seed 42, jobs 1
+  trace summary (schema v1, 23 events)
+    episodes      : 1 started, 1 finished, 1 interrupted
+    periods       : 10 dispatched, 9 completed, 1 killed (kill rate 10.00%)
+    work done     : 77.785714 (77.785714 / episode)
+    work lost     : 2.842168 (2.842168 / episode)
+    overhead      : 10.000000 (10.000000 / episode)
+    overhead frac : 11.03% of busy time
+    period length: min 4.6429 / p50 9.1429 / p90 12.7429 / p95 13.1929 / p99 13.5529 / max 13.6429
+    episode time : min 90.6279 / p50 90.6279 / p90 90.6279 / p95 90.6279 / p99 90.6279 / max 90.6279
+  per-episode timeline:
+    ws   ep          start       finish   disp   done   kill         work         lost     overhead int
+    0    3          0.0000      90.6279     10      9      1    77.785714     2.842168    10.000000 yes
+
+prom reconstructs the deterministic trace.* metrics from the events and
+renders Prometheus text exposition (validated against the grammar
+before printing).
+
+  $ ../bin/cstrace.exe prom a.jsonl | grep -E "_total|_count"
+  # HELP cs_trace_episodes_finished_total Counter trace.episodes_finished.
+  # TYPE cs_trace_episodes_finished_total counter
+  cs_trace_episodes_finished_total 200
+  # HELP cs_trace_episodes_started_total Counter trace.episodes_started.
+  # TYPE cs_trace_episodes_started_total counter
+  cs_trace_episodes_started_total 200
+  # HELP cs_trace_periods_completed_total Counter trace.periods_completed.
+  # TYPE cs_trace_periods_completed_total counter
+  cs_trace_periods_completed_total 876
+  # HELP cs_trace_periods_dispatched_total Counter trace.periods_dispatched.
+  # TYPE cs_trace_periods_dispatched_total counter
+  cs_trace_periods_dispatched_total 1076
+  # HELP cs_trace_periods_killed_total Counter trace.periods_killed.
+  # TYPE cs_trace_periods_killed_total counter
+  cs_trace_periods_killed_total 200
+  cs_trace_banked_count 876
+  cs_trace_episode_duration_count 200
+  cs_trace_overhead_count 1076
+  cs_trace_period_length_count 1076
+
+flame folds a Chrome span profile into flamegraph.pl / speedscope
+input; the stack set is deterministic even though the weights are wall
+time.
+
+  $ ../bin/csctl.exe profile --family uniform -L 100 -c 1 --trials 200 --seed 42 --out trace.json > /dev/null
+  $ ../bin/cstrace.exe flame trace.json -o profile.folded
+  wrote profile.folded (12 stacks)
+  $ cut -d' ' -f1 profile.folded
+  guideline.plan
+  guideline.plan;plan.bracket
+  guideline.plan;plan.evaluate
+  guideline.plan;plan.evaluate;plan.expected_work
+  guideline.plan;plan.evaluate;recurrence.generate
+  guideline.plan;plan.search
+  guideline.plan;plan.search;plan.evaluate
+  guideline.plan;plan.search;plan.evaluate;plan.expected_work
+  guideline.plan;plan.search;plan.evaluate;recurrence.generate
+  mc.estimate
+  mc.estimate;mc.chunk
+  mc.estimate;mc.chunk;episode.run
+
+timeline plots one metric's trajectory across a run from the snapshot
+file csctl writes under --snapshot-every (captures land on chunk
+boundaries plus a final capture at the trial count, so the grid is
+deterministic for any --jobs).
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 1200 --seed 42 --snapshot-every 512 --snapshot-out snaps.jsonl | grep snapshot
+  wrote 3 snapshot(s) to snaps.jsonl
+  $ ../bin/cstrace.exe timeline snaps.jsonl --metric episode.runs
+  episode.runs
+         512 | #################                        512
+        1024 | ##################################       1024
+        1200 | ######################################## 1200
+
+Unknown metrics list what the snapshots do contain.
+
+  $ ../bin/cstrace.exe timeline snaps.jsonl --metric no.such.metric
+  error: metric "no.such.metric" not in snapshots (have: episode.periods_completed, episode.periods_killed, episode.runs, plan.guideline_calls, episode.elapsed, episode.period_length, mc.estimate_seconds, plan.guideline_seconds)
+  [1]
+
+--prom exports the live registry of a run as Prometheus exposition
+(wall-time histograms make the file itself nondeterministic, but the
+counters are pinned by the determinism contract).
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --prom metrics.prom | grep prometheus
+  wrote prometheus exposition to metrics.prom
+  $ grep "_total" metrics.prom
+  # HELP cs_episode_periods_completed_total Counter episode.periods_completed.
+  # TYPE cs_episode_periods_completed_total counter
+  cs_episode_periods_completed_total 876
+  # HELP cs_episode_periods_killed_total Counter episode.periods_killed.
+  # TYPE cs_episode_periods_killed_total counter
+  cs_episode_periods_killed_total 200
+  # HELP cs_episode_runs_total Counter episode.runs.
+  # TYPE cs_episode_runs_total counter
+  cs_episode_runs_total 200
+  # HELP cs_plan_guideline_calls_total Counter plan.guideline_calls.
+  # TYPE cs_plan_guideline_calls_total counter
+  cs_plan_guideline_calls_total 1

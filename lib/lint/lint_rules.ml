@@ -4,6 +4,7 @@ type scope = {
   in_bench : bool;
   is_prng : bool;
   in_parallel : bool;
+  is_clock : bool;
 }
 
 type meta = { id : string; title : string; remedy : string }
@@ -46,6 +47,15 @@ let all_meta =
       remedy =
         "run the work through Domain_pool, which keeps the chunk-grid \
          determinism contract auditable";
+    };
+    {
+      id = "R8";
+      title =
+        "no wall-clock reads (Unix.gettimeofday, Unix.time, Sys.time) \
+         outside lib/obs/obs_clock.ml";
+      remedy =
+        "route timing through Obs_clock, whose monotonic high-water clamp \
+         keeps span durations non-negative";
     };
   ]
 
@@ -177,6 +187,21 @@ let check_structure (scope : scope) (str : structure) :
         report "R7" loc
           "raw Domain.spawn outside lib/parallel/; run the work through \
            Domain_pool so the determinism contract stays auditable"
+    | _ -> ());
+    (match lid with
+    | Longident.Ldot
+        (Longident.Lident "Unix", (("gettimeofday" | "time") as fn))
+      when not scope.is_clock ->
+        report "R8" loc
+          (Printf.sprintf
+             "Unix.%s reads the wall clock directly; route timing through \
+              Obs_clock"
+             fn)
+    | Longident.Ldot (Longident.Lident "Sys", "time") when not scope.is_clock
+      ->
+        report "R8" loc
+          "Sys.time reads the process clock directly; route timing through \
+           Obs_clock"
     | _ -> ());
     (if (not scope.is_prng) && String.equal (longident_head lid) "Random" then
        report "R3" loc

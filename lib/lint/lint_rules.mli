@@ -14,6 +14,7 @@ type scope = {
   in_bench : bool;  (** Under [bench/]: R2 applies. *)
   is_prng : bool;  (** [lib/numerics/prng.ml] itself: exempt from R3. *)
   in_parallel : bool;  (** Under [lib/parallel/]: exempt from R7. *)
+  is_clock : bool;  (** [lib/obs/obs_clock.ml] itself: exempt from R8. *)
 }
 
 type meta = { id : string; title : string; remedy : string }

@@ -29,6 +29,8 @@ module Metrics = Obs_metrics
 module Event = Obs_event
 module Sink = Obs_sink
 module Span = Obs_span
+module Meta = Obs_meta
+module Snapshot = Obs_snapshot
 
 type t
 

@@ -44,6 +44,44 @@ type t =
 let schema_version = 1
 
 (* ------------------------------------------------------------------ *)
+(* Accessors (the query layer keys on these)                          *)
+
+let kind = function
+  | Run_started _ -> "run_started"
+  | Plan_computed _ -> "plan_computed"
+  | Episode_started _ -> "episode_started"
+  | Period_dispatched _ -> "period_dispatched"
+  | Period_completed _ -> "period_completed"
+  | Period_killed _ -> "period_killed"
+  | Owner_returned _ -> "owner_returned"
+  | Episode_finished _ -> "episode_finished"
+  | Pool_drained _ -> "pool_drained"
+  | Run_finished _ -> "run_finished"
+
+let time = function
+  | Run_started { time; _ }
+  | Episode_started { time; _ }
+  | Period_dispatched { time; _ }
+  | Period_completed { time; _ }
+  | Period_killed { time; _ }
+  | Owner_returned { time; _ }
+  | Episode_finished { time; _ }
+  | Pool_drained { time; _ }
+  | Run_finished { time } ->
+      Some time
+  | Plan_computed _ -> None
+
+let ids = function
+  | Episode_started { ws; ep; _ }
+  | Period_dispatched { ws; ep; _ }
+  | Period_completed { ws; ep; _ }
+  | Period_killed { ws; ep; _ }
+  | Owner_returned { ws; ep; _ }
+  | Episode_finished { ws; ep; _ } ->
+      Some (ws, ep)
+  | Run_started _ | Plan_computed _ | Pool_drained _ | Run_finished _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
 
 let obj ty fields =

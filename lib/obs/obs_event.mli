@@ -66,6 +66,18 @@ type t =
 val schema_version : int
 (** Currently [1]. Bumped on any incompatible change to the encoding. *)
 
+val kind : t -> string
+(** The constructor's JSON ["type"] tag ([period_completed], ...) — the
+    vocabulary {!Obs_query.filter}'s [?kind] selects on. *)
+
+val time : t -> float option
+(** The event's simulated-time stamp; [None] for [Plan_computed], which
+    happens outside simulated time. *)
+
+val ids : t -> (int * int) option
+(** [(ws, ep)] for episode-scoped events; [None] for run-level markers
+    ([Run_started], [Plan_computed], [Pool_drained], [Run_finished]). *)
+
 val to_json : t -> Jsonx.t
 
 val of_json : Jsonx.t -> (t, string) result

@@ -95,6 +95,42 @@ val time : t -> string -> (unit -> 'a) -> 'a
     ({!Obs_clock}) into histogram [name]. Exceptions propagate; the span
     is recorded either way. *)
 
+(** {1 Snapshots} *)
+
+type hist_stats = {
+  hs_count : int;
+  hs_sum : float;
+  hs_mean : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+(** Frozen summary of one histogram; the float fields are [nan] when the
+    histogram was empty. *)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : (string * hist_stats) list;
+}
+(** Immutable, name-sorted copy of a registry's state at one instant —
+    the unit {!Obs_snapshot} rings buffer and {!Obs_export.prometheus}
+    renders. *)
+
+val snapshot : t -> snapshot
+(** Freeze the registry's current state. O(instruments); the registry
+    keeps running. *)
+
+val snapshot_to_json : snapshot -> Jsonx.t
+(** Same shape as {!to_json} but with p95 instead of p90 (the cstrace
+    timeline vocabulary). *)
+
+val snapshot_of_json : Jsonx.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json}; non-finite stats (serialized as
+    [null]) come back as [nan]. *)
+
 (** {1 Export} *)
 
 val to_json : t -> Jsonx.t

@@ -15,6 +15,14 @@ let emit sink ev =
   | Console ppf -> Format.fprintf ppf "%a@." Obs_event.pp ev
   | Custom f -> f ev
 
-let with_jsonl_file path k =
+let with_jsonl_file ?meta path k =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> k (Jsonl oc))
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (match meta with
+      | Some m ->
+          output_string oc (Jsonx.to_string (Obs_meta.to_json m));
+          output_char oc '\n'
+      | None -> ());
+      k (Jsonl oc))

@@ -22,7 +22,8 @@ val consumes : t -> bool
 
 val emit : t -> Obs_event.t -> unit
 
-val with_jsonl_file : string -> (t -> 'a) -> 'a
+val with_jsonl_file : ?meta:Obs_meta.t -> string -> (t -> 'a) -> 'a
 (** [with_jsonl_file path k] opens [path] for writing, runs [k] with a
     [Jsonl] sink over it, and closes the channel on return or
-    exception. *)
+    exception. When [meta] is given, its {!Obs_meta.to_json} line is
+    written first, so the trace opens with its provenance header. *)

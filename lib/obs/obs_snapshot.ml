@@ -1,0 +1,117 @@
+type entry = { at : int; metrics : Obs_metrics.snapshot }
+
+type t = {
+  registry : Obs_metrics.t;
+  every : int;
+  capacity : int;
+  ring : entry option array;
+  mutable head : int;  (* next write position *)
+  mutable captured : int;
+  mutable next_at : int;
+}
+
+let create ?(capacity = 512) ~every registry =
+  if every <= 0 then invalid_arg "Obs_snapshot.create: every must be > 0";
+  if capacity <= 0 then invalid_arg "Obs_snapshot.create: capacity must be > 0";
+  {
+    registry;
+    every;
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    captured = 0;
+    next_at = every;
+  }
+
+let capture t ~at =
+  t.ring.(t.head) <- Some { at; metrics = Obs_metrics.snapshot t.registry };
+  t.head <- (t.head + 1) mod t.capacity;
+  t.captured <- t.captured + 1
+
+let tick t ~at =
+  if at >= t.next_at then begin
+    capture t ~at;
+    (* Skip past any marks the stride jumped over, so a coarse tick
+       granularity produces one capture per tick, not a burst. *)
+    t.next_at <- (((at / t.every) + 1) * t.every)
+  end
+
+let captured t = t.captured
+let dropped t = Stdlib.max 0 (t.captured - t.capacity)
+
+let entries t =
+  let n = Stdlib.min t.captured t.capacity in
+  let start = (t.head - n + t.capacity) mod t.capacity in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let last_at t =
+  match List.rev (entries t) with e :: _ -> Some e.at | [] -> None
+
+let entry_to_json e =
+  Jsonx.Obj
+    [
+      ("v", Jsonx.Int Obs_event.schema_version);
+      ("type", Jsonx.String "snapshot");
+      ("at", Jsonx.Int e.at);
+      ("metrics", Obs_metrics.snapshot_to_json e.metrics);
+    ]
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let* v =
+    match Option.bind (Jsonx.member "v" j) Jsonx.get_int with
+    | Some v -> Ok v
+    | None -> Error "snapshot: missing or ill-typed field \"v\""
+  in
+  if v <> Obs_event.schema_version then
+    Error
+      (Printf.sprintf "snapshot: unsupported schema version %d (want %d)" v
+         Obs_event.schema_version)
+  else
+    let* () =
+      match Jsonx.member "type" j with
+      | Some (Jsonx.String "snapshot") -> Ok ()
+      | _ -> Error "snapshot: field \"type\" is not \"snapshot\""
+    in
+    let* at =
+      match Option.bind (Jsonx.member "at" j) Jsonx.get_int with
+      | Some at -> Ok at
+      | None -> Error "snapshot: missing or ill-typed field \"at\""
+    in
+    let* metrics =
+      match Jsonx.member "metrics" j with
+      | Some m -> Obs_metrics.snapshot_of_json m
+      | None -> Error "snapshot: missing field \"metrics\""
+    in
+    Ok { at; metrics }
+
+let write_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (Jsonx.to_string (entry_to_json e));
+      output_char oc '\n')
+    (entries t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go line_no acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> go (line_no + 1) acc
+        | line -> (
+            match Jsonx.of_string line with
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: %s" path line_no msg)
+            | Ok j -> (
+                match entry_of_json j with
+                | Error msg ->
+                    Error (Printf.sprintf "%s:%d: %s" path line_no msg)
+                | Ok e -> go (line_no + 1) (e :: acc)))
+      in
+      go 1 [])

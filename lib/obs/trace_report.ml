@@ -162,6 +162,14 @@ let load path =
                  match Jsonx.of_string line with
                  | Error msg ->
                      err := Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
+                 | Ok j when Obs_meta.is_meta_json j -> (
+                     (* Provenance header: validate, then skip — the
+                        summary is about the events. *)
+                     match Obs_meta.of_json j with
+                     | Error msg ->
+                         err :=
+                           Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
+                     | Ok _ -> ())
                  | Ok j -> (
                      match Obs_event.of_json j with
                      | Error msg ->
@@ -214,10 +222,14 @@ let pp ppf t =
   let quartet label xs =
     if Array.length xs > 0 then
       Format.fprintf ppf
-        "  %s: min %.4f / p50 %.4f / p90 %.4f / max %.4f@." label
+        "  %s: min %.4f / p50 %.4f / p90 %.4f / p95 %.4f / p99 %.4f / max \
+         %.4f@."
+        label
         (Stats.quantile xs ~q:0.0)
         (Stats.quantile xs ~q:0.5)
         (Stats.quantile xs ~q:0.9)
+        (Stats.quantile xs ~q:0.95)
+        (Stats.quantile xs ~q:0.99)
         (Stats.quantile xs ~q:1.0)
   in
   quartet "period length" t.period_lengths;

@@ -47,8 +47,10 @@ val of_events : Obs_event.t list -> t
 
 val load : string -> (t, string) result
 (** [load path] parses a JSONL trace file (blank lines ignored) and
-    aggregates it. The error carries the 1-based line number of the
-    first malformed line. *)
+    aggregates it. A leading {!Obs_meta} provenance header, when
+    present, is validated and skipped; a malformed or
+    wrong-schema-version header is a load error. The error carries the
+    1-based line number of the first malformed line. *)
 
 val kill_rate : t -> float
 (** Killed / (completed + killed); [0] when no period ever started. *)

@@ -16,8 +16,8 @@ let chunk_size = 512
 
 let n_chunks trials = (trials + chunk_size - 1) / chunk_size
 
-let estimate ?(obs = Obs.disabled) ?pool ?domains ?(trials = 20_000) lf ~c
-    ~schedule ~seed =
+let estimate ?(obs = Obs.disabled) ?pool ?domains ?snapshot ?(trials = 20_000)
+    lf ~c ~schedule ~seed =
   if trials < 2 then
     invalid_arg
       (Printf.sprintf "Monte_carlo.estimate: trials must be >= 2, got %d"
@@ -68,8 +68,21 @@ let estimate ?(obs = Obs.disabled) ?pool ?domains ?(trials = 20_000) lf ~c
       Obs.span obs "mc.estimate" (fun () ->
           Domain_pool.run ?pool ?domains ~chunks run_chunk;
           (* Chunk-index order: child metrics, spans and buffered events
-             merge back identically for any domain count. *)
-          Obs_fork.gather obs kids));
+             merge back identically for any domain count. Snapshots tick
+             at these serial merge boundaries, so the captured timeline
+             is equally domain-count independent. *)
+          for k = 0 to chunks - 1 do
+            Obs_fork.gather_one obs kids k;
+            match snapshot with
+            | None -> ()
+            | Some snap ->
+                Obs_snapshot.tick snap ~at:(Int.min trials ((k + 1) * chunk_size))
+          done;
+          match snapshot with
+          | None -> ()
+          | Some snap ->
+              if Obs_snapshot.last_at snap <> Some trials then
+                Obs_snapshot.capture snap ~at:trials));
   if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });
   let overhead = Kahan.create () in
   let lost = Kahan.create () in

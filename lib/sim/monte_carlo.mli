@@ -33,6 +33,7 @@ val estimate :
   ?obs:Obs.t ->
   ?pool:Domain_pool.t ->
   ?domains:int ->
+  ?snapshot:Obs_snapshot.t ->
   ?trials:int ->
   Life_function.t -> c:float -> schedule:Schedule.t -> seed:int64 ->
   estimate
@@ -48,7 +49,15 @@ val estimate :
     with a metrics registry attached the whole sweep is additionally span-
     timed into the [mc.estimate_seconds] histogram, and a span recorder
     sees an [mc.estimate] span over per-chunk [mc.chunk] children.
-    Results are identical with and without [?obs]. *)
+    Results are identical with and without [?obs].
+
+    [?snapshot] is ticked with the number of trials merged so far after
+    each chunk folds back — at the serial gather boundary, in chunk
+    order, so the captured metric timeline is bit-identical for any
+    domain count (its effective spacing rounds up to {!chunk_size}). A
+    final unconditional capture at [trials] guarantees the last entry
+    reflects the finished run. The snapshot's registry should be the one
+    attached to [?obs], or the captures will be empty. *)
 
 type policy_run = {
   policy_name : string;

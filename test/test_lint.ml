@@ -141,6 +141,23 @@ let test_r7 () =
   check_rules "suppressed" []
     (lint "let d f = (Domain.spawn f) [@lint.allow \"R7\"]\n")
 
+(* ---- R8: wall-clock reads outside lib/obs/obs_clock.ml ---- *)
+
+let test_r8 () =
+  check_rules "gettimeofday in lib" [ "R8" ]
+    (lint "let now () = Unix.gettimeofday ()\n");
+  check_rules "Unix.time in bin" [ "R8" ]
+    (lint ~path:"bin/fixture.ml" "let now () = Unix.time ()\n");
+  check_rules "Sys.time in lib" [ "R8" ]
+    (lint "let cpu () = Sys.time ()\n");
+  check_rules "obs_clock exempt" []
+    (lint ~path:"lib/obs/obs_clock.ml" "let now () = Unix.gettimeofday ()\n");
+  (* The rest of Unix/Sys stays available — only the clocks are fenced. *)
+  check_rules "other Unix fine" [] (lint "let pid () = Unix.getpid ()\n");
+  check_rules "Sys.argv fine" [] (lint "let argv () = Sys.argv\n");
+  check_rules "suppressed" []
+    (lint "let now () = (Unix.time () [@lint.allow \"R8\"])\n")
+
 (* ---- malformed suppression payloads, parse errors, baseline ---- *)
 
 let test_malformed_allow () =
@@ -177,7 +194,7 @@ let test_baseline_roundtrip () =
 
 let test_rule_metadata_complete () =
   Alcotest.(check (list string))
-    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
 let () =
@@ -202,6 +219,7 @@ let () =
       ("r5", [ Alcotest.test_case "mli pairing" `Quick test_r5 ]);
       ("r6", [ Alcotest.test_case "Obj escape hatches" `Quick test_r6 ]);
       ("r7", [ Alcotest.test_case "raw Domain.spawn" `Quick test_r7 ]);
+      ("r8", [ Alcotest.test_case "wall-clock reads" `Quick test_r8 ]);
       ( "machinery",
         [
           Alcotest.test_case "malformed allow" `Quick test_malformed_allow;
