@@ -12,12 +12,14 @@
    and appends the same record to BENCH_HISTORY.jsonl, the append-only
    bench trajectory consumed by `csbench diff/check/history`.
 
-   The four "episode-run (obs ...)" variants pin the observability
-   overhead budget: disabled and null-sink must be statistically
+   The "episode-run (obs ...)" variants pin the observability overhead
+   budget: disabled and null-sink must be statistically
    indistinguishable from the uninstrumented baseline (the ?obs default
    — including the span-recorder test — is one branch), the metrics
-   variant bounds the live-registry cost, and the spans variant bounds
-   the live-recorder cost. *)
+   variant bounds the live-registry cost, the resource variant bounds
+   the amortized GC-sampling cost on top of it, and the spans variant
+   bounds the live-recorder cost. "mc-estimate-20k (utilization on)"
+   does the same for the pool/merge accounting inside the estimator. *)
 
 open Bechamel
 open Toolkit
@@ -89,6 +91,23 @@ let serial_workloads : (string * (unit -> unit) * int) list =
          ignore
            (Episode.run ~obs schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g))),
       2_000 );
+    ( "episode-run (obs resource)",
+      (* The metrics variant plus a resource tick per call. The divisor
+         of 64 is 8x finer than the production cadence (one sample per
+         512-episode Monte-Carlo chunk), so the amortized Gc.quick_stat
+         cost measured here is an upper bound on the deployed one while
+         still exercising both tick regimes: the countdown fast path on
+         63 of 64 calls and a full sample on the 64th. Budget: <= 2x
+         the plain obs-metrics variant. *)
+      (let g = Prng.create ~seed:1L in
+       let m = Obs.Metrics.create () in
+       let obs = Obs.create ~metrics:m () in
+       let res = Obs.Resource.create ~every:64 m in
+       fun () ->
+         ignore
+           (Episode.run ~obs schedule ~c:1.0 ~reclaim_at:(Reclaim.draw sampler g));
+         Obs.Resource.tick res),
+      2_000 );
     ( "episode-run (obs spans)",
       (let g = Prng.create ~seed:1L in
        (* A fresh recorder per call would measure allocation, not
@@ -124,6 +143,16 @@ let serial_workloads : (string * (unit -> unit) * int) list =
         ignore
           (Monte_carlo.estimate ~trials:20_000 uniform_lf ~c:1.0 ~schedule
              ~seed:7L)),
+      1 );
+    ( "mc-estimate-20k (utilization on)",
+      (* Serial estimate with a live registry: the utilization
+         accounting path (per-run clock reads, merge timing, gauge
+         publication) on top of the ordinary metrics cost. *)
+      (fun () ->
+        ignore
+          (Monte_carlo.estimate
+             ~obs:(Obs.create ~metrics:(Obs.Metrics.create ()) ())
+             ~trials:20_000 uniform_lf ~c:1.0 ~schedule ~seed:7L)),
       1 );
   ]
 

@@ -15,9 +15,13 @@
    [schedule] and [simulate] accept --trace FILE (write a JSONL event
    trace of the run, opened by an Obs_meta provenance header) and
    --metrics (print the metrics registry after); [simulate] additionally
-   accepts --prom FILE (Prometheus text exposition of the registry) and
+   accepts --prom FILE (Prometheus text exposition of the registry,
+   including per-domain pool utilization series when --jobs > 1),
    --snapshot-every N / --snapshot-out FILE (periodic metric snapshots,
-   plottable with cstrace timeline); [report] aggregates a JSONL trace
+   plottable with cstrace timeline), --resource (sample GC counters at
+   deterministic chunk boundaries into the gc.* series) and
+   --health FILE (evaluate SLO rules against the end-of-run registry and
+   exit 1/2 on warn/critical); [report] aggregates a JSONL trace
    back into summary numbers. The
    Monte-Carlo and batch-planning commands ([simulate], [compare],
    [table]) accept --jobs N to run on N domains; output is bit-identical
@@ -186,15 +190,24 @@ let snapshot_out_term =
     & info [ "snapshot-out" ] ~docv:"FILE"
         ~doc:"Where $(b,--snapshot-every) writes its snapshot timeline.")
 
-(* Build an [Obs.t] from the flags and run [k obs snap] with it. [meta]
-   is a thunk so the git-sha capture only happens when a trace file is
-   actually being written. Afterwards: print the registry (--metrics),
-   write the Prometheus exposition (--prom) and the snapshot timeline
-   (--snapshot-every/--snapshot-out). *)
-let with_obs ~meta ~trace ~metrics ?prom ?snapshot k =
+(* Build an [Obs.t] from the flags and run [k obs snap res] with it.
+   [meta] is a thunk so the git-sha capture only happens when a trace
+   file is actually being written. Afterwards: print the registry
+   (--metrics), write the Prometheus exposition (--prom, with
+   [prom_extra ()] lines appended — per-domain utilization series the
+   registry itself cannot carry), the snapshot timeline
+   (--snapshot-every/--snapshot-out), and finally evaluate [--health]
+   rules against the end-of-run registry, exiting 1/2 on a warn /
+   critical verdict. [resource] attaches a GC sampler ([gc.*] series)
+   that the caller threads to the run's deterministic sampling
+   points. *)
+let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
+    ?snapshot ?(resource = false) ?health k =
   let registry =
-    if metrics || prom <> None || snapshot <> None then
-      Some (Obs.Metrics.create ())
+    if
+      metrics || prom <> None || snapshot <> None || resource
+      || health <> None
+    then Some (Obs.Metrics.create ())
     else None
   in
   let snap =
@@ -206,6 +219,27 @@ let with_obs ~meta ~trace ~metrics ?prom ?snapshot k =
           exit 2)
     | _ -> None
   in
+  let res =
+    match registry with
+    | Some m when resource -> Some (Obs.Resource.create m)
+    | _ -> None
+  in
+  let health_rules =
+    match health with
+    | None -> None
+    | Some path -> (
+        let text =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error msg ->
+            prerr_endline ("error: " ^ msg);
+            exit 2
+        in
+        match Obs.Health.parse text with
+        | Ok rules -> Some rules
+        | Error msg ->
+            prerr_endline ("error: " ^ path ^ ": " ^ msg);
+            exit 2)
+  in
   let write_file path writer =
     try
       let oc = open_out path in
@@ -215,7 +249,7 @@ let with_obs ~meta ~trace ~metrics ?prom ?snapshot k =
       exit 1
   in
   let finish obs =
-    k obs snap;
+    k obs snap res;
     (match Obs.metrics obs with
     | Some m when metrics -> Format.printf "%a" Obs.Metrics.pp m
     | _ -> ());
@@ -226,15 +260,24 @@ let with_obs ~meta ~trace ~metrics ?prom ?snapshot k =
               (fun l ->
                 output_string oc l;
                 output_char oc '\n')
-              (Obs_export.prometheus m));
+              (Obs_export.prometheus m @ prom_extra ()));
         Format.printf "wrote prometheus exposition to %s@." path
     | _ -> ());
-    match (snapshot, snap) with
+    (match (snapshot, snap) with
     | Some (_, out), Some s ->
         write_file out (fun oc -> Obs.Snapshot.write_jsonl s oc);
         Format.printf "wrote %d snapshot(s) to %s@."
           (List.length (Obs.Snapshot.entries s))
           out
+    | _ -> ());
+    match (health_rules, Obs.metrics obs) with
+    | Some rules, Some m ->
+        let report =
+          Obs.Health.evaluate ~rules [ (None, Obs.Metrics.snapshot m) ]
+        in
+        Format.printf "%a" Obs.Health.pp_report report;
+        let code = Obs.Health.exit_code report in
+        if code <> 0 then exit code
     | _ -> ()
   in
   match trace with
@@ -258,7 +301,7 @@ let schedule_cmd =
         ()
     in
     with_family spec (fun lf ->
-        with_obs ~meta ~trace ~metrics (fun obs _snap ->
+        with_obs ~meta ~trace ~metrics (fun obs _snap _res ->
             let plan = Guideline.plan ~obs lf ~c in
             let lo, hi = plan.Guideline.bracket in
             Format.printf "life function : %a@." Life_function.pp lf;
@@ -310,6 +353,32 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
+(* Per-domain utilization series for --prom: four gauge families keyed
+   by a domain label, which the flat (label-free) registry cannot
+   carry. *)
+let pool_prom_lines p =
+  let stats = Domain_pool.utilization p in
+  let series f =
+    Array.to_list
+      (Array.map
+         (fun (d : Domain_pool.domain_stat) ->
+           ([ ("domain", string_of_int d.Domain_pool.d_domain) ], f d))
+         stats)
+  in
+  Obs_export.prometheus_labeled ~name:"pool_domain_busy_seconds"
+    ~help:"Per-domain time spent executing chunks." ~typ:"gauge"
+    (series (fun d -> d.Domain_pool.d_busy_s))
+  @ Obs_export.prometheus_labeled ~name:"pool_domain_idle_seconds"
+      ~help:"Per-domain time spent idle inside submitted jobs." ~typ:"gauge"
+      (series (fun d -> d.Domain_pool.d_idle_s))
+  @ Obs_export.prometheus_labeled ~name:"pool_domain_queue_wait_seconds"
+      ~help:"Per-domain wait between job submission and first chunk claim."
+      ~typ:"gauge"
+      (series (fun d -> d.Domain_pool.d_queue_wait_s))
+  @ Obs_export.prometheus_labeled ~name:"pool_domain_chunks"
+      ~help:"Chunks executed per domain." ~typ:"gauge"
+      (series (fun d -> float_of_int d.Domain_pool.d_chunks))
+
 let simulate_cmd =
   let trials =
     Arg.(
@@ -320,8 +389,27 @@ let simulate_cmd =
     Arg.(
       value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
+  let resource_term =
+    Arg.(
+      value & flag
+      & info [ "resource" ]
+          ~doc:
+            "Sample GC/runtime resource counters into the $(b,gc.*) \
+             metric series at the run's deterministic chunk boundaries \
+             (implies a metrics registry).")
+  in
+  let health_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "health" ] ~docv:"FILE"
+          ~doc:
+            "Evaluate the health rules in $(docv) against the \
+             end-of-run metrics registry; print the report and exit 1 \
+             on a warn verdict, 2 on critical.")
+  in
   let run spec c trials seed jobs trace metrics prom snapshot_every
-      snapshot_out =
+      snapshot_out resource health =
     let meta () =
       Obs.Meta.make ~seed:(Int64.of_int seed) ~jobs
         ~scenario:
@@ -330,14 +418,24 @@ let simulate_cmd =
         ()
     in
     let snapshot = Option.map (fun n -> (n, snapshot_out)) snapshot_every in
+    (* Filled while the pool is still alive; read by with_obs after the
+       run when it writes the --prom file. *)
+    let extra = ref [] in
     with_family spec (fun lf ->
-        with_obs ~meta ~trace ~metrics ?prom ?snapshot (fun obs snap ->
+        with_obs ~meta ~trace ~metrics ?prom
+          ~prom_extra:(fun () -> !extra)
+          ?snapshot ~resource ?health
+          (fun obs snap res ->
             with_jobs jobs (fun pool ->
             let plan = Guideline.plan ~obs lf ~c in
             let est =
-              Monte_carlo.estimate ~obs ?pool ?snapshot:snap ~trials lf ~c
-                ~schedule:plan.Guideline.schedule ~seed:(Int64.of_int seed)
+              Monte_carlo.estimate ~obs ?pool ?snapshot:snap ?resource:res
+                ~trials lf ~c ~schedule:plan.Guideline.schedule
+                ~seed:(Int64.of_int seed)
             in
+            (match (pool, prom) with
+            | Some p, Some _ -> extra := pool_prom_lines p
+            | _ -> ());
             let lo, hi = est.Monte_carlo.ci95 in
             Format.printf "schedule      : %a@." Schedule.pp
               plan.Guideline.schedule;
@@ -355,7 +453,7 @@ let simulate_cmd =
     Term.(
       const run $ family_term $ c_term $ trials $ seed $ jobs_term
       $ trace_term $ metrics_term $ prom_term $ snapshot_every_term
-      $ snapshot_out_term)
+      $ snapshot_out_term $ resource_term $ health_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -380,7 +478,7 @@ let compare_cmd =
         ()
     in
     with_family spec (fun lf ->
-        with_obs ~meta ~trace ~metrics (fun obs _snap ->
+        with_obs ~meta ~trace ~metrics (fun obs _snap _res ->
             with_jobs jobs (fun pool ->
                 let plan = Guideline.plan ~obs lf ~c in
                 let policies =

@@ -356,14 +356,239 @@ let timeline_cmd =
     Term.(const run $ file $ metric)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+(* [check] owes exits 0/1/2 to the health verdict, so its own failures
+   (unreadable data, bad rules) use exit 3 instead of the usual 1. *)
+let die_check msg =
+  prerr_endline ("error: " ^ msg);
+  exit 3
+
+let gather_rules rules_file rule_flags =
+  let from_file =
+    match rules_file with
+    | None -> []
+    | Some path -> (
+        let text =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error msg -> die_check msg
+        in
+        match Obs_health.parse text with
+        | Ok rs -> rs
+        | Error msg -> die_check (path ^ ": " ^ msg))
+  in
+  let from_flags =
+    List.map
+      (fun r ->
+        match Obs_health.parse_rule r with
+        | Ok rule -> rule
+        | Error msg -> die_check (Printf.sprintf "--rule %S: %s" r msg))
+      rule_flags
+  in
+  match from_file @ from_flags with
+  | [] -> die_check "no rules given; pass --rules FILE and/or --rule RULE"
+  | rules -> rules
+
+(* A snapshot-ring file starts with {"type":"snapshot",...} lines; an
+   event trace starts with a meta header or an event object. *)
+let data_is_snapshot_ring path =
+  let first_line =
+    try
+      In_channel.with_open_text path (fun ic ->
+          let rec next () =
+            match In_channel.input_line ic with
+            | None -> None
+            | Some l when String.trim l = "" -> next ()
+            | Some l -> Some l
+          in
+          next ())
+    with Sys_error msg -> die_check msg
+  in
+  match first_line with
+  | None -> die_check (path ^ ": empty file")
+  | Some line -> (
+      match Jsonx.of_string line with
+      | Error msg -> die_check (path ^ ": " ^ msg)
+      | Ok j -> (
+          match Option.bind (Jsonx.member "type" j) Jsonx.get_string with
+          | Some "snapshot" -> true
+          | _ -> false))
+
+let load_check_entries path =
+  if data_is_snapshot_ring path then
+    match Obs_snapshot.load path with
+    | Error msg -> die_check msg
+    | Ok entries ->
+        List.map
+          (fun (e : Obs_snapshot.entry) ->
+            (Some e.Obs_snapshot.at, e.Obs_snapshot.metrics))
+          entries
+  else
+    match Obs_query.load path with
+    | Error msg -> die_check msg
+    | Ok t ->
+        let reg = Obs_query.metrics_of_events t.Obs_query.events in
+        [ (None, Obs.Metrics.snapshot reg) ]
+
+let check_cmd =
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:"Health rules file (one SEVERITY SELECTOR OP VALUE per line).")
+  in
+  let rule_flags =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Inline rule, e.g. $(b,\"critical trace.periods_killed <= 5\"); \
+                repeatable.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the verdict report as one JSON object instead of text.")
+  in
+  let data =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DATA"
+          ~doc:
+            "What to evaluate: a JSONL event trace (rules see the \
+             reconstructed trace.* metrics) or a snapshot-ring JSONL \
+             (rules see every captured frame).")
+  in
+  let run data rules_file rule_flags json =
+    let rules = gather_rules rules_file rule_flags in
+    let entries = load_check_entries data in
+    let report = Obs_health.evaluate ~rules entries in
+    if json then print_endline (Jsonx.to_string (Obs_health.report_to_json report))
+    else Format.printf "%a" Obs_health.pp_report report;
+    exit (Obs_health.exit_code report)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Evaluate declarative health rules against a finished trace or a \
+          snapshot ring; exit 0 ok / 1 warn / 2 critical (3 on unreadable \
+          input)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Rules come from a --rules file and/or repeated --rule flags. \
+              A selector reads a counter's count, a gauge's value, a \
+              histogram's mean, or a named stat (name.p99, name.count, \
+              ...). A trailing ? makes a rule skip silently when its \
+              metric is absent, letting one rules file serve both trace \
+              and snapshot sources. Against a snapshot ring every frame \
+              must satisfy every rule.";
+         ])
+    Term.(const run $ data $ rules_file $ rule_flags $ json)
+
+(* ------------------------------------------------------------------ *)
+(* watch                                                               *)
+
+let watch_cmd =
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE" ~doc:"Health rules file to evaluate live.")
+  in
+  let rule_flags =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE" ~doc:"Inline rule; repeatable.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Poll cadence while the trace is still growing.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Poll once, render once, exit — the deterministic mode for \
+             scripts and tests.")
+  in
+  let data =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL event trace being written by a live run (need not exist \
+             yet; it is tailed as it grows).")
+  in
+  let run data rules_file rule_flags interval once =
+    let rules =
+      if rules_file = None && rule_flags = [] then []
+      else gather_rules rules_file rule_flags
+    in
+    let w = Obs_watch.create ~path:data () in
+    let render () =
+      let frame = Obs_watch.render ~rules w in
+      if not once then print_string "\027[2J\027[H";
+      print_string frame;
+      flush stdout
+    in
+    let rec loop () =
+      ignore (Obs_watch.poll w);
+      render ();
+      if once || Obs_watch.finished w then ()
+      else begin
+        Unix.sleepf (Float.max 0.01 interval);
+        loop ()
+      end
+    in
+    loop ();
+    if rules = [] then exit 0
+    else exit (Obs_health.exit_code (Obs_watch.health w ~rules))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Tail a growing JSONL trace and re-render a live metrics + health \
+          dashboard; exits with the final health verdict (0/1/2) once the \
+          run finishes."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The dashboard shows the deterministic trace.* metrics \
+              reconstructed incrementally from the event stream, plus the \
+              rule verdicts when --rules/--rule are given. Polling is \
+              byte-offset based: partial lines are carried, malformed \
+              lines are counted but never fatal, and a vanished file \
+              simply reads as no new bytes — the loop a farm daemon's \
+              monitor inherits.";
+         ])
+    Term.(const run $ data $ rules_file $ rule_flags $ interval $ once)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
-    "trace analytics for cycle-stealing runs: summarise, diff, flamegraph \
-     and export the observability layer's artifacts"
+    "trace analytics for cycle-stealing runs: summarise, diff, flamegraph, \
+     export, health-check and live-watch the observability layer's artifacts"
   in
   let info = Cmd.info "cstrace" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ report_cmd; diff_cmd; flame_cmd; prom_cmd; timeline_cmd ]))
+          [
+            report_cmd;
+            diff_cmd;
+            flame_cmd;
+            prom_cmd;
+            timeline_cmd;
+            check_cmd;
+            watch_cmd;
+          ]))

@@ -145,3 +145,41 @@ count and nesting depth are stable.
 
   $ head -c 66 trace.json
   {"traceEvents":[{"name":"guideline.plan","cat":"cs","ph":"X","ts":
+
+--resource samples the GC at the run's deterministic chunk boundaries
+(one probe per Monte-Carlo chunk plus a final capture, so the sample
+count is pinned by the trial count alone), and --health evaluates SLO
+rules against the end-of-run registry: exit 0/1/2 for ok/warn/critical.
+The optional (?) pool rule resolves here because --jobs 2 runs on a
+pool; on a trace-only source it would be skipped, not failed.
+
+  $ cat > slo.cshealth <<'RULES'
+  > critical episode.runs == 200
+  > critical pool.chunk_order_violations? == 0
+  > warn gc.samples >= 1
+  > RULES
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --jobs 2 --resource --health slo.cshealth --metrics | grep -E "^counter (episode.runs|gc.samples)|^\[|^verdict"
+  counter episode.runs = 200
+  counter gc.samples = 2
+  [PASS] critical episode.runs == 200
+  [PASS] critical pool.chunk_order_violations? == 0
+  [PASS] warn gc.samples >= 1
+  verdict: ok (3 rule(s), 1 snapshot(s))
+  $ echo exit=$?
+  exit=0
+
+A failing rule flips the exit code even though the run itself
+succeeded: without --resource the gc.samples rule cannot resolve, and
+a missing non-optional selector is a warn-level failure (exit 1).
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --health slo.cshealth
+  schedule      : [13.64; 12.64; 11.64; 10.64; 9.643; 8.643; 7.643; 6.643; ... (13 periods)] duration 99.36
+  analytic E    : 41.066071
+  MC mean (n=200): 42.305714  95% CI [38.515989, 46.095439]
+  interrupted   : 100.00%
+  mean overhead : 5.319620 ; mean work lost: 3.787714
+  [PASS] critical episode.runs == 200
+  [PASS] critical pool.chunk_order_violations? == 0
+  [MISS] warn gc.samples >= 1  (metric absent)
+  verdict: warn (3 rule(s), 1 snapshot(s))
+  [1]

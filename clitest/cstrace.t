@@ -122,7 +122,7 @@ deterministic for any --jobs).
 Unknown metrics list what the snapshots do contain.
 
   $ ../bin/cstrace.exe timeline snaps.jsonl --metric no.such.metric
-  error: metric "no.such.metric" not in snapshots (have: episode.periods_completed, episode.periods_killed, episode.runs, plan.guideline_calls, episode.elapsed, episode.period_length, mc.estimate_seconds, plan.guideline_seconds)
+  error: metric "no.such.metric" not in snapshots (have: episode.periods_completed, episode.periods_killed, episode.runs, plan.guideline_calls, pool.busy_seconds, pool.chunk_order_violations, pool.chunks, pool.domains, pool.idle_seconds, pool.queue_wait_seconds, pool.runs, episode.elapsed, episode.period_length, mc.estimate_seconds, plan.guideline_seconds)
   [1]
 
 --prom exports the live registry of a run as Prometheus exposition
@@ -144,3 +144,89 @@ counters are pinned by the determinism contract).
   # HELP cs_plan_guideline_calls_total Counter plan.guideline_calls.
   # TYPE cs_plan_guideline_calls_total counter
   cs_plan_guideline_calls_total 1
+
+check evaluates declarative health rules — one "SEVERITY SELECTOR OP
+VALUE" line each — against the trace.* metrics reconstructed from a
+finished trace. The exit code encodes the verdict: 0 ok, 1 warn, 2
+critical (3 is reserved for unusable input, so a broken CI leg cannot
+masquerade as a healthy one). A trailing ? makes a rule optional:
+selectors that resolve nowhere are skipped instead of failing, letting
+one rules file serve trace-derived and in-process metric sources.
+
+  $ cat > demo.cshealth <<'RULES'
+  > # demo SLOs
+  > critical trace.episodes_finished >= 200
+  > warn trace.period_length.p99 <= 20
+  > warn gc.promoted_words? <= 5e8
+  > RULES
+  $ ../bin/cstrace.exe check --rules demo.cshealth a.jsonl
+  [PASS] critical trace.episodes_finished >= 200
+  [PASS] warn trace.period_length.p99 <= 20
+  [SKIP] warn gc.promoted_words? <= 5e+08
+  verdict: ok (3 rule(s), 1 snapshot(s))
+
+Failing rules report the offending value; warn and critical verdicts
+map to exit 1 and 2.
+
+  $ ../bin/cstrace.exe check --rule "warn trace.episodes_started >= 1000" a.jsonl
+  [FAIL] warn trace.episodes_started >= 1000  (value 200)
+  verdict: warn (1 rule(s), 1 snapshot(s))
+  [1]
+
+  $ ../bin/cstrace.exe check --rules demo.cshealth --rule "critical trace.periods_killed == 0" a.jsonl
+  [PASS] critical trace.episodes_finished >= 200
+  [PASS] warn trace.period_length.p99 <= 20
+  [SKIP] warn gc.promoted_words? <= 5e+08
+  [FAIL] critical trace.periods_killed == 0  (value 200)
+  verdict: critical (4 rule(s), 1 snapshot(s))
+  [2]
+
+--json renders the same report as one machine-readable object (the CI
+artifact format).
+
+  $ ../bin/cstrace.exe check --json --rule "warn trace.episodes_started >= 1000" a.jsonl
+  {"v":1,"verdict":"warn","entries":1,"rules":[{"severity":"warn","selector":"trace.episodes_started","optional":false,"op":">=","threshold":1000.0,"status":"fail","value":200.0}]}
+  [1]
+
+The same rules run against a snapshot ring, where every frame must
+satisfy the rule and the first violating frame is reported with its
+trial index.
+
+  $ ../bin/cstrace.exe check --rule "critical episode.runs >= 1" --rule "warn episode.runs <= 600" snaps.jsonl
+  [PASS] critical episode.runs >= 1
+  [FAIL] warn episode.runs <= 600  (value 1024 at 1024)
+  verdict: warn (2 rule(s), 3 snapshot(s))
+  [1]
+
+Unusable input — no rules, an unparsable rule — exits 3.
+
+  $ ../bin/cstrace.exe check a.jsonl
+  error: no rules given; pass --rules FILE and/or --rule RULE
+  [3]
+
+  $ ../bin/cstrace.exe check --rule "warn bogus" a.jsonl
+  error: --rule "warn bogus": expected: SEVERITY SELECTOR OP VALUE
+  [3]
+
+watch tails a growing trace; --once renders the dashboard a single
+time and exits with the health verdict (0 when no rules are given),
+which makes it usable on finished traces too.
+
+  $ ../bin/cstrace.exe watch --once --rule "warn trace.episodes_finished >= 200" a.jsonl
+  watch a.jsonl — 2755 event(s), finished
+  meta: schema v1, scenario "simulate family=uniform c=1 trials=200", seed 42, jobs 1
+  counters:
+    trace.episodes_finished      200
+    trace.episodes_started       200
+    trace.periods_completed      876
+    trace.periods_dispatched     1076
+    trace.periods_killed         200
+  gauges:
+    trace.pool_remaining         nan
+  histograms:
+    trace.banked                 n=876 mean=9.65884 p50=10.6982 p95=12.5546 p99=12.5546
+    trace.episode_duration       n=200 mean=51.413 p50=52.9915 p95=94.6468 p99=98.5095
+    trace.overhead               n=1076 mean=0.988777 p50=1 p95=1 p99=1
+    trace.period_length          n=1076 mean=10.3994 p50=10.6982 p95=13.6002 p99=13.6002
+  [PASS] warn trace.episodes_finished >= 200
+  verdict: ok (1 rule(s), 1 snapshot(s))

@@ -1,5 +1,11 @@
 type fit = { ns_per_run : float; r_square : float; kept : int; total : int }
 
+let min_samples = 4
+
+let reliable_r2 r = Float.is_finite r && r >= 0.0
+
+let reliable f = reliable_r2 f.r_square
+
 let ols_kept ~runs ~nanos ~keep ~total =
   (* Through-origin slope: argmin_b Σ (y_i − b·x_i)², i.e.
      b = Σ x·y / Σ x². r² is measured about the mean of the kept y so a
@@ -34,7 +40,11 @@ let ols_kept ~runs ~nanos ~keep ~total =
         end)
       keep;
     let r_square =
-      if kept < 2 || Tol.is_zero (Kahan.total ss_tot) then Float.nan
+      (* Below [min_samples] the residual has too few degrees of freedom
+         to mean anything — one straggler can swing r² to any value,
+         including the absurd negatives a quota-starved sampler produces
+         — so the fit declares itself undefined rather than confident. *)
+      if kept < min_samples || Tol.is_zero (Kahan.total ss_tot) then Float.nan
       else 1.0 -. (Kahan.total ss_res /. Kahan.total ss_tot)
     in
     { ns_per_run = slope; r_square; kept; total }

@@ -15,11 +15,29 @@ type fit = {
   ns_per_run : float;  (** Through-origin OLS slope over the kept samples. *)
   r_square : float;
       (** Coefficient of determination of the kept samples about their
-          mean; [nan] when undefined (fewer than 2 samples or zero
-          variance). *)
+          mean; [nan] when undefined (fewer than {!min_samples} samples
+          or zero variance). *)
   kept : int;  (** Samples surviving the trim. *)
   total : int;  (** Samples supplied. *)
 }
+
+val min_samples : int
+(** Minimum kept samples ([4]) for [r_square] to be reported at all.
+    Below this the residual has too few degrees of freedom: a single
+    straggler can drive r² arbitrarily negative (the seed BENCH_T1
+    carried an r² of −5.5 from a 2-sample fit), which is noise
+    masquerading as a diagnosis. Such fits keep their slope but report
+    [r_square = nan]. *)
+
+val reliable : fit -> bool
+(** A fit whose [r_square] is finite and non-negative — i.e. measured
+    from enough samples and not worse-than-constant. {!Bench_gate}
+    refuses to classify comparisons involving unreliable fits instead of
+    silently widening tolerance to the maximum. *)
+
+val reliable_r2 : float -> bool
+(** {!reliable} on a bare r² (for callers holding a recorded r² rather
+    than a full fit, e.g. {!Bench_gate} reading [BENCH_T1.json]). *)
 
 val ols : runs:float array -> nanos:float array -> fit
 (** Plain through-the-origin least squares over all samples. Arrays must

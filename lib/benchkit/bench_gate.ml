@@ -14,6 +14,7 @@ type report = {
   only_old : string list;
   only_new : string list;
   skipped : string list;
+  unreliable : string list;
   regressions : int;
   improvements : int;
 }
@@ -21,8 +22,7 @@ type report = {
 let usable x = Float.is_finite x && x > 0.0
 
 let r2_effective a b =
-  let clamp r = if Float.is_nan r then 0.0 else Float.max 0.0 (Float.min 1.0 r) in
-  Float.min (clamp a) (clamp b)
+  Float.min (Float.max 0.0 (Float.min 1.0 a)) (Float.max 0.0 (Float.min 1.0 b))
 
 let compare_runs ?(base_tolerance = 0.15) ?(noise_scale = 0.85) ~old_run
     ~new_run () =
@@ -44,14 +44,25 @@ let compare_runs ?(base_tolerance = 0.15) ?(noise_scale = 0.85) ~old_run
         if List.mem_assoc name old_results then None else Some name)
       new_results
   in
-  let compared, skipped =
+  let compared, skipped, unreliable =
     List.fold_left
-      (fun (cmp, skip) (name, (o : Bench_record.entry)) ->
+      (fun (cmp, skip, unrel) (name, (o : Bench_record.entry)) ->
         match List.assoc_opt name new_results with
-        | None -> (cmp, skip)
+        | None -> (cmp, skip, unrel)
         | Some (n : Bench_record.entry) ->
             if not (usable o.Bench_record.ns_per_call && usable n.Bench_record.ns_per_call)
-            then (cmp, name :: skip)
+            then (cmp, name :: skip, unrel)
+            else if
+              not
+                (Bench_fit.reliable_r2 o.Bench_record.r_square
+                && Bench_fit.reliable_r2 n.Bench_record.r_square)
+            then
+              (* A nan or negative r² means the fit never measured
+                 anything — folding it into the tolerance (old
+                 behaviour) silently turned the gate off for that
+                 benchmark while still printing a verdict. Refuse to
+                 classify instead and say so. *)
+              (cmp, skip, name :: unrel)
             else begin
               let ratio = n.Bench_record.ns_per_call /. o.Bench_record.ns_per_call in
               let tolerance =
@@ -75,9 +86,10 @@ let compare_runs ?(base_tolerance = 0.15) ?(noise_scale = 0.85) ~old_run
                   verdict;
                 }
                 :: cmp,
-                skip )
+                skip,
+                unrel )
             end)
-      ([], []) old_results
+      ([], [], []) old_results
   in
   let compared = List.rev compared in
   let count v =
@@ -88,6 +100,7 @@ let compare_runs ?(base_tolerance = 0.15) ?(noise_scale = 0.85) ~old_run
     only_old;
     only_new;
     skipped = List.rev skipped;
+    unreliable = List.rev unreliable;
     regressions = count Regression;
     improvements = count Improvement;
   }
@@ -121,6 +134,8 @@ let pp ppf r =
   listing "appeared" r.only_new;
   listing "disappeared" r.only_old;
   listing "skipped (unusable timing)" r.skipped;
+  listing "skipped (unreliable fit, advisory only — rerun with a larger quota)"
+    r.unreliable;
   Format.fprintf ppf
     "summary: %d compared, %d regression(s), %d improvement(s)@."
     (List.length r.compared) r.regressions r.improvements

@@ -4,13 +4,19 @@
 
     The tolerance is per-benchmark: a fit you can trust (r² near 1) is
     held to the base tolerance, while a noisy fit widens its own band —
-    [tol = base + noise_scale · (1 − min(r²_old, r²_new))], with a
-    missing/NaN r² treated as 0 (maximum widening). With the defaults
-    (base 0.15, noise_scale 0.85) a clean benchmark flags at a ±15%
-    shift, while the seed's [reclaim-draw] at r² ≈ 0.34 would need a
-    ~71% shift — the gate never cries wolf on a benchmark whose own
+    [tol = base + noise_scale · (1 − min(r²_old, r²_new))]. With the
+    defaults (base 0.15, noise_scale 0.85) a clean benchmark flags at a
+    ±15% shift, while the seed's [reclaim-draw] at r² ≈ 0.34 would need
+    a ~71% shift — the gate never cries wolf on a benchmark whose own
     timing data is mush. Verdicts are symmetric in log-space: regression
-    when [new/old > 1 + tol], improvement when [new/old < 1/(1 + tol)]. *)
+    when [new/old > 1 + tol], improvement when [new/old < 1/(1 + tol)].
+
+    A fit that fails {!Bench_fit.reliable_r2} on either side (r² nan or
+    negative — degenerate sampling, not mere noise) is not compared at
+    all: it lands in {!report.unreliable} and is reported as an
+    advisory, because the maximal widening such an r² would earn is
+    indistinguishable from switching the gate off while still printing
+    a verdict. *)
 
 type verdict = Regression | Improvement | Within_noise
 
@@ -28,6 +34,10 @@ type report = {
   only_old : string list;  (** Benchmarks that disappeared. *)
   only_new : string list;  (** Benchmarks that appeared. *)
   skipped : string list;  (** Shared but with non-positive/NaN ns. *)
+  unreliable : string list;
+      (** Shared, timing usable, but one side's fit fails
+          {!Bench_fit.reliable_r2}; excluded from verdicts, listed as an
+          advisory note by {!pp}. *)
   regressions : int;
   improvements : int;
 }

@@ -27,6 +27,7 @@ let scope_of_path path : Lint_rules.scope =
     is_prng = String.ends_with ~suffix:"numerics/prng.ml" n;
     in_parallel = under "parallel" n;
     is_clock = String.ends_with ~suffix:"obs/obs_clock.ml" n;
+    is_resource = String.ends_with ~suffix:"obs/obs_resource.ml" n;
   }
 
 let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =

@@ -5,6 +5,7 @@ type scope = {
   is_prng : bool;
   in_parallel : bool;
   is_clock : bool;
+  is_resource : bool;
 }
 
 type meta = { id : string; title : string; remedy : string }
@@ -56,6 +57,15 @@ let all_meta =
       remedy =
         "route timing through Obs_clock, whose monotonic high-water clamp \
          keeps span durations non-negative";
+    };
+    {
+      id = "R9";
+      title =
+        "no direct Gc.stat / Gc.quick_stat / Gc.counters outside \
+         lib/obs/obs_resource.ml";
+      remedy =
+        "sample through Obs_resource, whose tick divisor keeps the cost \
+         budgeted and the sampling points deterministic";
     };
   ]
 
@@ -202,6 +212,16 @@ let check_structure (scope : scope) (str : structure) :
         report "R8" loc
           "Sys.time reads the process clock directly; route timing through \
            Obs_clock"
+    | _ -> ());
+    (match lid with
+    | Longident.Ldot
+        (Longident.Lident "Gc", (("stat" | "quick_stat" | "counters") as fn))
+      when not scope.is_resource ->
+        report "R9" loc
+          (Printf.sprintf
+             "Gc.%s samples the runtime directly; go through Obs_resource, \
+              which budgets the cost and keeps sampling points deterministic"
+             fn)
     | _ -> ());
     (if (not scope.is_prng) && String.equal (longident_head lid) "Random" then
        report "R3" loc

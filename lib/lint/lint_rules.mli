@@ -15,6 +15,8 @@ type scope = {
   is_prng : bool;  (** [lib/numerics/prng.ml] itself: exempt from R3. *)
   in_parallel : bool;  (** Under [lib/parallel/]: exempt from R7. *)
   is_clock : bool;  (** [lib/obs/obs_clock.ml] itself: exempt from R8. *)
+  is_resource : bool;
+      (** [lib/obs/obs_resource.ml] itself: exempt from R9. *)
 }
 
 type meta = { id : string; title : string; remedy : string }

@@ -31,6 +31,9 @@ module Sink = Obs_sink
 module Span = Obs_span
 module Meta = Obs_meta
 module Snapshot = Obs_snapshot
+module Resource = Obs_resource
+module Health = Obs_health
+module Watch = Obs_watch
 
 type t
 

@@ -183,6 +183,43 @@ let prometheus_of_snapshot ?(namespace = "cs") (s : Obs_metrics.snapshot) =
 let prometheus ?namespace reg =
   prometheus_of_snapshot ?namespace (Obs_metrics.snapshot reg)
 
+(* --- labeled samples ---------------------------------------------- *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prometheus_labeled ?(namespace = "cs") ~name ~help ~typ samples =
+  let n = sanitize_metric_name (namespace ^ "_" ^ name) in
+  let help =
+    String.map (function '\n' | '\r' -> ' ' | c -> c) help
+  in
+  let labels = function
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "%s=\"%s\"" (sanitize_metric_name k)
+                   (escape_label_value v))
+               kvs)
+        ^ "}"
+  in
+  Printf.sprintf "# HELP %s %s" n help
+  :: Printf.sprintf "# TYPE %s %s" n typ
+  :: List.map
+       (fun (kvs, v) -> Printf.sprintf "%s%s %s" n (labels kvs) (prom_float v))
+       samples
+
 (* --- validation --------------------------------------------------- *)
 
 let is_name_start = function
@@ -206,8 +243,38 @@ let parse_value s =
   | "NaN" | "+Inf" | "-Inf" -> true
   | _ -> Option.is_some (float_of_string_opt s)
 
+(* An escape-aware scanner over a label block: comma-separated pairs of
+   key = double-quoted value, where a value may contain backslash,
+   quote and newline escapes (and therefore commas and quotes that a
+   naive comma-split would trip over). *)
+let valid_label_body body =
+  let len = String.length body in
+  let rec key i =
+    match String.index_from_opt body i '=' with
+    | None -> false
+    | Some eq ->
+        let k = String.sub body i (eq - i) in
+        valid_metric_name k && value (eq + 1)
+  and value i = i < len && body.[i] = '"' && scan (i + 1)
+  and scan i =
+    if i >= len then false
+    else
+      match body.[i] with
+      | '\\' ->
+          i + 1 < len
+          && (match body.[i + 1] with
+             | '\\' | '"' | 'n' -> true
+             | _ -> false)
+          && scan (i + 2)
+      | '"' -> after (i + 1)
+      | _ -> scan (i + 1)
+  and after i =
+    if i = len then true else body.[i] = ',' && i + 1 < len && key (i + 1)
+  in
+  len > 0 && key 0
+
 (* Split "name{labels}" into the name and a validity check on the label
-   block; labels are key="value" pairs, comma-separated. *)
+   block. *)
 let parse_sample_name s =
   match String.index_opt s '{' with
   | None -> if valid_metric_name s then Some s else None
@@ -216,21 +283,8 @@ let parse_sample_name s =
       else
         let name = String.sub s 0 lb in
         let body = String.sub s (lb + 1) (String.length s - lb - 2) in
-        if not (valid_metric_name name) then None
-        else
-          let pairs = String.split_on_char ',' body in
-          let pair_ok p =
-            match String.index_opt p '=' with
-            | None -> false
-            | Some eq ->
-                let k = String.sub p 0 eq in
-                let v = String.sub p (eq + 1) (String.length p - eq - 1) in
-                valid_metric_name k
-                && String.length v >= 2
-                && v.[0] = '"'
-                && v.[String.length v - 1] = '"'
-          in
-          if List.for_all pair_ok pairs then Some name else None
+        if valid_metric_name name && valid_label_body body then Some name
+        else None
 
 let strip_suffix name =
   let drop suffix =

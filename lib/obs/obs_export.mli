@@ -46,10 +46,32 @@ val prometheus_of_snapshot :
   ?namespace:string -> Obs_metrics.snapshot -> string list
 (** Same, from a frozen {!Obs_metrics.snapshot}. *)
 
+val escape_label_value : string -> string
+(** Escape a string for use inside a label value per the text-format
+    grammar: backslash, double-quote and newline become backslash
+    escapes. Everything else (including UTF-8 multibyte sequences)
+    passes through unchanged. *)
+
+val prometheus_labeled :
+  ?namespace:string ->
+  name:string ->
+  help:string ->
+  typ:string ->
+  ((string * string) list * float) list ->
+  string list
+(** One labeled metric family: [# HELP] and [# TYPE] lines followed by
+    one sample per [(labels, value)] pair, label values escaped with
+    {!escape_label_value} and label names sanitized like metric names.
+    Used for the per-domain [cs_pool_domain_*] utilization series,
+    whose label sets ([domain=0], ...) depend on the run
+    configuration rather than the registry. *)
+
 val validate_prometheus : string list -> (int, string) result
 (** Check the lines against the exposition grammar: well-formed
     [# HELP] / [# TYPE] comments, known types, metric and label names
-    matching [[a-zA-Z_:][a-zA-Z0-9_:]*], parsable values, and every
+    matching [[a-zA-Z_:][a-zA-Z0-9_:]*], label values with well-formed
+    backslash escapes (scanned escape-aware, so escaped quotes and
+    commas inside values are handled), parsable values, and every
     sample preceded by a [# TYPE] for its family ([_sum] / [_count]
     resolve to their summary's family). Returns the sample count (not
     counting comments). The error names the first offending 1-based

@@ -248,7 +248,7 @@ let pp_divergence ppf d =
 (* ------------------------------------------------------------------ *)
 (* Metrics reconstruction                                             *)
 
-let metrics_of_events ?accuracy events =
+let metrics_updater ?accuracy () =
   let reg = Obs_metrics.create ?accuracy () in
   let c name = Obs_metrics.counter reg name in
   let h name = Obs_metrics.histogram reg name in
@@ -263,9 +263,8 @@ let metrics_of_events ?accuracy events =
   let overhead_h = h "trace.overhead" in
   let pool_remaining = Obs_metrics.gauge reg "trace.pool_remaining" in
   let starts : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun (ev : Obs_event.t) ->
-      match ev with
+  let feed (ev : Obs_event.t) =
+    match ev with
       | Episode_started { time; ws; ep } ->
           Obs_metrics.incr episodes_started;
           Hashtbl.replace starts (ws, ep) time
@@ -287,6 +286,11 @@ let metrics_of_events ?accuracy events =
       | Pool_drained { remaining; _ } ->
           Obs_metrics.set pool_remaining remaining
       | Run_started _ | Plan_computed _ | Owner_returned _ | Run_finished _ ->
-          ())
-    events;
+        ()
+  in
+  (reg, feed)
+
+let metrics_of_events ?accuracy events =
+  let reg, feed = metrics_updater ?accuracy () in
+  List.iter feed events;
   reg

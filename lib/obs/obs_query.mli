@@ -99,3 +99,10 @@ val metrics_of_events : ?accuracy:float -> Obs_event.t list -> Obs_metrics.t
     [trace.pool_remaining]. All values are simulation-time, so the
     result is deterministic — unlike a live registry, which also times
     wall-clock spans. [accuracy] as in {!Obs_metrics.create}. *)
+
+val metrics_updater :
+  ?accuracy:float -> unit -> Obs_metrics.t * (Obs_event.t -> unit)
+(** Incremental form of {!metrics_of_events}: returns the registry and
+    a feed function that folds one event into it. Feeding the whole
+    stream reproduces {!metrics_of_events} exactly; [cstrace watch]
+    feeds events as they are appended to a growing trace. *)

@@ -1,0 +1,64 @@
+(* Sampled GC observability: Gc.quick_stat deltas recorded as ordinary
+   Obs_metrics instruments. Sole sanctioned Gc-stat call site (lint R9). *)
+
+type t = {
+  every : int;
+  mutable countdown : int;
+  base : Gc.stat;
+  mutable last : Gc.stat;
+  c_samples : Obs_metrics.counter;
+  c_minor : Obs_metrics.counter;
+  c_major : Obs_metrics.counter;
+  c_compact : Obs_metrics.counter;
+  g_minor_words : Obs_metrics.gauge;
+  g_promoted_words : Obs_metrics.gauge;
+  g_major_words : Obs_metrics.gauge;
+  g_heap_words : Obs_metrics.gauge;
+  g_top_heap_words : Obs_metrics.gauge;
+  h_promoted_delta : Obs_metrics.histogram;
+}
+
+let create ?(every = 1) m =
+  if every < 1 then invalid_arg "Obs_resource.create: every must be >= 1";
+  let base = Gc.quick_stat () in
+  {
+    every;
+    countdown = 1;
+    base;
+    last = base;
+    c_samples = Obs_metrics.counter m "gc.samples";
+    c_minor = Obs_metrics.counter m "gc.minor_collections";
+    c_major = Obs_metrics.counter m "gc.major_collections";
+    c_compact = Obs_metrics.counter m "gc.compactions";
+    g_minor_words = Obs_metrics.gauge m "gc.minor_words";
+    g_promoted_words = Obs_metrics.gauge m "gc.promoted_words";
+    g_major_words = Obs_metrics.gauge m "gc.major_words";
+    g_heap_words = Obs_metrics.gauge m "gc.heap_words";
+    g_top_heap_words = Obs_metrics.gauge m "gc.top_heap_words";
+    h_promoted_delta = Obs_metrics.histogram m "gc.promoted_words_delta";
+  }
+
+let sample t =
+  let cur = Gc.quick_stat () in
+  Obs_metrics.incr t.c_samples;
+  Obs_metrics.add t.c_minor
+    (cur.Gc.minor_collections - t.last.Gc.minor_collections);
+  Obs_metrics.add t.c_major
+    (cur.Gc.major_collections - t.last.Gc.major_collections);
+  Obs_metrics.add t.c_compact (cur.Gc.compactions - t.last.Gc.compactions);
+  Obs_metrics.set t.g_minor_words (cur.Gc.minor_words -. t.base.Gc.minor_words);
+  Obs_metrics.set t.g_promoted_words
+    (cur.Gc.promoted_words -. t.base.Gc.promoted_words);
+  Obs_metrics.set t.g_major_words (cur.Gc.major_words -. t.base.Gc.major_words);
+  Obs_metrics.set t.g_heap_words (float_of_int cur.Gc.heap_words);
+  Obs_metrics.set t.g_top_heap_words (float_of_int cur.Gc.top_heap_words);
+  let d = cur.Gc.promoted_words -. t.last.Gc.promoted_words in
+  Obs_metrics.observe t.h_promoted_delta (if d > 0.0 then d else 0.0);
+  t.last <- cur;
+  t.countdown <- t.every
+
+let tick t =
+  t.countdown <- t.countdown - 1;
+  if t.countdown <= 0 then sample t
+
+let samples t = Obs_metrics.count t.c_samples

@@ -1,0 +1,141 @@
+(* Incremental trace tailing: byte-offset + partial-line carry over a
+   growing JSONL file, feeding Obs_query.metrics_updater. *)
+
+type t = {
+  path : string;
+  reg : Obs_metrics.t;
+  feed : Obs_event.t -> unit;
+  mutable offset : int;  (* bytes consumed so far *)
+  mutable carry : string;  (* trailing partial line *)
+  mutable meta : Obs_meta.t option;
+  mutable events : int;
+  mutable finished : bool;
+  mutable errors : int;
+  mutable last_error : string option;
+}
+
+let create ?accuracy ~path () =
+  let reg, feed = Obs_query.metrics_updater ?accuracy () in
+  {
+    path;
+    reg;
+    feed;
+    offset = 0;
+    carry = "";
+    meta = None;
+    events = 0;
+    finished = false;
+    errors = 0;
+    last_error = None;
+  }
+
+let note_error t msg =
+  t.errors <- t.errors + 1;
+  t.last_error <- Some msg
+
+let consume_line t line =
+  if String.trim line = "" then 0
+  else
+    match Jsonx.of_string line with
+    | Error msg ->
+        note_error t msg;
+        0
+    | Ok j when Obs_meta.is_meta_json j -> (
+        match Obs_meta.of_json j with
+        | Error msg ->
+            note_error t msg;
+            0
+        | Ok m ->
+            if t.meta = None then t.meta <- Some m
+            else note_error t "duplicate meta header";
+            0)
+    | Ok j -> (
+        match Obs_event.of_json j with
+        | Error msg ->
+            note_error t msg;
+            0
+        | Ok ev ->
+            t.feed ev;
+            t.events <- t.events + 1;
+            (match ev with
+            | Obs_event.Run_finished _ -> t.finished <- true
+            | _ -> ());
+            1)
+
+(* Split [carry ^ fresh] on newlines: every segment before the final
+   '\n' is a complete line; whatever follows it is the new carry. *)
+let consume_bytes t fresh =
+  let data = t.carry ^ fresh in
+  match String.rindex_opt data '\n' with
+  | None ->
+      t.carry <- data;
+      0
+  | Some last_nl ->
+      t.carry <-
+        String.sub data (last_nl + 1) (String.length data - last_nl - 1);
+      let complete = String.sub data 0 last_nl in
+      String.split_on_char '\n' complete
+      |> List.fold_left (fun n line -> n + consume_line t line) 0
+
+let poll t =
+  match open_in_bin t.path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len <= t.offset then 0
+          else begin
+            seek_in ic t.offset;
+            let fresh = really_input_string ic (len - t.offset) in
+            t.offset <- len;
+            consume_bytes t fresh
+          end)
+
+let registry t = t.reg
+let meta t = t.meta
+let events_seen t = t.events
+let finished t = t.finished
+let parse_errors t = t.errors
+let last_error t = t.last_error
+
+let health t ~rules =
+  Obs_health.evaluate ~rules [ (None, Obs_metrics.snapshot t.reg) ]
+
+let render ?(rules = []) t =
+  let snap = Obs_metrics.snapshot t.reg in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "watch %s — %d event(s), %s%s" t.path t.events
+    (if t.finished then "finished" else "running")
+    (if t.errors = 0 then ""
+     else Printf.sprintf ", %d parse error(s)" t.errors);
+  (match t.meta with
+  | Some m -> line "meta: %s" (Format.asprintf "%a" Obs_meta.pp m)
+  | None -> ());
+  if snap.Obs_metrics.snap_counters <> [] then begin
+    line "counters:";
+    List.iter
+      (fun (name, v) -> line "  %-28s %d" name v)
+      snap.Obs_metrics.snap_counters
+  end;
+  if snap.Obs_metrics.snap_gauges <> [] then begin
+    line "gauges:";
+    List.iter
+      (fun (name, v) -> line "  %-28s %g" name v)
+      snap.Obs_metrics.snap_gauges
+  end;
+  if snap.Obs_metrics.snap_histograms <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (name, (hs : Obs_metrics.hist_stats)) ->
+        line "  %-28s n=%d mean=%g p50=%g p95=%g p99=%g" name hs.hs_count
+          hs.hs_mean hs.hs_p50 hs.hs_p95 hs.hs_p99)
+      snap.Obs_metrics.snap_histograms
+  end;
+  if rules <> [] then begin
+    let report = Obs_health.evaluate ~rules [ (None, snap) ] in
+    Buffer.add_string buf (Format.asprintf "%a" Obs_health.pp_report report)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Incremental tailing of a growing JSONL trace.
+
+    [cstrace watch] monitors a run in progress: it polls a trace file
+    the producer is still appending to, feeds each newly completed line
+    through {!Obs_query.metrics_updater}, and re-renders a compact
+    dashboard of the reconstructed [trace.*] metrics plus (optionally)
+    an {!Obs_health} rule evaluation. The farm daemon inherits this
+    loop verbatim.
+
+    The module owns only the incremental state machine — byte offset,
+    partial-line carry, meta header, feed function. The poll cadence
+    (a [Unix.sleepf] between {!poll} calls) belongs to the binary;
+    nothing here reads a clock, so the reconstruction stays a pure
+    function of the bytes seen, and a single {!poll} over a finished
+    trace renders exactly what [cstrace report]'s metrics would. *)
+
+type t
+
+val create : ?accuracy:float -> path:string -> unit -> t
+(** A watcher positioned at byte 0 of [path]. The file need not exist
+    yet — {!poll} treats absence as "no new bytes". [accuracy] as in
+    {!Obs_metrics.create}. *)
+
+val poll : t -> int
+(** Consume the bytes appended since the last poll: complete lines are
+    parsed (meta header, then events) and folded into the registry; a
+    trailing partial line is carried to the next poll. Returns the
+    number of events consumed by this call. Malformed lines are counted
+    and remembered, never fatal — a watcher must survive a producer
+    mid-write. *)
+
+val registry : t -> Obs_metrics.t
+(** The registry reconstructed so far ([trace.*] namespace). *)
+
+val meta : t -> Obs_meta.t option
+val events_seen : t -> int
+
+val finished : t -> bool
+(** A [Run_finished] event has been consumed — the producer is done. *)
+
+val parse_errors : t -> int
+val last_error : t -> string option
+
+val health : t -> rules:Obs_health.rule list -> Obs_health.report
+(** Evaluate [rules] against the current registry state. *)
+
+val render : ?rules:Obs_health.rule list -> t -> string
+(** The dashboard: a header (path, event count, run state), every
+    counter/gauge, histogram summaries, and — when [rules] is
+    non-empty — the rule listing and verdict line. Deterministic in
+    the bytes consumed. *)

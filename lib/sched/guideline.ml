@@ -78,12 +78,18 @@ let plan_batch ?(obs = Obs.disabled) ?pool ?domains ?t0_steps ?finish scenarios
          domain assignment yields the same slot contents; observability
          goes to per-scenario children gathered in scenario order. *)
       let kids = Obs_fork.scatter obs ~n in
+      let meter = Obs.metrics obs in
+      let accounting = Option.is_some meter || Option.is_some pool in
       Obs.span obs "guideline.plan_batch" (fun () ->
-          Domain_pool.run ?pool ?domains ~chunks:n (fun i ->
+          Domain_pool.run ?pool ?domains ?metrics:meter ~chunks:n (fun i ->
               let lf, c = scen.(i) in
               slots.(i) <-
                 Some (plan ~obs:(Obs_fork.child kids i) ?t0_steps ?finish lf ~c));
-          Obs_fork.gather obs kids);
+          let merge_t0 = if accounting then Obs_clock.now () else 0.0 in
+          Obs_fork.gather obs kids;
+          if accounting then
+            Domain_pool.note_merge ?pool ?metrics:meter
+              ~seconds:(Obs_clock.elapsed_since merge_t0) ());
       Array.to_list
         (Array.map
            (function

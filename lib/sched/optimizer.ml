@@ -134,7 +134,10 @@ let optimal_schedule ?(obs = Obs.disabled) ?pool ?m_max ?(patience = 3)
         in
         Array.iteri (fun i result -> consider (m0 + i) result) results;
         m := m0 + count
-      done
+      done;
+      (match Obs.metrics obs with
+      | Some meter -> Domain_pool.publish p meter
+      | None -> ())
   | Some _ | None ->
       while !m <= m_cap && !stale < patience do
         let result =

@@ -16,8 +16,8 @@ let chunk_size = 512
 
 let n_chunks trials = (trials + chunk_size - 1) / chunk_size
 
-let estimate ?(obs = Obs.disabled) ?pool ?domains ?snapshot ?(trials = 20_000)
-    lf ~c ~schedule ~seed =
+let estimate ?(obs = Obs.disabled) ?pool ?domains ?snapshot ?resource
+    ?(trials = 20_000) lf ~c ~schedule ~seed =
   if trials < 2 then
     invalid_arg
       (Printf.sprintf "Monte_carlo.estimate: trials must be >= 2, got %d"
@@ -64,20 +64,33 @@ let estimate ?(obs = Obs.disabled) ?pool ?domains ?snapshot ?(trials = 20_000)
             [ ("first", Jsonx.Int first); ("count", Jsonx.Int (stop - first)) ]
           body
   in
+  let meter = Obs.metrics obs in
+  let accounting = Option.is_some meter || Option.is_some pool in
   Obs.time obs "mc.estimate_seconds" (fun () ->
       Obs.span obs "mc.estimate" (fun () ->
-          Domain_pool.run ?pool ?domains ~chunks run_chunk;
+          Domain_pool.run ?pool ?domains ?metrics:meter ~chunks run_chunk;
           (* Chunk-index order: child metrics, spans and buffered events
              merge back identically for any domain count. Snapshots tick
              at these serial merge boundaries, so the captured timeline
-             is equally domain-count independent. *)
+             is equally domain-count independent — and resource samples
+             taken here are tick-counted, never wall-clock-driven. *)
+          let merge_t0 = if accounting then Obs_clock.now () else 0.0 in
           for k = 0 to chunks - 1 do
             Obs_fork.gather_one obs kids k;
+            (match resource with
+            | None -> ()
+            | Some res -> Obs_resource.tick res);
             match snapshot with
             | None -> ()
             | Some snap ->
                 Obs_snapshot.tick snap ~at:(Int.min trials ((k + 1) * chunk_size))
           done;
+          if accounting then
+            Domain_pool.note_merge ?pool ?metrics:meter
+              ~seconds:(Obs_clock.elapsed_since merge_t0) ();
+          (match resource with
+          | None -> ()
+          | Some res -> Obs_resource.sample res);
           match snapshot with
           | None -> ()
           | Some snap ->
@@ -164,9 +177,15 @@ let compare_policies ?(obs = Obs.disabled) ?pool ?domains ?(trials = 20_000) lf
             ]
           body
   in
+  let meter = Obs.metrics obs in
+  let accounting = Option.is_some meter || Option.is_some pool in
   Obs.span obs "mc.compare" (fun () ->
-      Domain_pool.run ?pool ?domains ~chunks:jobs run_job;
-      Obs_fork.gather obs kids);
+      Domain_pool.run ?pool ?domains ?metrics:meter ~chunks:jobs run_job;
+      let merge_t0 = if accounting then Obs_clock.now () else 0.0 in
+      Obs_fork.gather obs kids;
+      if accounting then
+        Domain_pool.note_merge ?pool ?metrics:meter
+          ~seconds:(Obs_clock.elapsed_since merge_t0) ());
   if Obs.tracing obs then Obs.emit obs (Obs.Event.Run_finished { time = 0.0 });
   let runs =
     List.mapi

@@ -51,6 +51,29 @@ let test_trimmed_noop_small () =
   let fit = Bench_fit.trimmed ~runs ~nanos () in
   Alcotest.(check int) "no trim under 8 samples" 5 fit.Bench_fit.kept
 
+let test_min_samples_guard () =
+  (* Below min_samples the slope survives but r^2 declares itself
+     undefined — a 2-point residual proves nothing, and a quota-starved
+     sampler once shipped r^2 = -5.53 from exactly this regime. *)
+  let runs = synthetic_runs 2 in
+  let nanos = [| 40.0; 61.0 |] in
+  let fit = Bench_fit.ols ~runs ~nanos in
+  Alcotest.(check bool)
+    "slope still estimated" true
+    (Float.is_finite fit.Bench_fit.ns_per_run);
+  Alcotest.(check bool)
+    "r^2 undefined" true
+    (Float.is_nan fit.Bench_fit.r_square);
+  Alcotest.(check bool) "fit unreliable" false (Bench_fit.reliable fit);
+  (* At min_samples with real variance about the line, r^2 is defined. *)
+  let runs4 = synthetic_runs Bench_fit.min_samples in
+  let nanos4 = Array.mapi (fun i r -> (10.0 *. r) +. float_of_int (i mod 2)) runs4 in
+  let fit4 = Bench_fit.ols ~runs:runs4 ~nanos:nanos4 in
+  Alcotest.(check bool)
+    "r^2 defined at min_samples" true
+    (Float.is_finite fit4.Bench_fit.r_square);
+  Alcotest.(check bool) "fit reliable" true (Bench_fit.reliable fit4)
+
 let entry ns r2 = { Bench_record.ns_per_call = ns; r_square = r2 }
 
 let record ?(git_sha = "abc1234") results =
@@ -186,23 +209,41 @@ let test_gate_noise_widening () =
   Alcotest.check verdict "2x still trips" Bench_gate.Regression
     (find_cmp report2 "noisy").Bench_gate.verdict
 
-let test_gate_nan_r2_max_widening () =
-  (* NaN r^2 clamps to 0: tol = 1.0, regression only beyond 2x. *)
-  let old_run = record [ ("nofit", entry 10.0 Float.nan) ] in
-  let within =
-    Bench_gate.compare_runs ~old_run
-      ~new_run:(record [ ("nofit", entry 19.9 0.99) ])
+let test_gate_unreliable_fit_skipped () =
+  (* A nan or negative r^2 is a degenerate fit, not mere noise: the gate
+     refuses to classify it (no verdict at any ratio) and lists it as an
+     advisory instead of widening the tolerance to uselessness. *)
+  let check_unreliable label old_r2 new_r2 =
+    let report =
+      Bench_gate.compare_runs
+        ~old_run:(record [ ("nofit", entry 10.0 old_r2) ])
+        ~new_run:(record [ ("nofit", entry 50.0 new_r2) ])
+        ()
+    in
+    Alcotest.(check (list string))
+      (label ^ ": listed unreliable") [ "nofit" ]
+      report.Bench_gate.unreliable;
+    Alcotest.(check int)
+      (label ^ ": not compared") 0
+      (List.length report.Bench_gate.compared);
+    Alcotest.(check int)
+      (label ^ ": no regression despite 5x") 0 report.Bench_gate.regressions;
+    Alcotest.(check bool)
+      (label ^ ": gate passes") false
+      (Bench_gate.has_regressions report)
+  in
+  check_unreliable "nan old" Float.nan 0.99;
+  check_unreliable "negative new" 0.99 (-5.53);
+  (* A reliable-but-poor fit still goes through the widening path. *)
+  let noisy =
+    Bench_gate.compare_runs
+      ~old_run:(record [ ("noisy", entry 10.0 0.01) ])
+      ~new_run:(record [ ("noisy", entry 10.0 0.01) ])
       ()
   in
-  Alcotest.check verdict "1.99x within" Bench_gate.Within_noise
-    (find_cmp within "nofit").Bench_gate.verdict;
-  let beyond =
-    Bench_gate.compare_runs ~old_run
-      ~new_run:(record [ ("nofit", entry 20.5 0.99) ])
-      ()
-  in
-  Alcotest.check verdict "2.05x trips" Bench_gate.Regression
-    (find_cmp beyond "nofit").Bench_gate.verdict
+  Alcotest.(check (list string)) "r^2 = 0.01 still compared" []
+    noisy.Bench_gate.unreliable;
+  Alcotest.(check int) "compared" 1 (List.length noisy.Bench_gate.compared)
 
 let test_gate_disjoint_and_skipped () =
   let old_run =
@@ -271,6 +312,8 @@ let () =
             test_trimmed_recovers_r2;
           Alcotest.test_case "no trim on tiny samples" `Quick
             test_trimmed_noop_small;
+          Alcotest.test_case "min-samples r^2 guard" `Quick
+            test_min_samples_guard;
         ] );
       ( "record",
         [
@@ -293,8 +336,8 @@ let () =
             test_gate_improvement;
           Alcotest.test_case "low r^2 widens tolerance" `Quick
             test_gate_noise_widening;
-          Alcotest.test_case "nan r^2 widens maximally" `Quick
-            test_gate_nan_r2_max_widening;
+          Alcotest.test_case "unreliable fit skipped" `Quick
+            test_gate_unreliable_fit_skipped;
           Alcotest.test_case "disjoint and unusable entries" `Quick
             test_gate_disjoint_and_skipped;
         ] );

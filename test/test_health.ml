@@ -1,0 +1,247 @@
+(* Health rules: the .cshealth grammar, resolution over snapshots,
+   verdict/exit-code semantics — plus the Prometheus label-escaping
+   round-trip and the gc.*/pool.* exposition passing the grammar
+   validator, since those series are exactly what the rules watch. *)
+
+let snap_of m = Obs_metrics.snapshot m
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let registry () =
+  let m = Obs_metrics.create () in
+  Obs_metrics.add (Obs_metrics.counter m "gc.samples") 5;
+  Obs_metrics.set (Obs_metrics.gauge m "pool.chunk_order_violations") 0.0;
+  Obs_metrics.set (Obs_metrics.gauge m "pool.busy_seconds") 1.25;
+  let h = Obs_metrics.histogram m "episode.elapsed" in
+  List.iter (Obs_metrics.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  m
+
+(* ---- parsing ---- *)
+
+let parse_ok line =
+  match Obs_health.parse_rule line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" line e
+
+let test_parse_rule () =
+  let r = parse_ok "critical pool.chunk_order_violations == 0" in
+  Alcotest.(check bool) "critical" true (r.Obs_health.severity = Obs_health.Critical);
+  Alcotest.(check string) "selector" "pool.chunk_order_violations"
+    r.Obs_health.selector;
+  Alcotest.(check bool) "not optional" false r.Obs_health.optional;
+  Alcotest.(check (float 0.0)) "threshold" 0.0 r.Obs_health.threshold;
+  let r = parse_ok "warn gc.promoted_words? <= 5e8" in
+  Alcotest.(check bool) "warn" true (r.Obs_health.severity = Obs_health.Warn);
+  Alcotest.(check bool) "optional" true r.Obs_health.optional;
+  Alcotest.(check string) "? stripped" "gc.promoted_words"
+    r.Obs_health.selector;
+  Alcotest.(check (float 0.0)) "sci threshold" 5e8 r.Obs_health.threshold
+
+let test_parse_rejects () =
+  List.iter
+    (fun line ->
+      match Obs_health.parse_rule line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "";
+      "info x < 1";
+      "warn x ~ 1";
+      "warn x <";
+      "warn x < one";
+      "warn x < 1 extra";
+    ]
+
+let test_parse_document () =
+  let doc =
+    "# comment\n\nwarn a.b <= 1\n   # indented comment\ncritical c.d? != 0\n"
+  in
+  (match Obs_health.parse doc with
+  | Error e -> Alcotest.failf "doc: %s" e
+  | Ok rules -> Alcotest.(check int) "two rules" 2 (List.length rules));
+  match Obs_health.parse "warn a < 1\nbogus line\n" with
+  | Ok _ -> Alcotest.fail "accepted bogus line"
+  | Error e ->
+      Alcotest.(check bool) "error names line 2" true
+        (contains ~affix:"line 2" e)
+
+(* ---- resolution ---- *)
+
+let test_resolve () =
+  let snap = snap_of (registry ()) in
+  let get sel = Obs_health.resolve snap sel in
+  Alcotest.(check (option (float 0.0))) "counter" (Some 5.0) (get "gc.samples");
+  Alcotest.(check (option (float 0.0)))
+    "counter.count" (Some 5.0) (get "gc.samples.count");
+  Alcotest.(check (option (float 0.0)))
+    "gauge" (Some 1.25) (get "pool.busy_seconds");
+  Alcotest.(check (option (float 0.0)))
+    "hist bare = mean" (Some 2.5) (get "episode.elapsed");
+  Alcotest.(check (option (float 0.0)))
+    "hist.count" (Some 4.0) (get "episode.elapsed.count");
+  Alcotest.(check (option (float 0.0)))
+    "hist.sum" (Some 10.0) (get "episode.elapsed.sum");
+  Alcotest.(check (option (float 0.0)))
+    "hist.min" (Some 1.0) (get "episode.elapsed.min");
+  Alcotest.(check (option (float 0.0)))
+    "hist.max" (Some 4.0) (get "episode.elapsed.max");
+  Alcotest.(check (option (float 0.0))) "absent" None (get "no.such");
+  (* A gauge that was created but never set is nan: must not resolve. *)
+  let m = Obs_metrics.create () in
+  ignore (Obs_metrics.gauge m "unset");
+  Alcotest.(check (option (float 0.0)))
+    "nan gauge unresolved" None
+    (Obs_health.resolve (snap_of m) "unset")
+
+(* ---- evaluation ---- *)
+
+let rules_of text =
+  match Obs_health.parse text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "rules: %s" e
+
+let test_evaluate_verdicts () =
+  let entries = [ (None, snap_of (registry ())) ] in
+  let run text = Obs_health.evaluate ~rules:(rules_of text) entries in
+  let code text = Obs_health.exit_code (run text) in
+  Alcotest.(check int) "all pass" 0
+    (code "critical pool.chunk_order_violations == 0\nwarn gc.samples >= 1\n");
+  Alcotest.(check int) "warn fail" 1 (code "warn gc.samples >= 100\n");
+  Alcotest.(check int) "critical fail" 2 (code "critical gc.samples >= 100\n");
+  Alcotest.(check int) "critical dominates warn" 2
+    (code "warn gc.samples >= 1\ncritical episode.elapsed.max < 1\n");
+  Alcotest.(check int) "missing non-optional is warn-level" 1
+    (code "critical absent.metric == 0\n");
+  Alcotest.(check int) "missing optional is skipped" 0
+    (code "critical absent.metric? == 0\n");
+  let r = run "warn gc.samples >= 100\n" in
+  (match r.Obs_health.outcomes with
+  | [ (_, Obs_health.Fail { value; at }) ] ->
+      Alcotest.(check (float 0.0)) "offending value" 5.0 value;
+      Alcotest.(check bool) "no index on single snapshot" true (at = None)
+  | _ -> Alcotest.fail "expected one Fail outcome");
+  Alcotest.(check string) "verdict string" "warn"
+    (Obs_health.verdict_to_string r.Obs_health.verdict)
+
+let test_evaluate_over_ring () =
+  (* The rule must hold in every snapshot where it resolves; the first
+     violating frame is reported with its trial index. *)
+  let frame v =
+    let m = Obs_metrics.create () in
+    Obs_metrics.set (Obs_metrics.gauge m "g") v;
+    snap_of m
+  in
+  let entries =
+    [ (Some 512, frame 1.0); (Some 1024, frame 9.0); (Some 1536, frame 2.0) ]
+  in
+  let r = Obs_health.evaluate ~rules:(rules_of "warn g <= 5\n") entries in
+  (match r.Obs_health.outcomes with
+  | [ (_, Obs_health.Fail { value; at }) ] ->
+      Alcotest.(check (float 0.0)) "violating frame" 9.0 value;
+      Alcotest.(check (option int)) "its index" (Some 1024) at
+  | _ -> Alcotest.fail "expected Fail");
+  Alcotest.(check int) "entries counted" 3 r.Obs_health.entries;
+  let ok = Obs_health.evaluate ~rules:(rules_of "warn g <= 10\n") entries in
+  Alcotest.(check int) "holds everywhere" 0 (Obs_health.exit_code ok)
+
+let test_report_json () =
+  let entries = [ (None, snap_of (registry ())) ] in
+  let r =
+    Obs_health.evaluate
+      ~rules:(rules_of "warn gc.samples >= 100\ncritical absent? == 0\n")
+      entries
+  in
+  let j = Obs_health.report_to_json r in
+  match j with
+  | Jsonx.Obj fields ->
+      Alcotest.(check bool) "verdict warn" true
+        (List.assoc "verdict" fields = Jsonx.String "warn");
+      (match List.assoc "rules" fields with
+      | Jsonx.List [ Jsonx.Obj f1; Jsonx.Obj f2 ] ->
+          Alcotest.(check bool) "rule 1 failed" true
+            (List.assoc "status" f1 = Jsonx.String "fail");
+          Alcotest.(check bool) "rule 2 skipped" true
+            (List.assoc "status" f2 = Jsonx.String "skipped")
+      | _ -> Alcotest.fail "rules array shape")
+  | _ -> Alcotest.fail "object expected"
+
+(* ---- Prometheus label escaping and exposition round-trips ---- *)
+
+let test_label_escaping () =
+  let cases =
+    [
+      ("plain", "plain");
+      ("with \"quotes\"", "with \\\"quotes\\\"");
+      ("back\\slash", "back\\\\slash");
+      ("line\nbreak", "line\\nbreak");
+      ("caf\xc3\xa9", "caf\xc3\xa9");
+      ("", "");
+    ]
+  in
+  List.iter
+    (fun (raw, expected) ->
+      Alcotest.(check string) raw expected (Obs_export.escape_label_value raw))
+    cases
+
+let test_labeled_exposition_validates () =
+  let lines =
+    Obs_export.prometheus_labeled ~name:"pool_domain_busy_seconds"
+      ~help:"Per-domain busy time." ~typ:"gauge"
+      [
+        ([ ("domain", "0") ], 1.5);
+        ([ ("domain", "1"); ("host", "a\"b\\c\nd") ], 0.25);
+      ]
+  in
+  (match Obs_export.validate_prometheus lines with
+  | Ok n -> Alcotest.(check int) "two samples" 2 n
+  | Error e -> Alcotest.failf "labeled exposition rejected: %s" e);
+  (* The escaped value survives verbatim on its line. *)
+  Alcotest.(check bool) "escapes rendered" true
+    (List.exists (fun l -> contains ~affix:"host=\"a\\\"b\\\\c\\nd\"" l) lines)
+
+let test_gc_pool_exposition_validates () =
+  (* The registry a --resource --jobs N run produces: gc.* and pool.*
+     series through the standard renderer, plus labeled per-domain
+     series appended — the composite must still parse. *)
+  let m = registry () in
+  Obs_metrics.set (Obs_metrics.gauge m "gc.heap_words") 226962.0;
+  Obs_metrics.set (Obs_metrics.gauge m "gc.minor_words") 607865.0;
+  let lines =
+    Obs_export.prometheus m
+    @ Obs_export.prometheus_labeled ~name:"pool_domain_chunks"
+        ~help:"Chunks executed per domain." ~typ:"gauge"
+        [ ([ ("domain", "0") ], 3.0); ([ ("domain", "1") ], 1.0) ]
+  in
+  match Obs_export.validate_prometheus lines with
+  | Ok n -> Alcotest.(check bool) "samples present" true (n > 5)
+  | Error e -> Alcotest.failf "composite exposition rejected: %s" e
+
+let () =
+  Alcotest.run "health"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "rule line" `Quick test_parse_rule;
+          Alcotest.test_case "rejects" `Quick test_parse_rejects;
+          Alcotest.test_case "document" `Quick test_parse_document;
+        ] );
+      ("resolve", [ Alcotest.test_case "selectors" `Quick test_resolve ]);
+      ( "evaluate",
+        [
+          Alcotest.test_case "verdicts and exit codes" `Quick
+            test_evaluate_verdicts;
+          Alcotest.test_case "snapshot ring" `Quick test_evaluate_over_ring;
+          Alcotest.test_case "json report" `Quick test_report_json;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "labeled series validate" `Quick
+            test_labeled_exposition_validates;
+          Alcotest.test_case "gc/pool composite validates" `Quick
+            test_gc_pool_exposition_validates;
+        ] );
+    ]

@@ -158,6 +158,24 @@ let test_r8 () =
   check_rules "suppressed" []
     (lint "let now () = (Unix.time () [@lint.allow \"R8\"])\n")
 
+let test_r9 () =
+  check_rules "Gc.stat in lib" [ "R9" ]
+    (lint "let words () = (Gc.stat ()).Gc.heap_words\n");
+  check_rules "Gc.quick_stat in bin" [ "R9" ]
+    (lint ~path:"bin/fixture.ml"
+       "let minor () = (Gc.quick_stat ()).Gc.minor_words\n");
+  check_rules "Gc.counters in lib" [ "R9" ]
+    (lint "let c () = Gc.counters ()\n");
+  check_rules "obs_resource exempt" []
+    (lint ~path:"lib/obs/obs_resource.ml"
+       "let words () = (Gc.quick_stat ()).Gc.minor_words\n");
+  (* The rest of Gc stays available — only the stats probes are fenced. *)
+  check_rules "Gc.compact fine" [] (lint "let go () = Gc.compact ()\n");
+  check_rules "Gc.full_major fine" []
+    (lint "let go () = Gc.full_major ()\n");
+  check_rules "suppressed" []
+    (lint "let s () = (Gc.quick_stat () [@lint.allow \"R9\"])\n")
+
 (* ---- malformed suppression payloads, parse errors, baseline ---- *)
 
 let test_malformed_allow () =
@@ -194,7 +212,7 @@ let test_baseline_roundtrip () =
 
 let test_rule_metadata_complete () =
   Alcotest.(check (list string))
-    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
+    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9" ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
 let () =
@@ -220,6 +238,7 @@ let () =
       ("r6", [ Alcotest.test_case "Obj escape hatches" `Quick test_r6 ]);
       ("r7", [ Alcotest.test_case "raw Domain.spawn" `Quick test_r7 ]);
       ("r8", [ Alcotest.test_case "wall-clock reads" `Quick test_r8 ]);
+      ("r9", [ Alcotest.test_case "direct Gc stats" `Quick test_r9 ]);
       ( "machinery",
         [
           Alcotest.test_case "malformed allow" `Quick test_malformed_allow;

@@ -86,6 +86,85 @@ let test_run_front_end () =
   Alcotest.(check int) "inline" 4950 serial;
   Alcotest.(check int) "transient pool" 4950 via_domains
 
+(* ---- utilization accounting ---- *)
+
+let test_utilization_accounting () =
+  Domain_pool.with_pool ~domains:3 (fun p ->
+      Domain_pool.parallel_for p ~chunks:200 (fun _ -> ());
+      Domain_pool.parallel_for p ~chunks:57 (fun _ -> ());
+      let stats = Domain_pool.utilization p in
+      Alcotest.(check int) "one stat per domain" 3 (Array.length stats);
+      let chunks =
+        Array.fold_left (fun a d -> a + d.Domain_pool.d_chunks) 0 stats
+      in
+      (* Conservation: every submitted chunk executed exactly once,
+         whichever domain claimed it. *)
+      Alcotest.(check int) "chunks conserved" 257 chunks;
+      Alcotest.(check int) "runs counted" 2 (Domain_pool.runs p);
+      Alcotest.(check int) "no order violations" 0
+        (Domain_pool.chunk_order_violations p);
+      Array.iteri
+        (fun i d ->
+          Alcotest.(check int) "stat is its own domain" i
+            d.Domain_pool.d_domain;
+          let nonneg label v =
+            Alcotest.(check bool) (Printf.sprintf "domain %d %s" i label)
+              true
+              (Float.is_finite v && v >= 0.0)
+          in
+          nonneg "busy" d.Domain_pool.d_busy_s;
+          nonneg "idle" d.Domain_pool.d_idle_s;
+          nonneg "wait" d.Domain_pool.d_queue_wait_s)
+        stats)
+
+let test_publish_gauges () =
+  let m = Obs.Metrics.create () in
+  Domain_pool.with_pool ~domains:2 (fun p ->
+      Domain_pool.parallel_for p ~chunks:10 (fun _ -> ());
+      Domain_pool.note_merge ~pool:p ~seconds:0.25 ();
+      Domain_pool.publish p m);
+  let snap = Obs.Metrics.snapshot m in
+  let g name = List.assoc name snap.Obs.Metrics.snap_gauges in
+  exact "pool.domains" 2.0 (g "pool.domains");
+  exact "pool.runs" 1.0 (g "pool.runs");
+  exact "pool.chunks" 10.0 (g "pool.chunks");
+  exact "pool.chunk_order_violations" 0.0 (g "pool.chunk_order_violations");
+  exact "pool.merge_seconds" 0.25 (g "pool.merge_seconds");
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " finite and non-negative") true
+        (let v = g name in
+         Float.is_finite v && v >= 0.0))
+    [ "pool.busy_seconds"; "pool.idle_seconds"; "pool.queue_wait_seconds" ]
+
+let test_resource_sampling_jobs_invariant () =
+  (* gc.samples counts chunk boundaries plus the final capture: the
+     chunk grid is fixed by trials alone (DESIGN.md §10) and the
+     sampler ticks in the serial gather loop on the caller, so the
+     count cannot depend on the domain count. 2048 trials = 4 chunks. *)
+  let samples jobs =
+    let m = Obs.Metrics.create () in
+    let res = Obs.Resource.create m in
+    let go pool =
+      ignore
+        (Monte_carlo.estimate
+           ~obs:(Obs.create ~metrics:m ())
+           ?pool ~resource:res ~trials:2048 uniform_lf ~c:1.0 ~schedule
+           ~seed:11L)
+    in
+    (match jobs with
+    | 1 -> go None
+    | n -> Domain_pool.with_pool ~domains:n (fun p -> go (Some p)));
+    ( List.assoc "gc.samples" (Obs.Metrics.snapshot m).Obs.Metrics.snap_counters,
+      Obs.Resource.samples res )
+  in
+  let c1, s1 = samples 1 in
+  let c3, s3 = samples 3 in
+  Alcotest.(check int) "counter = accessor (serial)" s1 c1;
+  Alcotest.(check int) "counter = accessor (pooled)" s3 c3;
+  Alcotest.(check int) "chunks + final capture" 5 c1;
+  Alcotest.(check int) "jobs-invariant" c1 c3
+
 (* ---- Prng.split_n: the chunk-stream grid ---- *)
 
 let test_split_n () =
@@ -295,6 +374,14 @@ let () =
             test_exception_propagation;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
           Alcotest.test_case "run front-end" `Quick test_run_front_end;
+        ] );
+      ( "utilization",
+        [
+          Alcotest.test_case "accounting invariants" `Quick
+            test_utilization_accounting;
+          Alcotest.test_case "published gauges" `Quick test_publish_gauges;
+          Alcotest.test_case "resource sampling jobs-invariant" `Quick
+            test_resource_sampling_jobs_invariant;
         ] );
       ("prng", [ Alcotest.test_case "split_n grid" `Quick test_split_n ]);
       ( "monte-carlo",
