@@ -29,7 +29,7 @@ nonzero exit code. bin/ may print (R4 is lib/-scoped) but not cast.
 JSON output carries the same findings plus counters.
 
   $ ../bin/cslint.exe --json bin
-  {"findings":[{"rule":"R6","file":"bin/tool.ml","line":2,"col":14,"message":"Obj.magic/Obj.repr defeat the type system; restructure the types"}],"total":1,"suppressed":0,"baselined":0,"errors":[]}
+  {"findings":[{"rule":"R6","file":"bin/tool.ml","line":2,"col":14,"message":"Obj.magic/Obj.repr defeat the type system; restructure the types"}],"warnings":[],"total":1,"suppressed":0,"baselined":0,"errors":[]}
   [1]
 
 Suppression: [@lint.allow "Rn"] silences a finding at that node, and the
@@ -75,3 +75,107 @@ mistake a broken tree for a clean one.
   lib/broken.ml:1:0: R5 missing interface: every lib/**/*.ml needs a matching .mli
   cslint: 1 finding(s), 0 baselined, 0 suppressed, 1 error(s)
   [2]
+
+The deep pass (--deep) builds a whole-program call graph, infers
+per-binding effect sets, and enforces R10 (effect-free planning core),
+R11 (no toplevel-mutable capture in Domain_pool closures) and R12 (the
+.cseffects manifest matches the inferred signatures). Start from a
+clean core.
+
+  $ rm lib/broken.ml lib/dirty.ml
+  $ mkdir -p lib/sched lib/parallel
+  $ cat > lib/parallel/domain_pool.ml << 'EOF'
+  > let run ~chunks f = Domain.join (Domain.spawn (fun () -> f chunks))
+  > EOF
+  $ cat > lib/parallel/domain_pool.mli << 'EOF'
+  > val run : chunks:int -> (int -> 'a) -> 'a
+  > EOF
+  $ cat > lib/sched/plan.ml << 'EOF'
+  > let plan c = c *. 2.0
+  > let fan n = Domain_pool.run ~chunks:n (fun i -> float_of_int i)
+  > EOF
+  $ cat > lib/sched/plan.mli << 'EOF'
+  > val plan : float -> float
+  > val fan : int -> float
+  > EOF
+
+Without a committed manifest the deep run fails with R12 and points at
+the regeneration command.
+
+  $ ../bin/cslint.exe --deep lib
+  .cseffects:1:0: R12 effects manifest .cseffects not found; review the inferred table (cslint effects) and write it with cslint --deep --write-effects
+  cslint: 1 finding(s), 0 baselined, 1 suppressed, 0 error(s)
+  [1]
+
+The effects subcommand prints the inferred table for review: the core
+is pure apart from the domain effect it borrows from Domain_pool.
+
+  $ ../bin/cslint.exe effects lib/sched lib/parallel
+  Domain_pool (lib/parallel/domain_pool.ml): domain
+    run: domain
+  Plan (lib/sched/plan.ml): domain
+    fan: domain
+    plan: pure
+
+--write-effects locks the reviewed table; the deep run is then clean.
+
+  $ ../bin/cslint.exe --deep --write-effects
+  cslint: wrote effect signatures for 3 module(s) to .cseffects
+  $ ../bin/cslint.exe --deep lib
+  cslint: clean (0 new, 0 baselined, 1 suppressed)
+
+Dirty the core: a wall-clock read and a Domain_pool closure writing a
+toplevel ref. The shallow rules (R8), the interprocedural rules (R10
+with its acquisition chain, R11) and the manifest drift (R12) all fire
+in one parse.
+
+  $ cat >> lib/sched/plan.ml << 'EOF'
+  > let stamp () = Unix.gettimeofday ()
+  > let plan_stamped c = plan c +. stamp ()
+  > let tally = ref 0.0
+  > let sum n = Domain_pool.run ~chunks:n (fun i -> tally := float_of_int i)
+  > EOF
+  $ cat >> lib/sched/plan.mli << 'EOF'
+  > val stamp : unit -> float
+  > val plan_stamped : float -> float
+  > val tally : float ref
+  > val sum : int -> unit
+  > EOF
+  $ ../bin/cslint.exe --deep lib
+  lib/sched/plan.ml:1:0: R12 module Plan acquired ambient effect(s) clock global-mut not recorded in .cseffects; burn the effect down or re-lock the manifest with --write-effects after review
+  lib/sched/plan.ml:3:0: R10 planning-core binding Plan.stamp is not effect-free: reaches clock via Plan.stamp -> Unix.gettimeofday (lib/sched/plan.ml:3)
+  lib/sched/plan.ml:3:15: R8 Unix.gettimeofday reads the wall clock directly; route timing through Obs_clock
+  lib/sched/plan.ml:4:0: R10 planning-core binding Plan.plan_stamped is not effect-free: reaches clock via Plan.plan_stamped -> Plan.stamp -> Unix.gettimeofday (lib/sched/plan.ml:3)
+  lib/sched/plan.ml:6:0: R10 planning-core binding Plan.sum is not effect-free: reaches global-mut via Plan.sum -> touches toplevel mutable Plan.tally (lib/sched/plan.ml:6)
+  lib/sched/plan.ml:6:48: R11 closure passed to Domain_pool.run captures toplevel mutable Plan.tally; pass state through chunk-local arguments and merge on the caller
+  lib/sched/plan.ml:6:48: R11 closure passed to Domain_pool.run mutates toplevel state Plan.tally via :=; chunks must only write state disjoint per chunk index
+  cslint: 7 finding(s), 0 baselined, 1 suppressed, 0 error(s)
+  [1]
+
+SARIF 2.1.0 export for CI annotations: the file is validated against
+the emitted grammar subset before it is written.
+
+  $ ../bin/cslint.exe --deep --sarif out.sarif lib > /dev/null
+  [1]
+  $ grep -c '"version":"2.1.0"' out.sarif
+  1
+  $ grep -c '"ruleId":"R11"' out.sarif
+  1
+
+M1 reports suppressions that no longer suppress anything; stale allows
+rot into misleading documentation. --allow-unused-allows downgrades
+the report to a warning for transitional trees.
+
+  $ cat > lib/stale.ml << 'EOF'
+  > let f x = (x + 1) [@lint.allow "R1"]
+  > EOF
+  $ cat > lib/stale.mli << 'EOF'
+  > val f : int -> int
+  > EOF
+  $ ../bin/cslint.exe lib/stale.ml lib/stale.mli
+  lib/stale.ml:1:18: M1 unused [@lint.allow "R1"]: no R1 finding falls inside its span; delete the stale suppression
+  cslint: 1 finding(s), 0 baselined, 0 suppressed, 0 error(s)
+  [1]
+  $ ../bin/cslint.exe --allow-unused-allows lib/stale.ml lib/stale.mli
+  warning: lib/stale.ml:1:18: M1 unused [@lint.allow "R1"]: no R1 finding falls inside its span; delete the stale suppression
+  cslint: clean (0 new, 0 baselined, 0 suppressed)

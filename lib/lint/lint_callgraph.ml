@@ -1,0 +1,678 @@
+open Parsetree
+
+type alias =
+  | Alias_path of Longident.t
+  | Alias_functor of Longident.t
+  | Alias_opaque
+
+type closure_arg = {
+  c_loc : Location.t;
+  c_refs : (Longident.t * Location.t) list;
+  c_muts : (Longident.t * Location.t * string) list;
+  c_named : Longident.t option;
+}
+
+type pool_site = {
+  p_fn : string;
+  p_loc : Location.t;
+  p_args : closure_arg list;
+}
+
+type binding = {
+  b_name : string;
+  b_loc : Location.t;
+  b_start : int;
+  b_end : int;
+  b_refs : (Longident.t * Location.t) list;
+  b_muts : (Longident.t * Location.t * string) list;
+  b_pool_sites : pool_site list;
+}
+
+type modul = {
+  m_name : string;
+  m_path : string;
+  m_mutables : (string * Location.t) list;
+  m_arrays : (string * Location.t) list;
+  m_aliases : (string * alias) list;
+  m_opens : string list;
+  m_bindings : binding list;
+}
+
+type entry = {
+  e_mod : modul;
+  e_bindings : (string, unit) Hashtbl.t;
+  e_mutables : (string, unit) Hashtbl.t;
+  e_arrays : (string, unit) Hashtbl.t;
+}
+
+type t = { mods : modul list; index : (string, entry) Hashtbl.t; dups : string list }
+
+let module_name_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+
+(* Flatten a path to its segments; a [Lapply] anywhere marks the path
+   as a functor application (only the functor's head survives). *)
+let rec flat = function
+  | Longident.Lident s -> ([ s ], false)
+  | Longident.Ldot (l, s) ->
+      let segs, ap = flat l in
+      (segs @ [ s ], ap)
+  | Longident.Lapply (f, _) ->
+      let segs, _ = flat f in
+      (segs, true)
+
+let dotted lid = String.concat "." (fst (flat lid))
+
+(* ------------------------------------------------------------------ *)
+(* Seed tables                                                         *)
+
+(* Stdlib modules whose members are effect-free unless the primitive
+   seed table below says otherwise. Everything not listed here and not
+   parsed from the tree is an unknown callee. The compiler-libs names at
+   the end are what lib/lint itself links against. *)
+let whitelist =
+  [
+    "List"; "ListLabels"; "Array"; "ArrayLabels"; "Seq"; "String";
+    "StringLabels"; "Bytes"; "BytesLabels"; "Char"; "Uchar"; "Int"; "Int32";
+    "Int64"; "Nativeint"; "Float"; "Bool"; "Unit"; "Option"; "Result";
+    "Either"; "Fun"; "Lazy"; "Map"; "Set"; "Hashtbl"; "Queue"; "Stack";
+    "Buffer"; "Printf"; "Format"; "Scanf"; "Filename"; "Sys"; "Stdlib";
+    "Arg"; "Lexing"; "Parsing"; "Printexc"; "Atomic"; "Mutex"; "Condition";
+    "Semaphore"; "Domain"; "Gc"; "Random"; "Unix"; "Obj"; "Marshal";
+    "Digest"; "Complex"; "Bigarray"; "Weak"; "Ephemeron"; "Callback";
+    "In_channel"; "Out_channel"; "Not_found"; "Exit";
+    "Parse"; "Location"; "Longident"; "Ast_iterator"; "Ast_helper";
+    "Parsetree"; "Asttypes"; "Pprintast"; "Warnings";
+  ]
+
+let whitelisted head = List.mem head whitelist
+
+let io_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes"; "read_line"; "read_int"; "read_int_opt";
+    "read_float"; "read_float_opt"; "input_line"; "input_char";
+    "input_byte"; "input_value"; "really_input"; "really_input_string";
+    "output_string"; "output_char"; "output_byte"; "output_value";
+    "output_bytes"; "output_substring"; "open_in"; "open_in_bin";
+    "open_out"; "open_out_bin"; "close_in"; "close_out"; "flush";
+    "flush_all"; "stdin"; "stdout"; "stderr"; "exit"; "at_exit";
+  ]
+
+let sys_io =
+  [
+    "command"; "getenv"; "getenv_opt"; "file_exists"; "is_directory";
+    "is_regular_file"; "readdir"; "remove"; "rename"; "getcwd"; "chdir";
+    "mkdir"; "rmdir"; "set_signal"; "signal";
+  ]
+
+let gc_probes =
+  [
+    "stat"; "quick_stat"; "counters"; "minor_words"; "major"; "minor";
+    "full_major"; "major_slice"; "compact"; "set"; "create_alarm";
+    "delete_alarm"; "finalise"; "finalise_last";
+  ]
+
+(* One seeded primitive: [head :: rest] is the alias-chased path. *)
+let prim_of_path head rest : (Lint_effect.t * string) option =
+  let full = String.concat "." (head :: rest) in
+  match (head, rest) with
+  | "Unix", [ ("gettimeofday" | "time") ] -> Some (Lint_effect.Clock, full)
+  | "Sys", [ "time" ] -> Some (Lint_effect.Clock, full)
+  | "Random", _ -> Some (Lint_effect.Random, full)
+  | "Gc", [ p ] when List.mem p gc_probes -> Some (Lint_effect.Gc, full)
+  | "Domain", [ "spawn" ] -> Some (Lint_effect.Domain, full)
+  | ("In_channel" | "Out_channel"), _ -> Some (Lint_effect.Io, full)
+  (* fprintf-family functions write to the channel/formatter the caller
+     passes: the effect belongs to whoever supplied it, not to the
+     printer — only the ambient-channel printers are io. *)
+  | "Printf", [ ("printf" | "eprintf") ] -> Some (Lint_effect.Io, full)
+  | "Format", [ ("printf" | "eprintf") ] -> Some (Lint_effect.Io, full)
+  | "Sys", [ p ] when List.mem p sys_io -> Some (Lint_effect.Io, full)
+  | "Filename", [ ("temp_file" | "open_temp_file" | "temp_dir"
+                  | "set_temp_dir_name") ] ->
+      Some (Lint_effect.Io, full)
+  | "Unix", _ -> Some (Lint_effect.Io, full)
+  | "Marshal", [ ("to_channel" | "from_channel") ] ->
+      Some (Lint_effect.Io, full)
+  | "Scanf", [ ("scanf" | "kscanf") ] -> Some (Lint_effect.Io, full)
+  | _ -> None
+
+(* Functions that mutate one of their arguments in place. When such a
+   call's identifier argument resolves to a toplevel mutable or array,
+   the caller gets [Global_mut]. *)
+let mutating_fns =
+  [
+    ("Array", [ "set"; "unsafe_set"; "fill"; "blit"; "sort"; "stable_sort";
+                "fast_sort"; "shuffle" ]);
+    ("Bytes", [ "set"; "unsafe_set"; "fill"; "blit"; "blit_string" ]);
+    ("Hashtbl", [ "add"; "replace"; "remove"; "reset"; "clear";
+                  "filter_map_inplace" ]);
+    ("Buffer", [ "add_string"; "add_char"; "add_bytes"; "add_substring";
+                 "add_subbytes"; "add_buffer"; "add_channel"; "clear";
+                 "reset"; "truncate" ]);
+    ("Queue", [ "push"; "add"; "pop"; "take"; "clear"; "transfer" ]);
+    ("Stack", [ "push"; "pop"; "clear" ]);
+    ("Atomic", [ "set"; "exchange"; "compare_and_set"; "fetch_and_add";
+                 "incr"; "decr" ]);
+  ]
+
+(* Toplevel [let]s whose right-hand side is one of these constructors
+   introduce module-level mutable state. [`Shared] names are tainted on
+   any reference; [`Table] names (arrays/bytes, usually precomputed
+   read-only tables) only on mutation. *)
+let ctor_kind head rest =
+  match (head, rest) with
+  | "ref", [] -> Some `Shared
+  | ( ("Hashtbl" | "Queue" | "Stack" | "Buffer" | "Atomic" | "Weak"),
+      [ ("create" | "make") ] ) ->
+      Some `Shared
+  | "Array", [ ("make" | "create" | "create_float" | "init" | "of_list"
+               | "copy" | "make_matrix" | "concat" | "append") ] ->
+      Some `Table
+  | "Bytes", [ ("create" | "make" | "of_string") ] -> Some `Table
+  | _ -> None
+
+let pool_fns = [ "parallel_for"; "map"; "map_reduce"; "run" ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-file harvesting                                                 *)
+
+let pattern_vars pat =
+  let out = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> out := txt :: !out
+          | Ppat_alias (_, { txt; _ }) -> out := txt :: !out
+          | _ -> ());
+          default.pat it p);
+    }
+  in
+  iter.pat iter pat;
+  List.rev !out
+
+let rec strip_expr e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> strip_expr e
+  | Pexp_coerce (e, _, _) -> strip_expr e
+  | _ -> e
+
+(* Chase module aliases on the head segment of a path. Returns the
+   rewritten segments, or a terminal classification for functor-made
+   and opaque aliases. *)
+let chase_aliases aliases segs =
+  let rec go fuel segs =
+    if fuel = 0 then `Opaque
+    else
+      match segs with
+      | [] -> `Segs []
+      | head :: rest -> (
+          match List.assoc_opt head aliases with
+          | None -> `Segs segs
+          | Some (Alias_path lid) ->
+              let tsegs, ap = flat lid in
+              if ap then `Functor (List.hd tsegs)
+              else go (fuel - 1) (tsegs @ rest)
+          | Some (Alias_functor lid) ->
+              let tsegs, _ = flat lid in
+              `Functor (List.hd tsegs)
+          | Some Alias_opaque -> `Opaque)
+  in
+  go 8 segs
+
+type harvest = {
+  mutable h_mutables : (string * Location.t) list;
+  mutable h_arrays : (string * Location.t) list;
+  mutable h_aliases : (string * alias) list;
+  mutable h_opens : string list;
+  (* binding skeleton + its body, refs collected in a second pass once
+     every alias in the file is known *)
+  mutable h_raw : (binding * expression) list;
+}
+
+let classify_ctor h expr =
+  match (strip_expr expr).pexp_desc with
+  | Pexp_array _ -> Some `Table
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      let segs, ap = flat txt in
+      if ap then None
+      else
+        match chase_aliases h.h_aliases segs with
+        | `Segs (head :: rest) -> ctor_kind head rest
+        | `Segs [] | `Functor _ | `Opaque -> None)
+  | _ -> None
+
+let harvest_structure str =
+  let h =
+    { h_mutables = []; h_arrays = []; h_aliases = []; h_opens = []; h_raw = [] }
+  in
+  let add_binding ~prefix vb_like_loc start_end names expr =
+    let name = match names with [] -> "<init>" | n :: _ -> prefix ^ n in
+    let s, e = start_end in
+    let b =
+      {
+        b_name = name;
+        b_loc = vb_like_loc;
+        b_start = s;
+        b_end = e;
+        b_refs = [];
+        b_muts = [];
+        b_pool_sites = [];
+      }
+    in
+    h.h_raw <- (b, expr) :: h.h_raw;
+    names
+  in
+  let rec walk prefix str =
+    List.iter
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let vars = pattern_vars vb.pvb_pat in
+                let names =
+                  add_binding ~prefix vb.pvb_loc
+                    ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                      vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+                    vars vb.pvb_expr
+                in
+                match classify_ctor h vb.pvb_expr with
+                | Some `Shared ->
+                    h.h_mutables <-
+                      h.h_mutables
+                      @ List.map
+                          (fun v -> (prefix ^ v, vb.pvb_loc))
+                          names
+                | Some `Table ->
+                    h.h_arrays <-
+                      h.h_arrays
+                      @ List.map (fun v -> (prefix ^ v, vb.pvb_loc)) names
+                | None -> ())
+              vbs
+        | Pstr_module mb -> (
+            match mb.pmb_name.txt with
+            | None -> ()
+            | Some n -> (
+                let full = prefix ^ n in
+                match mb.pmb_expr.pmod_desc with
+                | Pmod_ident { txt; _ } ->
+                    h.h_aliases <- (full, Alias_path txt) :: h.h_aliases
+                | Pmod_apply (f, _) -> (
+                    match f.pmod_desc with
+                    | Pmod_ident { txt; _ } ->
+                        h.h_aliases <-
+                          (full, Alias_functor txt) :: h.h_aliases
+                    | _ -> h.h_aliases <- (full, Alias_opaque) :: h.h_aliases)
+                | Pmod_structure s -> walk (full ^ ".") s
+                | _ -> h.h_aliases <- (full, Alias_opaque) :: h.h_aliases))
+        | Pstr_open
+            { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } ->
+            h.h_opens <- h.h_opens @ [ dotted txt ]
+        | Pstr_eval (e, _) ->
+            ignore
+              (add_binding ~prefix si.pstr_loc
+                 ( si.pstr_loc.Location.loc_start.Lexing.pos_cnum,
+                   si.pstr_loc.Location.loc_end.Lexing.pos_cnum )
+                 [] e)
+        | _ -> ())
+      str
+  in
+  walk "" str;
+  h
+
+(* Names let-bound anywhere inside a body (local functions, fun
+   parameters, match variables). A reference to a bare [Lident] in the
+   local set is lexical, not ambient — [Uniqueness.probe]'s local
+   [flush] closure must not read as [Stdlib.flush]. The approximation
+   is body-wide rather than scope-exact (a syntactic analyzer has no
+   environments), which can hide a same-named toplevel sibling; the
+   trade is documented in DESIGN.md §13. *)
+let local_names expr =
+  let tbl = Hashtbl.create 32 in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              Hashtbl.replace tbl txt ()
+          | _ -> ());
+          default.pat it p);
+    }
+  in
+  iter.expr iter expr;
+  tbl
+
+(* Second pass: collect value references, mutation sites, and
+   Domain_pool call sites from one binding's body. *)
+let collect_refs aliases expr =
+  let locals = local_names expr in
+  let shadowed = function
+    | Longident.Lident x -> Hashtbl.mem locals x
+    | _ -> false
+  in
+  let refs = ref [] in
+  let muts = ref [] in
+  let pools = ref [] in
+  let pool_target fn =
+    let segs, ap = flat fn in
+    if ap then None
+    else
+      match chase_aliases aliases segs with
+      | `Segs segs when List.length segs >= 2 -> (
+          match (List.hd segs, List.rev segs) with
+          | "Domain_pool", last :: _ when List.mem last pool_fns -> Some last
+          | _ -> None)
+      | _ -> None
+  in
+  let mutating fn =
+    match fn with
+    | Longident.Lident (":=" as op) -> Some op
+    | Longident.Lident (("incr" | "decr") as op) -> Some op
+    | _ -> (
+        let segs, ap = flat fn in
+        if ap then None
+        else
+          match chase_aliases aliases segs with
+          | `Segs [ m; f ] -> (
+              match List.assoc_opt m mutating_fns with
+              | Some fns when List.mem f fns -> Some (m ^ "." ^ f)
+              | _ -> None)
+          | _ -> None)
+  in
+  let note_mutation fname args =
+    List.iter
+      (fun (_, a) ->
+        match (strip_expr a).pexp_desc with
+        | Pexp_ident { txt; loc } when not (shadowed txt) ->
+            muts := (txt, loc, fname) :: !muts
+        | _ -> ())
+      args
+  in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+              if not (shadowed txt) then refs := (txt, loc) :: !refs
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = fn; _ }; _ }, args)
+            -> (
+              (match mutating fn with
+              | Some fname -> note_mutation fname args
+              | None -> ());
+              match pool_target fn with
+              | Some pfn ->
+                  let arg_info (_, a) =
+                    let a_refs = ref [] and a_muts = ref [] in
+                    let d = Ast_iterator.default_iterator in
+                    let sub =
+                      {
+                        d with
+                        expr =
+                          (fun it e ->
+                            (match e.pexp_desc with
+                            | Pexp_ident { txt; loc } ->
+                                if not (shadowed txt) then
+                                  a_refs := (txt, loc) :: !a_refs
+                            | Pexp_apply
+                                ( {
+                                    pexp_desc = Pexp_ident { txt = fn; _ };
+                                    _;
+                                  },
+                                  args ) -> (
+                                match mutating fn with
+                                | Some fname ->
+                                    List.iter
+                                      (fun (_, x) ->
+                                        match (strip_expr x).pexp_desc with
+                                        | Pexp_ident { txt; loc }
+                                          when not (shadowed txt) ->
+                                            a_muts :=
+                                              (txt, loc, fname) :: !a_muts
+                                        | _ -> ())
+                                      args
+                                | None -> ());
+                            | _ -> ());
+                            d.expr it e);
+                      }
+                    in
+                    sub.expr sub a;
+                    {
+                      c_loc = a.pexp_loc;
+                      c_refs = List.rev !a_refs;
+                      c_muts = List.rev !a_muts;
+                      c_named =
+                        (match (strip_expr a).pexp_desc with
+                        | Pexp_ident { txt; _ } -> Some txt
+                        | _ -> None);
+                    }
+                  in
+                  pools :=
+                    {
+                      p_fn = pfn;
+                      p_loc = e.pexp_loc;
+                      p_args = List.map arg_info args;
+                    }
+                    :: !pools
+              | None -> ())
+          | _ -> ());
+          default.expr it e);
+    }
+  in
+  iter.expr iter expr;
+  (List.rev !refs, List.rev !muts, List.rev !pools)
+
+let build_module path str =
+  let h = harvest_structure str in
+  let aliases = h.h_aliases in
+  let bindings =
+    List.rev_map
+      (fun (b, expr) ->
+        let refs, muts, pools = collect_refs aliases expr in
+        { b with b_refs = refs; b_muts = muts; b_pool_sites = pools })
+      h.h_raw
+  in
+  {
+    m_name = module_name_of_path path;
+    m_path = path;
+    m_mutables = h.h_mutables;
+    m_arrays = h.h_arrays;
+    m_aliases = aliases;
+    m_opens = h.h_opens;
+    m_bindings = bindings;
+  }
+
+let build parsed =
+  let index = Hashtbl.create 64 in
+  let dups = ref [] in
+  List.iter
+    (fun (path, str) ->
+      let m = build_module path str in
+      match Hashtbl.find_opt index m.m_name with
+      | Some prior ->
+          (* merge: keep the first file's path, union the tables *)
+          dups := m.m_name :: !dups;
+          let merged =
+            {
+              prior.e_mod with
+              m_mutables = prior.e_mod.m_mutables @ m.m_mutables;
+              m_arrays = prior.e_mod.m_arrays @ m.m_arrays;
+              m_aliases = prior.e_mod.m_aliases @ m.m_aliases;
+              m_opens = prior.e_mod.m_opens @ m.m_opens;
+              m_bindings = prior.e_mod.m_bindings @ m.m_bindings;
+            }
+          in
+          List.iter
+            (fun b -> Hashtbl.replace prior.e_bindings b.b_name ())
+            m.m_bindings;
+          List.iter
+            (fun (n, _) -> Hashtbl.replace prior.e_mutables n ())
+            m.m_mutables;
+          List.iter
+            (fun (n, _) -> Hashtbl.replace prior.e_arrays n ())
+            m.m_arrays;
+          Hashtbl.replace index m.m_name { prior with e_mod = merged }
+      | None ->
+          let e_bindings = Hashtbl.create 16 in
+          List.iter
+            (fun b -> Hashtbl.replace e_bindings b.b_name ())
+            m.m_bindings;
+          let e_mutables = Hashtbl.create 4 in
+          List.iter
+            (fun (n, _) -> Hashtbl.replace e_mutables n ())
+            m.m_mutables;
+          let e_arrays = Hashtbl.create 4 in
+          List.iter (fun (n, _) -> Hashtbl.replace e_arrays n ()) m.m_arrays;
+          Hashtbl.replace index m.m_name
+            { e_mod = m; e_bindings; e_mutables; e_arrays })
+    parsed;
+  let all =
+    Hashtbl.fold (fun _ e acc -> e.e_mod :: acc) index []
+    |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+  in
+  { mods = all; index; dups = List.sort_uniq String.compare !dups }
+
+let modules t = t.mods
+let find_module t name = Option.map (fun e -> e.e_mod) (Hashtbl.find_opt t.index name)
+let duplicates t = t.dups
+
+type resolved =
+  | Edge of string * string
+  | Module_fallback of string
+  | Mutable_touch of string * string * string
+  | Prim of Lint_effect.t * string
+  | Pure
+  | Unknown_callee of string
+
+(* Successively shorter nesting prefixes: "A.B" -> ["A.B."; "A."; ""] *)
+let prefix_chain prefix =
+  match prefix with
+  | None -> [ "" ]
+  | Some p ->
+      let segs = String.split_on_char '.' p in
+      let rec go acc = function
+        | [] -> acc @ [ "" ]
+        | segs ->
+            go (acc @ [ String.concat "." segs ^ "." ])
+              (List.rev (List.tl (List.rev segs)))
+      in
+      go [] segs
+
+let lookup_in t mname key =
+  match Hashtbl.find_opt t.index mname with
+  | None -> None
+  | Some e ->
+      (* A toplevel [let x = ref ...] is both a binding and a mutable;
+         the mutable classification must win, else reads resolve as
+         calls to a pure binding and the Global_mut taint is lost. *)
+      if Hashtbl.mem e.e_mutables key then
+        Some (Mutable_touch (mname, key, "mutable"))
+      else if Hashtbl.mem e.e_bindings key then Some (Edge (mname, key))
+      else None
+
+let lookup_mut_in t mname key =
+  match Hashtbl.find_opt t.index mname with
+  | None -> None
+  | Some e ->
+      if Hashtbl.mem e.e_mutables key || Hashtbl.mem e.e_arrays key then
+        Some (mname, key)
+      else None
+
+let resolve t ~current ?prefix lid =
+  let segs, ap = flat lid in
+  if ap then
+    if whitelisted (List.hd segs) then Pure
+    else Unknown_callee (dotted lid)
+  else
+    match segs with
+    | [] -> Pure
+    | [ x ] -> (
+        (* unqualified: nesting prefixes, own module, opened parsed
+           modules, stdlib printing primitives, else lexically local *)
+        let rec try_prefixes = function
+          | [] -> None
+          | p :: rest -> (
+              match lookup_in t current.m_name (p ^ x) with
+              | Some r -> Some r
+              | None -> try_prefixes rest)
+        in
+        match try_prefixes (prefix_chain prefix) with
+        | Some r -> r
+        | None -> (
+            let rec try_opens = function
+              | [] -> None
+              | m :: rest -> (
+                  match lookup_in t m x with
+                  | Some r -> Some r
+                  | None -> try_opens rest)
+            in
+            match try_opens current.m_opens with
+            | Some r -> r
+            | None ->
+                if List.mem x io_idents then Prim (Lint_effect.Io, x) else Pure)
+        )
+    | _ :: _ -> (
+        match chase_aliases current.m_aliases segs with
+        | `Functor h ->
+            if whitelisted h then Pure else Unknown_callee (dotted lid)
+        | `Opaque -> Unknown_callee (dotted lid)
+        | `Segs [] -> Pure
+        | `Segs (head :: rest) -> (
+            if Hashtbl.mem t.index head then
+              let key = String.concat "." rest in
+              match lookup_in t head key with
+              | Some r -> r
+              | None -> Module_fallback head
+            else
+              match prim_of_path head rest with
+              | Some (e, what) -> Prim (e, what)
+              | None ->
+                  if whitelisted head then Pure
+                  else Unknown_callee (String.concat "." (head :: rest))))
+
+let resolve_mutation_target t ~current ?prefix lid =
+  let segs, ap = flat lid in
+  if ap then None
+  else
+    match segs with
+    | [ x ] ->
+        let rec try_prefixes = function
+          | [] -> None
+          | p :: rest -> (
+              match lookup_mut_in t current.m_name (p ^ x) with
+              | Some r -> Some r
+              | None -> try_prefixes rest)
+        in
+        (match try_prefixes (prefix_chain prefix) with
+        | Some r -> Some r
+        | None ->
+            let rec try_opens = function
+              | [] -> None
+              | m :: rest -> (
+                  match lookup_mut_in t m x with
+                  | Some r -> Some r
+                  | None -> try_opens rest)
+            in
+            try_opens current.m_opens)
+    | _ -> (
+        match chase_aliases current.m_aliases segs with
+        | `Segs (head :: rest) when Hashtbl.mem t.index head ->
+            lookup_mut_in t head (String.concat "." rest)
+        | _ -> None)

@@ -1,0 +1,105 @@
+(** Whole-program value-reference graph over every parsed implementation
+    (DESIGN.md §13). Purely syntactic, like the per-file rules: each
+    toplevel binding is a node carrying every value path referenced in
+    its body; {!resolve} classifies a reference module-by-module —
+    a call edge into a parsed module, a seeded effect primitive, a touch
+    of toplevel mutable state, a whitelisted-pure stdlib call, or an
+    unknown callee (functor application, first-class module, unparsed
+    library) that taints conservatively. *)
+
+type alias =
+  | Alias_path of Longident.t  (** [module S = M] or [module S = A.B] *)
+  | Alias_functor of Longident.t
+      (** [module S = F (X)]; the payload is [F]'s path *)
+  | Alias_opaque  (** anything the analysis cannot see through *)
+
+type closure_arg = {
+  c_loc : Location.t;  (** the argument expression *)
+  c_refs : (Longident.t * Location.t) list;
+      (** value paths referenced inside the argument *)
+  c_muts : (Longident.t * Location.t * string) list;
+      (** mutation sites inside the argument: target path, location,
+          and the mutating function's name *)
+  c_named : Longident.t option;
+      (** the argument {e is} a bare identifier (a named function) *)
+}
+
+type pool_site = {
+  p_fn : string;  (** [parallel_for], [map], [map_reduce] or [run] *)
+  p_loc : Location.t;
+  p_args : closure_arg list;
+}
+(** One application of a [Domain_pool] execution entry point; rule R11
+    checks every argument's captures. *)
+
+type binding = {
+  b_name : string;
+      (** toplevel name; nested-module values are dotted ([Sub.f]);
+          bindings of var-less patterns are [<init>] *)
+  b_loc : Location.t;
+  b_start : int;
+  b_end : int;  (** character span for [@lint.allow] matching *)
+  b_refs : (Longident.t * Location.t) list;
+  b_muts : (Longident.t * Location.t * string) list;
+      (** applications of known mutating functions ([:=], [Array.set],
+          [Hashtbl.replace], ...) to identifier arguments *)
+  b_pool_sites : pool_site list;
+}
+
+type modul = {
+  m_name : string;  (** capitalized file basename *)
+  m_path : string;
+  m_mutables : (string * Location.t) list;
+      (** toplevel names bound to a shared-mutable constructor ([ref],
+          [Hashtbl.create], [Buffer.create], ...): {e any} reference to
+          one is a [Global_mut] effect *)
+  m_arrays : (string * Location.t) list;
+      (** toplevel names bound to arrays/bytes (literals, [Array.make],
+          ...): read-only tables are fine, only {e mutation} sites
+          count as [Global_mut] *)
+  m_aliases : (string * alias) list;
+  m_opens : string list;  (** [open M] heads, dotted *)
+  m_bindings : binding list;
+}
+
+type t
+
+val module_name_of_path : string -> string
+(** ["lib/sched/guideline.ml"] -> ["Guideline"]. *)
+
+val build : (string * Parsetree.structure) list -> t
+(** [build [(path, ast); ...]] indexes every implementation. Duplicate
+    module names (same basename in two directories) are merged under
+    the first file's entry and reported by {!duplicates}. *)
+
+val modules : t -> modul list
+(** Sorted by module name. *)
+
+val find_module : t -> string -> modul option
+val duplicates : t -> string list
+
+type resolved =
+  | Edge of string * string  (** call edge to a parsed module's binding *)
+  | Module_fallback of string
+      (** path into a parsed module whose binding table has no such
+          name (re-export, [include], pattern pun): treat as the union
+          of the whole module *)
+  | Mutable_touch of string * string * string
+      (** module, name, kind note — reference to toplevel mutable *)
+  | Prim of Lint_effect.t * string  (** seeded effect primitive *)
+  | Pure  (** whitelisted stdlib or a local/lexical name *)
+  | Unknown_callee of string  (** cannot resolve; taints with Unknown *)
+
+val resolve : t -> current:modul -> ?prefix:string -> Longident.t -> resolved
+(** Classify one referenced value path as seen from [current] (inside
+    nested module [?prefix] when the referring binding is dotted):
+    local binding tables first, then module aliases (chased), opened
+    parsed modules, parsed-module paths, the effect-primitive seed
+    table, and the stdlib purity whitelist — anything else is an
+    unknown callee. *)
+
+val resolve_mutation_target :
+  t -> current:modul -> ?prefix:string -> Longident.t -> (string * string) option
+(** Resolve the identifier argument of a mutating call against the
+    toplevel mutable {e and} array tables; [Some (module, name)] means
+    the call mutates module-level state. *)

@@ -1,0 +1,222 @@
+module E = Lint_effect
+module G = Lint_callgraph
+
+type manifest_status =
+  | Manifest of Lint_manifest.entry list
+  | Manifest_missing
+  | No_manifest_check
+
+let under dir path =
+  let rec go = function
+    | [] | [ _ ] -> false
+    | seg :: rest -> String.equal seg dir || go rest
+  in
+  go (String.split_on_char '/' path)
+
+let in_lib path = under "lib" path
+
+let core_dirs = [ "sched"; "numerics"; "lifefn"; "workload" ]
+
+let in_core path =
+  in_lib path && List.exists (fun d -> under d path) core_dirs
+
+(* Effects the planning core may carry: parallel execution through
+   Domain_pool is allowed (R7 fences raw spawns, R11 checks the
+   closures, DESIGN §10's chunk grid makes it deterministic); everything
+   else must flow through the ?obs seam or not exist. *)
+let r10_banned = E.diff E.all_set (E.singleton E.Domain)
+
+let raw rule (loc : Location.t) msg : Lint_rules.raw =
+  {
+    Lint_rules.r_rule = rule;
+    r_loc = loc;
+    r_msg = msg;
+    r_start = loc.Location.loc_start.Lexing.pos_cnum;
+    r_end = loc.Location.loc_end.Lexing.pos_cnum;
+  }
+
+let manifest_loc path line =
+  let pos =
+    { Lexing.pos_fname = path; pos_lnum = line; pos_bol = 0; pos_cnum = 0 }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+
+let lib_signatures sigs =
+  List.filter_map
+    (fun (s : Lint_effects.module_sig) ->
+      if in_lib s.Lint_effects.ms_path then
+        Some (s.Lint_effects.ms_module, s.Lint_effects.ms_effects)
+      else None)
+    sigs
+
+let r10 table =
+  let out = ref [] in
+  G.modules (Lint_effects.graph table)
+  |> List.iter (fun (m : G.modul) ->
+         if in_core m.G.m_path then
+           List.iter
+             (fun (b : G.binding) ->
+               let eff =
+                 Lint_effects.effects table ~mdl:m.G.m_name
+                   ~binding:b.G.b_name
+               in
+               let bad = E.inter eff r10_banned in
+               List.iter
+                 (fun e ->
+                   let chain =
+                     Lint_effects.witness table ~mdl:m.G.m_name
+                       ~binding:b.G.b_name e
+                   in
+                   out :=
+                     ( m.G.m_path,
+                       raw "R10" b.G.b_loc
+                         (Printf.sprintf
+                            "planning-core binding %s.%s is not effect-free: \
+                             reaches %s via %s"
+                            m.G.m_name b.G.b_name (E.name e) chain) )
+                     :: !out)
+                 (E.to_list bad))
+             m.G.m_bindings)
+  |> ignore;
+  List.rev !out
+
+let r11 table =
+  let graph = Lint_effects.graph table in
+  let out = ref [] in
+  G.modules graph
+  |> List.iter (fun (m : G.modul) ->
+         List.iter
+           (fun (b : G.binding) ->
+             let prefix =
+               match String.rindex_opt b.G.b_name '.' with
+               | None -> None
+               | Some i -> Some (String.sub b.G.b_name 0 i)
+             in
+             List.iter
+               (fun (site : G.pool_site) ->
+                 let reported = Hashtbl.create 4 in
+                 let report loc msg =
+                   if not (Hashtbl.mem reported msg) then begin
+                     Hashtbl.replace reported msg ();
+                     out := (m.G.m_path, raw "R11" loc msg) :: !out
+                   end
+                 in
+                 List.iter
+                   (fun (arg : G.closure_arg) ->
+                     List.iter
+                       (fun (lid, loc) ->
+                         match G.resolve graph ~current:m ?prefix lid with
+                         | G.Mutable_touch (cm, name, _) ->
+                             report loc
+                               (Printf.sprintf
+                                  "closure passed to Domain_pool.%s captures \
+                                   toplevel mutable %s.%s; pass state through \
+                                   chunk-local arguments and merge on the \
+                                   caller"
+                                  site.G.p_fn cm name)
+                         | G.Edge (cm, cb) ->
+                             let eff =
+                               Lint_effects.effects table ~mdl:cm ~binding:cb
+                             in
+                             if E.mem E.Global_mut eff then
+                               report loc
+                                 (Printf.sprintf
+                                    "closure passed to Domain_pool.%s calls \
+                                     %s.%s which touches toplevel mutable \
+                                     state (%s)"
+                                    site.G.p_fn cm cb
+                                    (Lint_effects.witness table ~mdl:cm
+                                       ~binding:cb E.Global_mut))
+                         | G.Module_fallback cm ->
+                             if
+                               E.mem E.Global_mut
+                                 (Lint_effects.module_effects table cm)
+                             then
+                               report loc
+                                 (Printf.sprintf
+                                    "closure passed to Domain_pool.%s reaches \
+                                     module %s, which touches toplevel \
+                                     mutable state"
+                                    site.G.p_fn cm)
+                         | G.Prim _ | G.Pure | G.Unknown_callee _ -> ())
+                       arg.G.c_refs;
+                     List.iter
+                       (fun (lid, loc, fn) ->
+                         match
+                           G.resolve_mutation_target graph ~current:m ?prefix
+                             lid
+                         with
+                         | Some (cm, name) ->
+                             report loc
+                               (Printf.sprintf
+                                  "closure passed to Domain_pool.%s mutates \
+                                   toplevel state %s.%s via %s; chunks must \
+                                   only write state disjoint per chunk index"
+                                  site.G.p_fn cm name fn)
+                         | None -> ())
+                       arg.G.c_muts)
+                   site.G.p_args)
+               b.G.b_pool_sites)
+           m.G.m_bindings)
+  |> ignore;
+  List.rev !out
+
+let r12 table ~manifest ~manifest_path =
+  let sigs = lib_signatures (Lint_effects.signatures table) in
+  match manifest with
+  | No_manifest_check -> []
+  | Manifest_missing ->
+      [
+        ( manifest_path,
+          raw "R12"
+            (manifest_loc manifest_path 1)
+            (Printf.sprintf
+               "effects manifest %s not found; review the inferred table \
+                (cslint effects) and write it with cslint --deep \
+                --write-effects"
+               manifest_path) );
+      ]
+  | Manifest entries ->
+      let module_path m =
+        match G.find_module (Lint_effects.graph table) m with
+        | Some md -> md.G.m_path
+        | None -> manifest_path
+      in
+      Lint_manifest.diff entries sigs
+      |> List.map (function
+           | Lint_manifest.New_effects (m, extra) ->
+               let p = module_path m in
+               ( p,
+                 raw "R12" (manifest_loc p 1)
+                   (Printf.sprintf
+                      "module %s acquired ambient effect(s) %s not recorded \
+                       in %s; burn the effect down or re-lock the manifest \
+                       with --write-effects after review"
+                      m (E.set_to_string extra) manifest_path) )
+           | Lint_manifest.Stale_effects (m, gone, line) ->
+               ( manifest_path,
+                 raw "R12"
+                   (manifest_loc manifest_path line)
+                   (Printf.sprintf
+                      "manifest records effect(s) %s for module %s that are \
+                       no longer inferred; re-lock with --write-effects"
+                      (E.set_to_string gone) m) )
+           | Lint_manifest.Missing_module m ->
+               ( manifest_path,
+                 raw "R12"
+                   (manifest_loc manifest_path 1)
+                   (Printf.sprintf
+                      "module %s has no entry in %s; re-lock with \
+                       --write-effects"
+                      m manifest_path) )
+           | Lint_manifest.Stale_module (m, line) ->
+               ( manifest_path,
+                 raw "R12"
+                   (manifest_loc manifest_path line)
+                   (Printf.sprintf
+                      "manifest entry for %s matches no module in the tree; \
+                       remove it or re-lock with --write-effects"
+                      m) ))
+
+let run table ~manifest ~manifest_path =
+  r10 table @ r11 table @ r12 table ~manifest ~manifest_path

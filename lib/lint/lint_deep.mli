@@ -1,0 +1,36 @@
+(** The interprocedural rules layered on {!Lint_effects} (DESIGN.md §13):
+
+    - {b R10} — the planning core ([lib/sched], [lib/numerics],
+      [lib/lifefn], [lib/workload]) must be effect-free apart from the
+      [domain] effect (parallel execution is delegated to [Domain_pool],
+      whose chunk-grid determinism contract is DESIGN §10's and whose
+      closures R11 checks). Any other inferred effect — clock, random,
+      gc, io, global-mut, or an unresolvable callee — is reported with
+      its acquisition chain.
+    - {b R11} — closures passed to [Domain_pool.parallel_for]/[map]/
+      [map_reduce]/[run] must not capture toplevel mutable state, read
+      or write, directly or through any callee: the static face of the
+      scatter/gather discipline [Obs_fork] exists to enforce.
+    - {b R12} — each lib module's inferred effect signature must match
+      the committed [.cseffects] manifest, so a new ambient effect is a
+      reviewable diff rather than a silent drift. *)
+
+type manifest_status =
+  | Manifest of Lint_manifest.entry list
+  | Manifest_missing
+  | No_manifest_check  (** [--write-effects] run: R12 skipped *)
+
+val lib_signatures :
+  Lint_effects.module_sig list -> (string * Lint_effect.set) list
+(** Restrict per-module inferred signatures to modules under [lib/]
+    — the manifest's domain. Order preserved (sorted by module name
+    when the input came from {!Lint_effects.signatures}). *)
+
+val run :
+  Lint_effects.table ->
+  manifest:manifest_status ->
+  manifest_path:string ->
+  (string * Lint_rules.raw) list
+(** Evaluate R10, R11 and R12; each raw finding is paired with the file
+    it belongs to (source file for R10/R11 and new-effect R12 drift,
+    the manifest itself for stale entries). *)

@@ -1,0 +1,63 @@
+type t = Clock | Random | Gc | Io | Domain | Global_mut | Unknown
+
+type set = int
+
+let all = [ Clock; Random; Gc; Io; Domain; Global_mut; Unknown ]
+
+let bit = function
+  | Clock -> 1
+  | Random -> 2
+  | Gc -> 4
+  | Io -> 8
+  | Domain -> 16
+  | Global_mut -> 32
+  | Unknown -> 64
+
+let empty = 0
+let singleton e = bit e
+let add e s = s lor bit e
+let mem e s = s land bit e <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let equal (a : set) b = a = b
+let is_empty s = s = 0
+let subset a b = a land lnot b = 0
+let to_list s = List.filter (fun e -> mem e s) all
+let of_list es = List.fold_left (fun s e -> add e s) empty es
+let all_set = of_list all
+
+let name = function
+  | Clock -> "clock"
+  | Random -> "random"
+  | Gc -> "gc"
+  | Io -> "io"
+  | Domain -> "domain"
+  | Global_mut -> "global-mut"
+  | Unknown -> "unknown"
+
+let of_name s = List.find_opt (fun e -> String.equal (name e) s) all
+
+let set_to_string s =
+  if is_empty s then "pure"
+  else String.concat " " (List.map name (to_list s))
+
+let set_of_string str =
+  let words =
+    String.split_on_char ' ' str
+    |> List.filter_map (fun w ->
+           let w = String.trim w in
+           if w = "" then None else Some w)
+  in
+  match words with
+  | [ "pure" ] | [] -> Ok empty
+  | ws ->
+      List.fold_left
+        (fun acc w ->
+          match acc with
+          | Error _ -> acc
+          | Ok s -> (
+              match of_name w with
+              | Some e -> Ok (add e s)
+              | None -> Error (Printf.sprintf "unknown effect %S" w)))
+        (Ok empty) ws

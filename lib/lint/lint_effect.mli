@@ -1,0 +1,52 @@
+(** The ambient-effect lattice the deep lint pass (DESIGN.md §13) infers
+    over: a tiny powerset domain whose points name the ways a binding can
+    observe or disturb state outside its arguments. [Unknown] is the top
+    taint for callees the call-graph cannot resolve (functor
+    applications, first-class modules, unparsed libraries): a binding
+    that reaches one cannot be proved pure, so it must be treated as
+    having every effect. *)
+
+type t =
+  | Clock  (** reads a wall/process clock (Unix.gettimeofday, Sys.time) *)
+  | Random  (** draws from stdlib [Random]'s hidden global state *)
+  | Gc  (** probes or drives the garbage collector *)
+  | Io  (** reads or writes channels, files, or the environment *)
+  | Domain  (** creates execution domains ([Domain.spawn]) *)
+  | Global_mut  (** touches (reads or writes) toplevel mutable state *)
+  | Unknown  (** reaches a callee the analysis cannot resolve *)
+
+type set
+(** A set of effects. The empty set is printed as ["pure"]. *)
+
+val empty : set
+val singleton : t -> set
+val add : t -> set -> set
+val mem : t -> set -> bool
+val union : set -> set -> set
+val inter : set -> set -> set
+val diff : set -> set -> set
+val equal : set -> set -> bool
+val is_empty : set -> bool
+val subset : set -> set -> bool
+val to_list : set -> t list
+(** In the fixed declaration order above, so renderings are stable. *)
+
+val of_list : t list -> set
+
+val all : t list
+(** Every effect, in declaration order. *)
+
+val all_set : set
+
+val name : t -> string
+(** ["clock"], ["random"], ["gc"], ["io"], ["domain"], ["global-mut"],
+    ["unknown"] — the vocabulary of the [.cseffects] manifest. *)
+
+val of_name : string -> t option
+
+val set_to_string : set -> string
+(** Space-separated names in declaration order; ["pure"] when empty. *)
+
+val set_of_string : string -> (set, string) result
+(** Parse [set_to_string] output (["pure"] or effect names separated by
+    spaces); the error names the first unknown word. *)

@@ -1,0 +1,218 @@
+module E = Lint_effect
+module G = Lint_callgraph
+
+type origin =
+  | Oprim of string * Location.t  (** description of the primitive site *)
+  | Ocall of string * string  (** acquired from callee module.binding *)
+
+type node = {
+  nd_module : string;
+  nd_binding : string;
+  nd_direct : (E.t * string * Location.t) list;
+  nd_edges : (string * string) list;
+  nd_fallbacks : string list;
+}
+
+type table = {
+  t_graph : G.t;
+  t_eff : (string * string, E.set) Hashtbl.t;
+  t_origin : (string * string * E.t, origin) Hashtbl.t;
+  t_nodes : node list;
+}
+
+let default_seam (m : G.modul) =
+  let segs = String.split_on_char '/' m.G.m_path in
+  let rec non_final = function
+    | [] | [ _ ] -> false
+    | s :: rest -> String.equal s "obs" || non_final rest
+  in
+  non_final segs
+
+let prefix_of binding =
+  match String.rindex_opt binding '.' with
+  | None -> None
+  | Some i -> Some (String.sub binding 0 i)
+
+(* Resolve one binding's references into direct seeds and call edges. *)
+let node_of_binding graph ~seam ~is_seam_caller (m : G.modul) (b : G.binding) =
+  let prefix = prefix_of b.G.b_name in
+  let direct = ref [] in
+  let edges = ref [] in
+  let fallbacks = ref [] in
+  let seam_masked callee_module =
+    (not is_seam_caller)
+    &&
+    match G.find_module graph callee_module with
+    | Some cm -> seam cm
+    | None -> false
+  in
+  List.iter
+    (fun (lid, loc) ->
+      match G.resolve graph ~current:m ?prefix lid with
+      | G.Edge (cm, cb) ->
+          if not (seam_masked cm) then edges := (cm, cb) :: !edges
+      | G.Module_fallback cm ->
+          if not (seam_masked cm) then fallbacks := cm :: !fallbacks
+      | G.Mutable_touch (cm, name, _) ->
+          direct :=
+            ( E.Global_mut,
+              Printf.sprintf "touches toplevel mutable %s.%s" cm name,
+              loc )
+            :: !direct
+      | G.Prim (e, what) -> direct := (e, what, loc) :: !direct
+      | G.Pure -> ()
+      | G.Unknown_callee what ->
+          direct :=
+            (E.Unknown, Printf.sprintf "unresolved callee %s" what, loc)
+            :: !direct)
+    b.G.b_refs;
+  List.iter
+    (fun (lid, loc, fn) ->
+      match G.resolve_mutation_target graph ~current:m ?prefix lid with
+      | Some (cm, name) ->
+          direct :=
+            ( E.Global_mut,
+              Printf.sprintf "%s mutates toplevel state %s.%s" fn cm name,
+              loc )
+            :: !direct
+      | None -> ())
+    b.G.b_muts;
+  {
+    nd_module = m.G.m_name;
+    nd_binding = b.G.b_name;
+    nd_direct = List.rev !direct;
+    nd_edges = List.sort_uniq compare (List.rev !edges);
+    nd_fallbacks = List.sort_uniq String.compare (List.rev !fallbacks);
+  }
+
+let infer ?(seam = default_seam) graph =
+  let nodes =
+    List.concat_map
+      (fun (m : G.modul) ->
+        let is_seam_caller = seam m in
+        List.map (node_of_binding graph ~seam ~is_seam_caller m) m.G.m_bindings)
+      (G.modules graph)
+  in
+  let eff = Hashtbl.create 256 in
+  let origin = Hashtbl.create 256 in
+  let get k = Option.value (Hashtbl.find_opt eff k) ~default:E.empty in
+  let module_union mname =
+    match G.find_module graph mname with
+    | None -> E.empty
+    | Some m ->
+        List.fold_left
+          (fun acc (b : G.binding) ->
+            E.union acc (get (mname, b.G.b_name)))
+          E.empty m.G.m_bindings
+  in
+  (* Seed direct effects with their origins. *)
+  List.iter
+    (fun n ->
+      let k = (n.nd_module, n.nd_binding) in
+      List.iter
+        (fun (e, what, loc) ->
+          let s = get k in
+          if not (E.mem e s) then begin
+            Hashtbl.replace eff k (E.add e s);
+            Hashtbl.replace origin
+              (n.nd_module, n.nd_binding, e)
+              (Oprim (what, loc))
+          end)
+        n.nd_direct)
+    nodes;
+  (* Propagate along edges until no set grows. The lattice is a finite
+     powerset, transfer is a union — termination is by monotonicity. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        let k = (n.nd_module, n.nd_binding) in
+        let absorb src_name src_set =
+          let cur = get k in
+          let extra = E.diff src_set cur in
+          if not (E.is_empty extra) then begin
+            Hashtbl.replace eff k (E.union cur src_set);
+            List.iter
+              (fun e ->
+                let ok = (n.nd_module, n.nd_binding, e) in
+                if not (Hashtbl.mem origin ok) then
+                  Hashtbl.replace origin ok src_name)
+              (E.to_list extra);
+            changed := true
+          end
+        in
+        List.iter
+          (fun (cm, cb) -> absorb (Ocall (cm, cb)) (get (cm, cb)))
+          n.nd_edges;
+        List.iter
+          (fun cm ->
+            (* whole-module fallback: attribute to the module's first
+               binding carrying the effect, best-effort *)
+            let u = module_union cm in
+            let rep =
+              match G.find_module graph cm with
+              | Some m -> (
+                  match m.G.m_bindings with
+                  | b :: _ -> b.G.b_name
+                  | [] -> "<init>")
+              | None -> "<init>"
+            in
+            absorb (Ocall (cm, rep)) u)
+          n.nd_fallbacks)
+      nodes
+  done;
+  { t_graph = graph; t_eff = eff; t_origin = origin; t_nodes = nodes }
+
+let effects t ~mdl ~binding =
+  Option.value (Hashtbl.find_opt t.t_eff (mdl, binding)) ~default:E.empty
+
+let module_effects t mname =
+  match G.find_module t.t_graph mname with
+  | None -> E.empty
+  | Some m ->
+      List.fold_left
+        (fun acc (b : G.binding) -> E.union acc (effects t ~mdl:mname ~binding:b.G.b_name))
+        E.empty m.G.m_bindings
+
+type module_sig = {
+  ms_module : string;
+  ms_path : string;
+  ms_effects : E.set;
+  ms_bindings : (string * E.set) list;
+}
+
+let signatures t =
+  G.modules t.t_graph
+  |> List.map (fun (m : G.modul) ->
+         let bindings =
+           m.G.m_bindings
+           |> List.map (fun (b : G.binding) ->
+                  (b.G.b_name, effects t ~mdl:m.G.m_name ~binding:b.G.b_name))
+           |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+         in
+         {
+           ms_module = m.G.m_name;
+           ms_path = m.G.m_path;
+           ms_effects = module_effects t m.G.m_name;
+           ms_bindings = bindings;
+         })
+
+let loc_string (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  Printf.sprintf "%s:%d" p.Lexing.pos_fname p.Lexing.pos_lnum
+
+let witness t ~mdl ~binding e =
+  let rec go seen mdl binding =
+    let name = mdl ^ "." ^ binding in
+    if List.mem (mdl, binding) seen || List.length seen > 20 then [ name; "..." ]
+    else
+      match Hashtbl.find_opt t.t_origin (mdl, binding, e) with
+      | None -> [ name ]
+      | Some (Oprim (what, loc)) ->
+          [ name; Printf.sprintf "%s (%s)" what (loc_string loc) ]
+      | Some (Ocall (cm, cb)) -> name :: go ((mdl, binding) :: seen) cm cb
+  in
+  String.concat " -> " (go [] mdl binding)
+
+let graph t = t.t_graph

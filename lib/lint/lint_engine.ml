@@ -18,16 +18,20 @@ let under dir path =
   in
   go (String.split_on_char '/' (normalize path))
 
+let ends_with_any suffixes n =
+  List.exists (fun s -> String.ends_with ~suffix:s n) suffixes
+
 let scope_of_path path : Lint_rules.scope =
   let n = normalize path in
   {
     file = path;
     in_lib = under "lib" n;
     in_bench = under "bench" n;
-    is_prng = String.ends_with ~suffix:"numerics/prng.ml" n;
+    is_prng = ends_with_any [ "numerics/prng.ml"; "numerics/prng.mli" ] n;
     in_parallel = under "parallel" n;
-    is_clock = String.ends_with ~suffix:"obs/obs_clock.ml" n;
-    is_resource = String.ends_with ~suffix:"obs/obs_resource.ml" n;
+    is_clock = ends_with_any [ "obs/obs_clock.ml"; "obs/obs_clock.mli" ] n;
+    is_resource =
+      ends_with_any [ "obs/obs_resource.ml"; "obs/obs_resource.mli" ] n;
   }
 
 let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =
@@ -40,52 +44,115 @@ let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =
     message = r.r_msg;
   }
 
-let lint_source ~path content =
-  if Filename.check_suffix path ".mli" then Ok { findings = []; suppressed = 0 }
-  else begin
-    let lexbuf = Lexing.from_string content in
-    Lexing.set_filename lexbuf path;
+type parsed = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+let parse_source ~path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  let fail exn =
+    let detail =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    Error (Printf.sprintf "%s: parse error: %s" path (String.trim detail))
+  in
+  if Filename.check_suffix path ".mli" then
+    match Parse.interface lexbuf with
+    | exception exn -> fail exn
+    | sg -> Ok (Intf sg)
+  else
     match Parse.implementation lexbuf with
-    | exception exn ->
-        let detail =
-          match Location.error_of_exn exn with
-          | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
-          | _ -> Printexc.to_string exn
-        in
-        Error (Printf.sprintf "%s: parse error: %s" path (String.trim detail))
-    | str ->
-        let scope = scope_of_path path in
-        let raws, allows = Lint_rules.check_structure scope str in
-        let allowed (r : Lint_rules.raw) =
-          List.exists
-            (fun (a : Lint_rules.allow_span) ->
-              String.equal a.a_rule r.r_rule
-              && a.a_start <= r.r_start && r.r_end <= a.a_end)
-            allows
-        in
-        let kept, dropped = List.partition (fun r -> not (allowed r)) raws in
-        let findings =
-          List.sort Lint_finding.compare
-            (List.map (finding_of_raw path) kept)
-        in
-        Ok { findings; suppressed = List.length dropped }
-  end
+    | exception exn -> fail exn
+    | str -> Ok (Impl str)
+
+let check_parsed ~path parsed =
+  let scope = scope_of_path path in
+  match parsed with
+  | Impl str -> Lint_rules.check_structure scope str
+  | Intf sg -> Lint_rules.check_signature scope sg
+
+(* Match raws against allow spans; every matching allow is marked used
+   so the M1 pass can report the rest as stale. *)
+let apply_allows allows (used : bool array) raws =
+  let kept = ref [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun (r : Lint_rules.raw) ->
+      let hit = ref false in
+      List.iteri
+        (fun i (a : Lint_rules.allow_span) ->
+          if
+            String.equal a.a_rule r.r_rule
+            && a.a_start <= r.r_start && r.r_end <= a.a_end
+          then begin
+            hit := true;
+            used.(i) <- true
+          end)
+        allows;
+      if !hit then incr dropped else kept := r :: !kept)
+    raws;
+  (List.rev !kept, !dropped)
+
+let unused_allow_findings ~deep path allows (used : bool array) =
+  let out = ref [] in
+  List.iteri
+    (fun i (a : Lint_rules.allow_span) ->
+      if
+        (not used.(i))
+        && (deep || not (List.mem a.a_rule Lint_rules.deep_rule_ids))
+      then
+        let p = a.a_loc.Location.loc_start in
+        out :=
+          {
+            Lint_finding.rule = "M1";
+            file = path;
+            line = p.Lexing.pos_lnum;
+            col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+            message =
+              Printf.sprintf
+                "unused [@lint.allow %S]: no %s finding falls inside its \
+                 span; delete the stale suppression"
+                a.a_rule a.a_rule;
+          }
+          :: !out)
+    allows;
+  List.rev !out
+
+let lint_source ~path content =
+  match parse_source ~path content with
+  | Error _ as e -> e
+  | Ok parsed ->
+      let raws, allows = check_parsed ~path parsed in
+      let used = Array.make (List.length allows) false in
+      let kept, dropped = apply_allows allows used raws in
+      let findings =
+        List.map (finding_of_raw path) kept
+        @ unused_allow_findings ~deep:false path allows used
+      in
+      Ok
+        {
+          findings = List.sort Lint_finding.compare findings;
+          suppressed = dropped;
+        }
 
 let lint_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error e -> Error e
   | content -> lint_source ~path content
 
+(* R5, both directions: a lib implementation without its interface leaks
+   representation; a lib interface without its implementation is a stale
+   contract nothing satisfies. *)
 let missing_mli_findings files =
   let set = Hashtbl.create 64 in
   List.iter (fun f -> Hashtbl.replace set (normalize f) ()) files;
   files
   |> List.filter_map (fun f ->
          let n = normalize f in
-         if
-           Filename.check_suffix n ".ml"
-           && (scope_of_path n).in_lib
-           && not (Hashtbl.mem set (n ^ "i"))
+         if not (scope_of_path n).in_lib then None
+         else if
+           Filename.check_suffix n ".ml" && not (Hashtbl.mem set (n ^ "i"))
          then
            Some
              {
@@ -95,6 +162,20 @@ let missing_mli_findings files =
                col = 0;
                message =
                  "missing interface: every lib/**/*.ml needs a matching .mli";
+             }
+         else if
+           Filename.check_suffix n ".mli"
+           && not (Hashtbl.mem set (Filename.chop_suffix n "i"))
+         then
+           Some
+             {
+               Lint_finding.rule = "R5";
+               file = f;
+               line = 1;
+               col = 0;
+               message =
+                 "orphan interface: no matching .ml; the implementation was \
+                  removed or renamed without its contract";
              }
          else None)
   |> List.sort Lint_finding.compare
@@ -115,28 +196,120 @@ let collect_files paths =
     paths;
   List.sort_uniq String.compare (List.map normalize !out)
 
-type result = {
-  all_findings : Lint_finding.t list;
-  total_suppressed : int;
-  errors : string list;
+type options = {
+  deep : bool;
+  manifest_path : string option;
+  warn_unused_allows : bool;
 }
 
-let run paths =
+let default_options =
+  { deep = false; manifest_path = None; warn_unused_allows = false }
+
+type result = {
+  all_findings : Lint_finding.t list;
+  warnings : Lint_finding.t list;
+  total_suppressed : int;
+  errors : string list;
+  effect_signatures : Lint_effects.module_sig list;
+}
+
+let run ?(options = default_options) paths =
   let files = collect_files paths in
-  let findings = ref [] in
-  let suppressed = ref 0 in
   let errors = ref [] in
+  (* One parse per file, shared by the shallow rules and the deep
+     interprocedural pass. *)
+  let parsed =
+    List.filter_map
+      (fun f ->
+        match In_channel.with_open_bin f In_channel.input_all with
+        | exception Sys_error e ->
+            errors := e :: !errors;
+            None
+        | content -> (
+            match parse_source ~path:f content with
+            | Ok ast -> Some (f, ast)
+            | Error e ->
+                errors := e :: !errors;
+                None))
+      files
+  in
+  let checked =
+    List.map
+      (fun (path, ast) ->
+        let raws, allows = check_parsed ~path ast in
+        (path, raws, allows, Array.make (List.length allows) false))
+      parsed
+  in
+  let deep_by_file = Hashtbl.create 16 in
+  let effect_signatures =
+    if not options.deep then []
+    else begin
+      let impls =
+        List.filter_map
+          (fun (p, ast) ->
+            match ast with Impl str -> Some (p, str) | Intf _ -> None)
+          parsed
+      in
+      let graph = Lint_callgraph.build impls in
+      let table = Lint_effects.infer graph in
+      let manifest, manifest_path =
+        match options.manifest_path with
+        | None -> (Lint_deep.No_manifest_check, ".cseffects")
+        | Some p ->
+            if not (Sys.file_exists p) then (Lint_deep.Manifest_missing, p)
+            else (
+              match Lint_manifest.load p with
+              | Ok entries -> (Lint_deep.Manifest entries, p)
+              | Error e ->
+                  errors := e :: !errors;
+                  (Lint_deep.No_manifest_check, p))
+      in
+      List.iter
+        (fun (file, r) ->
+          let prev =
+            match Hashtbl.find_opt deep_by_file file with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace deep_by_file file (r :: prev))
+        (Lint_deep.run table ~manifest ~manifest_path);
+      Lint_effects.signatures table
+    end
+  in
+  let findings = ref [] in
+  let warnings = ref [] in
+  let suppressed = ref 0 in
+  let consumed = Hashtbl.create 16 in
   List.iter
-    (fun f ->
-      match lint_file f with
-      | Ok r ->
-          findings := r.findings :: !findings;
-          suppressed := !suppressed + r.suppressed
-      | Error e -> errors := e :: !errors)
-    files;
+    (fun (path, raws, allows, used) ->
+      let deep_raws =
+        match Hashtbl.find_opt deep_by_file path with
+        | Some l ->
+            Hashtbl.replace consumed path ();
+            List.rev l
+        | None -> []
+      in
+      let kept, dropped = apply_allows allows used (raws @ deep_raws) in
+      suppressed := !suppressed + dropped;
+      findings := List.map (finding_of_raw path) kept :: !findings;
+      let m1 =
+        unused_allow_findings ~deep:options.deep path allows used
+      in
+      if options.warn_unused_allows then warnings := m1 @ !warnings
+      else findings := m1 :: !findings)
+    checked;
+  (* Deep findings on files with no parsed AST: the manifest itself
+     (stale entries) — nothing to suppress against. *)
+  Hashtbl.iter
+    (fun file raws ->
+      if not (Hashtbl.mem consumed file) then
+        findings := List.map (finding_of_raw file) (List.rev raws) :: !findings)
+    deep_by_file;
   findings := [ missing_mli_findings files ] @ !findings;
   {
     all_findings = List.sort Lint_finding.compare (List.concat !findings);
+    warnings = List.sort Lint_finding.compare !warnings;
     total_suppressed = !suppressed;
     errors = List.rev !errors;
+    effect_signatures;
   }

@@ -1,0 +1,100 @@
+type entry = { mf_module : string; mf_effects : Lint_effect.set; mf_line : int }
+
+let header =
+  "# cslint effects manifest v1 — locked per-module ambient-effect\n\
+   # signatures for lib/ (DESIGN.md §13). One line per module:\n\
+   #   <Module>: <effect ...> | pure\n\
+   # Regenerate after review with: cslint --deep --write-effects\n"
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || (String.length line > 0 && line.[0] = '#') then Ok None
+  else
+    match String.index_opt line ':' with
+    | None -> Error (Printf.sprintf "line %d: expected \"Module: effects\"" lineno)
+    | Some i -> (
+        let name = String.trim (String.sub line 0 i) in
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        if name = "" then Error (Printf.sprintf "line %d: empty module name" lineno)
+        else
+          match Lint_effect.set_of_string rest with
+          | Ok s -> Ok (Some { mf_module = name; mf_effects = s; mf_line = lineno })
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content ->
+      let entries = ref [] in
+      let err = ref None in
+      let seen = Hashtbl.create 64 in
+      List.iteri
+        (fun i line ->
+          if !err = None then
+            match parse_line (i + 1) line with
+            | Ok None -> ()
+            | Ok (Some e) ->
+                if Hashtbl.mem seen e.mf_module then
+                  err :=
+                    Some
+                      (Printf.sprintf "line %d: duplicate entry for %s" (i + 1)
+                         e.mf_module)
+                else begin
+                  Hashtbl.replace seen e.mf_module ();
+                  entries := e :: !entries
+                end
+            | Error e -> err := Some e)
+        (String.split_on_char '\n' content);
+      (match !err with
+      | Some e -> Error (Printf.sprintf "%s: %s" path e)
+      | None -> Ok (List.rev !entries))
+
+let render sigs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) sigs
+  |> List.iter (fun (m, s) ->
+         Buffer.add_string b
+           (Printf.sprintf "%s: %s\n" m (Lint_effect.set_to_string s)));
+  Buffer.contents b
+
+let save path sigs =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (render sigs))
+
+type drift =
+  | New_effects of string * Lint_effect.set
+  | Stale_effects of string * Lint_effect.set * int
+  | Missing_module of string
+  | Stale_module of string * int
+
+let diff entries sigs =
+  let manifest = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace manifest e.mf_module e) entries;
+  let inferred = Hashtbl.create 64 in
+  List.iter (fun (m, s) -> Hashtbl.replace inferred m s) sigs;
+  let drifts = ref [] in
+  List.iter
+    (fun (m, s) ->
+      match Hashtbl.find_opt manifest m with
+      | None -> drifts := Missing_module m :: !drifts
+      | Some e ->
+          let extra = Lint_effect.diff s e.mf_effects in
+          let gone = Lint_effect.diff e.mf_effects s in
+          if not (Lint_effect.is_empty extra) then
+            drifts := New_effects (m, extra) :: !drifts;
+          if not (Lint_effect.is_empty gone) then
+            drifts := Stale_effects (m, gone, e.mf_line) :: !drifts)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) sigs);
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem inferred e.mf_module) then
+        drifts := Stale_module (e.mf_module, e.mf_line) :: !drifts)
+    entries;
+  let key = function
+    | New_effects (m, _) -> (m, 0)
+    | Stale_effects (m, _, _) -> (m, 1)
+    | Missing_module m -> (m, 2)
+    | Stale_module (m, _) -> (m, 3)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) !drifts

@@ -1,0 +1,36 @@
+(** The [.cseffects] manifest: one line per library module locking its
+    inferred ambient-effect signature, so any {e new} effect appearing
+    anywhere in a module's call graph shows up as a reviewable diff
+    (rule R12) instead of sliding in silently.
+
+    Format — comments and blank lines ignored, entries sorted:
+    {v
+    # cslint effects manifest v1
+    Guideline: domain
+    Kahan: pure
+    Obs_clock: clock global-mut
+    v} *)
+
+type entry = { mf_module : string; mf_effects : Lint_effect.set; mf_line : int }
+
+val load : string -> (entry list, string) result
+(** Parse a manifest; the error names the file and first offending
+    line. Duplicate module entries are an error. *)
+
+val save : string -> (string * Lint_effect.set) list -> unit
+(** Write a manifest (header comment plus sorted entries). *)
+
+val render : (string * Lint_effect.set) list -> string
+(** The exact text {!save} writes — exposed for tests and [--json]. *)
+
+type drift =
+  | New_effects of string * Lint_effect.set
+      (** module inferred with effects the manifest does not record *)
+  | Stale_effects of string * Lint_effect.set * int
+      (** manifest (at line) records effects no longer inferred *)
+  | Missing_module of string  (** inferred module absent from manifest *)
+  | Stale_module of string * int  (** manifest module (at line) not in tree *)
+
+val diff : entry list -> (string * Lint_effect.set) list -> drift list
+(** Compare manifest entries against inferred module signatures; sorted
+    by module name. Empty means the manifest is in lock. *)

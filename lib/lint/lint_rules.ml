@@ -67,7 +67,44 @@ let all_meta =
         "sample through Obs_resource, whose tick divisor keeps the cost \
          budgeted and the sampling points deterministic";
     };
+    {
+      id = "R10";
+      title =
+        "planning core (lib/sched, lib/numerics, lib/lifefn, lib/workload) \
+         is effect-free apart from domain (deep)";
+      remedy =
+        "route instrumentation through the ?obs seam; hoist clock, random, \
+         io and shared mutation out of the planning core";
+    };
+    {
+      id = "R11";
+      title =
+        "closures passed to Domain_pool.run/map/map_reduce/parallel_for \
+         capture no toplevel mutable state (deep)";
+      remedy =
+        "pass state through chunk-local arguments and merge the results on \
+         the caller, as Obs_fork.scatter/gather does";
+    };
+    {
+      id = "R12";
+      title =
+        "each lib module's inferred effect signature matches the committed \
+         .cseffects manifest (deep)";
+      remedy =
+        "review the drift, then re-lock with cslint --deep --write-effects";
+    };
+    {
+      id = "M1";
+      title = "no unused [@lint.allow] suppression";
+      remedy =
+        "delete the stale attribute, or pass --allow-unused-allows to \
+         downgrade the report to a warning";
+    };
   ]
+
+(* Rules only the interprocedural pass can fire; in a shallow run an
+   unmatched allow naming one of these is not stale, just out of scope. *)
+let deep_rule_ids = [ "R10"; "R11"; "R12" ]
 
 open Parsetree
 
@@ -81,7 +118,12 @@ type raw = {
   r_end : int;
 }
 
-type allow_span = { a_rule : string; a_start : int; a_end : int }
+type allow_span = {
+  a_rule : string;
+  a_loc : Location.t;
+  a_start : int;
+  a_end : int;
+}
 
 let float_arith_ops = [ "+."; "-."; "*."; "/."; "~-."; "**" ]
 
@@ -148,8 +190,7 @@ let allow_payload_rules = function
       if rules = [] then None else Some rules
   | _ -> None
 
-let check_structure (scope : scope) (str : structure) :
-    raw list * allow_span list =
+let make_checker (scope : scope) =
   let findings = ref [] in
   let allows = ref [] in
   let report rule loc msg =
@@ -174,6 +215,7 @@ let check_structure (scope : scope) (str : structure) :
                   allows :=
                     {
                       a_rule = r;
+                      a_loc = a.attr_loc;
                       a_start = loc.loc_start.pos_cnum;
                       a_end = loc.loc_end.pos_cnum;
                     }
@@ -339,7 +381,64 @@ let check_structure (scope : scope) (str : structure) :
                    Prng.t"
           | _ -> ());
           default.module_expr it me);
+      (* Interface-side checks: the same R3 fence applies to aliases
+         ([module S = Random]) and opens written in a .mli, and attributes
+         on declarations still carry [@lint.allow] spans. *)
+      module_type =
+        (fun it mt ->
+          (match mt.pmty_desc with
+          | Pmty_alias { txt; loc }
+            when (not scope.is_prng)
+                 && String.equal (longident_head txt) "Random" ->
+              report "R3" loc
+                "stdlib Random breaks reproducibility; thread an explicit \
+                 Prng.t"
+          | _ -> ());
+          default.module_type it mt);
+      open_description =
+        (fun it od ->
+          (if
+             (not scope.is_prng)
+             && String.equal (longident_head od.popen_expr.txt) "Random"
+           then
+             report "R3" od.popen_expr.loc
+               "stdlib Random breaks reproducibility; thread an explicit \
+                Prng.t");
+          default.open_description it od);
+      module_declaration =
+        (fun it md ->
+          note_attrs md.pmd_attributes md.pmd_loc;
+          default.module_declaration it md);
+      value_description =
+        (fun it vd ->
+          note_attrs vd.pval_attributes vd.pval_loc;
+          default.value_description it vd);
+      signature_item =
+        (fun it si ->
+          (match si.psig_desc with
+          | Psig_attribute a ->
+              (* Floating [@@@lint.allow "..."] in a .mli suppresses for
+                 the whole interface. *)
+              note_attrs [ a ]
+                {
+                  si.psig_loc with
+                  loc_start = { si.psig_loc.loc_start with pos_cnum = 0 };
+                  loc_end = { si.psig_loc.loc_end with pos_cnum = max_int };
+                }
+          | _ -> ());
+          default.signature_item it si);
     }
   in
+  (findings, allows, iter)
+
+let check_structure (scope : scope) (str : structure) :
+    raw list * allow_span list =
+  let findings, allows, iter = make_checker scope in
   iter.structure iter str;
+  (!findings, !allows)
+
+let check_signature (scope : scope) (sg : signature) :
+    raw list * allow_span list =
+  let findings, allows, iter = make_checker scope in
+  iter.signature iter sg;
   (!findings, !allows)

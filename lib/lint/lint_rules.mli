@@ -22,8 +22,14 @@ type scope = {
 type meta = { id : string; title : string; remedy : string }
 
 val all_meta : meta list
-(** One entry per rule, in id order; used by [cslint --rules] and kept in
-    sync with DESIGN.md §8. *)
+(** One entry per rule, in id order (R1–R12 then the M-series
+    meta-rules); used by [cslint --rules] and kept in sync with
+    DESIGN.md §8 and §13. *)
+
+val deep_rule_ids : string list
+(** Rules only [cslint --deep]'s interprocedural pass can fire (R10,
+    R11, R12). A shallow run does not report allows naming these as
+    unused (M1) — it never looked. *)
 
 type raw = {
   r_rule : string;
@@ -33,7 +39,14 @@ type raw = {
   r_end : int;  (** End character offset of the offending node. *)
 }
 
-type allow_span = { a_rule : string; a_start : int; a_end : int }
+type allow_span = {
+  a_rule : string;
+  a_loc : Location.t;
+      (** The attribute's own location — where an M1 unused-suppression
+          report points. *)
+  a_start : int;
+  a_end : int;
+}
 (** A [\[@lint.allow "Rn"\]] attribute: findings for [a_rule] whose span
     falls inside [a_start, a_end] are suppressed. *)
 
@@ -41,3 +54,8 @@ val check_structure : scope -> Parsetree.structure -> raw list * allow_span list
 (** Walk one implementation and return its raw findings (unordered)
     together with the suppression spans collected from [@lint.allow]
     attributes (including file-wide [@@@lint.allow]). *)
+
+val check_signature : scope -> Parsetree.signature -> raw list * allow_span list
+(** The same walk over an interface: R3 on module aliases and opens,
+    R6 and friends inside attribute payloads, and [@lint.allow] span
+    collection. *)

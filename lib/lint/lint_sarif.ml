@@ -1,0 +1,219 @@
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let sarif_version = "2.1.0"
+
+let rule_json (m : Lint_rules.meta) =
+  Jsonx.Obj
+    [
+      ("id", Jsonx.String m.Lint_rules.id);
+      ( "shortDescription",
+        Jsonx.Obj [ ("text", Jsonx.String m.Lint_rules.title) ] );
+      ("help", Jsonx.Obj [ ("text", Jsonx.String m.Lint_rules.remedy) ]);
+    ]
+
+let result_json level (f : Lint_finding.t) =
+  Jsonx.Obj
+    [
+      ("ruleId", Jsonx.String f.Lint_finding.rule);
+      ("level", Jsonx.String level);
+      ( "message",
+        Jsonx.Obj [ ("text", Jsonx.String f.Lint_finding.message) ] );
+      ( "locations",
+        Jsonx.List
+          [
+            Jsonx.Obj
+              [
+                ( "physicalLocation",
+                  Jsonx.Obj
+                    [
+                      ( "artifactLocation",
+                        Jsonx.Obj
+                          [ ("uri", Jsonx.String f.Lint_finding.file) ] );
+                      ( "region",
+                        Jsonx.Obj
+                          [
+                            ("startLine", Jsonx.Int f.Lint_finding.line);
+                            (* cslint columns are 0-based, SARIF's 1-based *)
+                            ("startColumn", Jsonx.Int (f.Lint_finding.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let render ?(tool_version = "1.0.0") ~rules ~findings ~warnings () =
+  let declared =
+    List.map (fun (m : Lint_rules.meta) -> m.Lint_rules.id) rules
+  in
+  let referenced =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (f : Lint_finding.t) -> f.Lint_finding.rule)
+         (findings @ warnings))
+  in
+  let synthesized =
+    List.filter (fun r -> not (List.mem r declared)) referenced
+    |> List.map (fun id ->
+           {
+             Lint_rules.id;
+             title = "cslint diagnostic " ^ id;
+             remedy = "see cslint --rules";
+           })
+  in
+  let results =
+    List.map (result_json "error") findings
+    @ List.map (result_json "warning") warnings
+  in
+  Jsonx.Obj
+    [
+      ("$schema", Jsonx.String schema_uri);
+      ("version", Jsonx.String sarif_version);
+      ( "runs",
+        Jsonx.List
+          [
+            Jsonx.Obj
+              [
+                ( "tool",
+                  Jsonx.Obj
+                    [
+                      ( "driver",
+                        Jsonx.Obj
+                          [
+                            ("name", Jsonx.String "cslint");
+                            ("version", Jsonx.String tool_version);
+                            ( "informationUri",
+                              Jsonx.String
+                                "https://example.invalid/cslint" );
+                            ( "rules",
+                              Jsonx.List
+                                (List.map rule_json (rules @ synthesized)) );
+                          ] );
+                    ] );
+                ("results", Jsonx.List results);
+                ( "invocations",
+                  Jsonx.List
+                    [
+                      Jsonx.Obj
+                        [ ("executionSuccessful", Jsonx.Bool (findings = [])) ];
+                    ] );
+              ];
+          ] );
+    ]
+
+let valid_levels = [ "none"; "note"; "warning"; "error" ]
+
+let validate json =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let str_member k j what =
+    match Option.bind (Jsonx.member k j) Jsonx.get_string with
+    | Some s when s <> "" -> Ok s
+    | _ -> Error (Printf.sprintf "%s: missing or empty %S" what k)
+  in
+  let* version = str_member "version" json "top level" in
+  let* _ = str_member "$schema" json "top level" in
+  if version <> sarif_version then
+    Error (Printf.sprintf "version %S is not %S" version sarif_version)
+  else
+    match Jsonx.member "runs" json with
+    | Some (Jsonx.List (_ :: _ as runs)) ->
+        let validate_run i run =
+          let what = Printf.sprintf "runs[%d]" i in
+          let driver =
+            Option.bind (Jsonx.member "tool" run) (Jsonx.member "driver")
+          in
+          match driver with
+          | None -> Error (what ^ ": missing tool.driver")
+          | Some d -> (
+              let* _ = str_member "name" d (what ^ ".tool.driver") in
+              let rule_ids =
+                match Jsonx.member "rules" d with
+                | Some (Jsonx.List rs) ->
+                    List.filter_map
+                      (fun r ->
+                        Option.bind (Jsonx.member "id" r) Jsonx.get_string)
+                      rs
+                | _ -> []
+              in
+              if
+                List.length (List.sort_uniq String.compare rule_ids)
+                <> List.length rule_ids
+              then Error (what ^ ": duplicate rule ids in driver table")
+              else
+                match Jsonx.member "results" run with
+                | Some (Jsonx.List results) ->
+                    let n = List.length results in
+                    let check_result j r =
+                      let rwhat = Printf.sprintf "%s.results[%d]" what j in
+                      let* rule = str_member "ruleId" r rwhat in
+                      let* level = str_member "level" r rwhat in
+                      if not (List.mem rule rule_ids) then
+                        Error
+                          (Printf.sprintf "%s: ruleId %S not declared" rwhat
+                             rule)
+                      else if not (List.mem level valid_levels) then
+                        Error
+                          (Printf.sprintf "%s: unknown level %S" rwhat level)
+                      else
+                        let* _ =
+                          match
+                            Option.bind (Jsonx.member "message" r)
+                              (Jsonx.member "text")
+                          with
+                          | Some (Jsonx.String s) when s <> "" -> Ok s
+                          | _ -> Error (rwhat ^ ": missing message.text")
+                        in
+                        match Jsonx.member "locations" r with
+                        | Some (Jsonx.List (loc :: _)) -> (
+                            let phys =
+                              Jsonx.member "physicalLocation" loc
+                            in
+                            let uri =
+                              Option.bind phys (fun p ->
+                                  Option.bind
+                                    (Jsonx.member "artifactLocation" p)
+                                    (Jsonx.member "uri"))
+                            in
+                            let region =
+                              Option.bind phys (Jsonx.member "region")
+                            in
+                            match (uri, region) with
+                            | Some (Jsonx.String u), Some reg when u <> "" -> (
+                                let geti k =
+                                  Option.bind (Jsonx.member k reg)
+                                    Jsonx.get_int
+                                in
+                                match
+                                  (geti "startLine", geti "startColumn")
+                                with
+                                | Some l, Some c when l >= 1 && c >= 1 ->
+                                    Ok ()
+                                | _ ->
+                                    Error
+                                      (rwhat
+                                     ^ ": region needs 1-based startLine and \
+                                        startColumn"))
+                            | _ ->
+                                Error
+                                  (rwhat
+                                 ^ ": location needs artifactLocation.uri and \
+                                    region"))
+                        | _ -> Error (rwhat ^ ": missing locations")
+                    in
+                    let rec all j = function
+                      | [] -> Ok n
+                      | r :: rest -> (
+                          match check_result j r with
+                          | Error e -> Error e
+                          | Ok () -> all (j + 1) rest)
+                    in
+                    all 0 results
+                | _ -> Error (what ^ ": missing results array"))
+        in
+        let rec go i acc = function
+          | [] -> Ok acc
+          | run :: rest -> (
+              match validate_run i run with
+              | Error e -> Error e
+              | Ok n -> go (i + 1) (acc + n) rest)
+        in
+        go 0 0 runs
+    | _ -> Error "missing or empty runs array"

@@ -105,7 +105,7 @@ let test_r4 () =
   check_rules "bin exempt" []
     (lint ~path:"bin/fixture.ml" "let p () = print_endline \"x\"\n")
 
-(* ---- R5: .mli pairing ---- *)
+(* ---- R5: .mli pairing, both directions ---- *)
 
 let test_r5 () =
   let fs =
@@ -116,6 +116,39 @@ let test_r5 () =
     "only unpaired lib ml" [ "R5" ]
     (List.map (fun (f : Lint_finding.t) -> f.rule) fs);
   Alcotest.(check string) "file" "lib/a.ml" (List.hd fs).Lint_finding.file
+
+let test_r5_orphan_mli () =
+  let fs =
+    Lint_engine.missing_mli_findings
+      [ "lib/gone.mli"; "lib/b.ml"; "lib/b.mli"; "bin/c.mli" ]
+  in
+  Alcotest.(check (list string))
+    "orphan lib mli" [ "R5" ]
+    (List.map (fun (f : Lint_finding.t) -> f.rule) fs);
+  let f = List.hd fs in
+  Alcotest.(check string) "file" "lib/gone.mli" f.Lint_finding.file;
+  Alcotest.(check bool) "says orphan" true
+    (String.length f.Lint_finding.message >= 6
+    && String.sub f.Lint_finding.message 0 6 = "orphan")
+
+(* ---- interfaces are linted, not skipped ---- *)
+
+let test_mli_rules () =
+  check_rules "Random alias in mli" [ "R3" ]
+    (lint ~path:"lib/fixture.mli" "module R = Random\n");
+  check_rules "open Random in mli" [ "R3" ]
+    (lint ~path:"lib/fixture.mli" "open Random\n");
+  check_rules "prng.mli exempt" []
+    (lint ~path:"lib/numerics/prng.mli" "module R = Random\n");
+  check_rules "plain mli clean" []
+    (lint ~path:"lib/fixture.mli" "val f : float -> float\n");
+  (* File-wide allows parse and suppress in interfaces too. *)
+  let r =
+    lint ~path:"lib/fixture.mli"
+      "[@@@lint.allow \"R3\"]\nmodule R = Random\n"
+  in
+  check_rules "mli file-wide allow" [] r;
+  Alcotest.(check int) "counted" 1 r.suppressed
 
 (* ---- R6: Obj.magic / Obj.repr ---- *)
 
@@ -210,9 +243,273 @@ let test_baseline_roundtrip () =
       Alcotest.(check int) "moved finding is fresh" 1 (List.length fresh));
   Sys.remove path
 
+(* ---- M1: stale suppressions ---- *)
+
+let test_m1_unused_allow () =
+  (* The comparison is on ints, so the R1 allow suppresses nothing. *)
+  let r = lint "let f x = (x = 1) [@lint.allow \"R1\"]\n" in
+  check_rules "stale allow reported" [ "M1" ] r;
+  Alcotest.(check int) "nothing suppressed" 0 r.suppressed;
+  (* A used allow is not stale. *)
+  check_rules "used allow silent" []
+    (lint "let f x = (x = 1.0) [@lint.allow \"R1\"]\n");
+  (* Allows naming deep-only rules are out of scope for a shallow run:
+     lint_source never evaluates R10-R12, so it cannot call them stale. *)
+  check_rules "deep-rule allow not stale in shallow run" []
+    (lint "let f x = x [@lint.allow \"R11\"]\n")
+
+(* ---- deep pass: call graph, effect fixpoint, R10/R11 ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let parse_impl path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let infer files =
+  Lint_effects.infer
+    (Lint_callgraph.build
+       (List.map (fun (p, s) -> (p, parse_impl p s)) files))
+
+let has_effect table ~mdl ~binding e =
+  Lint_effect.mem e (Lint_effects.effects table ~mdl ~binding)
+
+let test_fixpoint_mutual_recursion () =
+  let table =
+    infer
+      [
+        ( "lib/fix.ml",
+          "let rec even n = if n = 0 then stamp () > 0.0 else odd (n - 1)\n\
+           and odd n = if n = 0 then false else even (n - 1)\n\
+           and stamp () = Unix.gettimeofday ()\n" );
+      ]
+  in
+  Alcotest.(check bool) "stamp has clock" true
+    (has_effect table ~mdl:"Fix" ~binding:"stamp" Lint_effect.Clock);
+  Alcotest.(check bool) "even absorbs clock" true
+    (has_effect table ~mdl:"Fix" ~binding:"even" Lint_effect.Clock);
+  Alcotest.(check bool) "odd absorbs clock through even" true
+    (has_effect table ~mdl:"Fix" ~binding:"odd" Lint_effect.Clock);
+  let w = Lint_effects.witness table ~mdl:"Fix" ~binding:"odd" Lint_effect.Clock in
+  Alcotest.(check bool) "witness names the primitive" true
+    (contains w "Unix.gettimeofday")
+
+let test_higher_order_propagation () =
+  let table =
+    infer
+      [
+        ( "lib/ho.ml",
+          "let tick () = Unix.gettimeofday ()\n\
+           let stamp_all xs = List.map tick xs\n\
+           let pure_all xs = List.map (fun x -> x + 1) xs\n" );
+      ]
+  in
+  (* Passing an effectful function to List.map taints the caller: every
+     referenced value path is an edge, not just application heads. *)
+  Alcotest.(check bool) "List.map tick taints" true
+    (has_effect table ~mdl:"Ho" ~binding:"stamp_all" Lint_effect.Clock);
+  Alcotest.(check bool) "pure map stays pure" true
+    (Lint_effect.is_empty
+       (Lint_effects.effects table ~mdl:"Ho" ~binding:"pure_all"))
+
+let test_unknown_callee_taint () =
+  let table =
+    infer
+      [
+        ( "lib/fc.ml",
+          "module M = Mystery (Unit)\n\
+           let go x = M.run x\n\
+           module S = Map.Make (String)\n\
+           let tidy m = S.cardinal m\n" );
+      ]
+  in
+  (* A functor application the analysis cannot see through taints the
+     caller with Unknown; a whitelisted-stdlib functor does not. *)
+  Alcotest.(check bool) "opaque functor taints" true
+    (has_effect table ~mdl:"Fc" ~binding:"go" Lint_effect.Unknown);
+  Alcotest.(check bool) "Map.Make is pure" true
+    (Lint_effect.is_empty (Lint_effects.effects table ~mdl:"Fc" ~binding:"tidy"))
+
+let deep_findings files =
+  let table = infer files in
+  Lint_deep.run table ~manifest:Lint_deep.No_manifest_check
+    ~manifest_path:".cseffects"
+
+let test_r10_clock_in_core () =
+  let findings =
+    deep_findings
+      [
+        ( "lib/sched/guideline.ml",
+          "let plan c = Helper.now () +. c\nlet shape c = c *. 2.0\n" );
+        ("lib/sched/helper.ml", "let now () = Unix.gettimeofday ()\n");
+      ]
+  in
+  let r10 =
+    List.filter (fun (_, r) -> r.Lint_rules.r_rule = "R10") findings
+  in
+  Alcotest.(check bool) "R10 fired" true (List.length r10 >= 2);
+  Alcotest.(check bool) "chain reaches Guideline.plan" true
+    (List.exists
+       (fun (file, r) ->
+         file = "lib/sched/guideline.ml"
+         && contains r.Lint_rules.r_msg "Guideline.plan"
+         && contains r.Lint_rules.r_msg "clock")
+       r10)
+
+let test_r10_domain_allowed () =
+  (* Domain_pool must be in the parsed set, else its entry points are
+     unknown callees and taint with Unknown instead of domain. *)
+  let findings =
+    deep_findings
+      [
+        ( "lib/parallel/domain_pool.ml",
+          "let run ~chunks f = Domain.join (Domain.spawn (fun () -> f chunks))\n"
+        );
+        ( "lib/sched/batch.ml",
+          "let plan_batch pool n f = Domain_pool.run ~chunks:n (fun i -> f i)\n"
+        );
+      ]
+  in
+  Alcotest.(check int) "domain effect is legitimate in the core" 0
+    (List.length
+       (List.filter (fun (_, r) -> r.Lint_rules.r_rule = "R10") findings))
+
+let test_r11_mutable_capture () =
+  let findings =
+    deep_findings
+      [
+        ( "lib/workload/tally.ml",
+          "let total = ref 0.0\n\
+           let go n =\n\
+          \  Domain_pool.run ~chunks:n (fun i -> total := !total +. float_of_int i)\n"
+        );
+      ]
+  in
+  let r11 =
+    List.filter (fun (_, r) -> r.Lint_rules.r_rule = "R11") findings
+  in
+  Alcotest.(check bool) "R11 fired on captured ref" true (List.length r11 >= 1);
+  Alcotest.(check bool) "names the mutable" true
+    (List.exists (fun (_, r) -> contains r.Lint_rules.r_msg "Tally.total") r11);
+  (* Chunk-local state is the sanctioned shape. *)
+  let clean =
+    deep_findings
+      [
+        ( "lib/workload/tally.ml",
+          "let go n =\n\
+          \  Domain_pool.run ~chunks:n (fun i ->\n\
+          \    let acc = ref 0.0 in\n\
+          \    acc := !acc +. float_of_int i; !acc)\n" );
+      ]
+  in
+  Alcotest.(check int) "local ref is fine" 0
+    (List.length
+       (List.filter (fun (_, r) -> r.Lint_rules.r_rule = "R11") clean))
+
+let test_r11_read_only_capture () =
+  (* Reading a toplevel ref inside a pool closure races with any writer;
+     the mutable classification must win over the binding one. *)
+  let findings =
+    deep_findings
+      [
+        ( "lib/workload/tally.ml",
+          "let total = ref 0.0\n\
+           let go n = Domain_pool.run ~chunks:n (fun i -> !total +. float_of_int i)\n"
+        );
+      ]
+  in
+  Alcotest.(check bool) "read capture caught" true
+    (List.exists
+       (fun (_, r) ->
+         r.Lint_rules.r_rule = "R11"
+         && contains r.Lint_rules.r_msg "captures toplevel mutable")
+       findings)
+
+let test_r11_indirect_through_callee () =
+  let findings =
+    deep_findings
+      [
+        ( "lib/workload/tally.ml",
+          "let total = ref 0.0\n\
+           let bump x = total := !total +. x\n\
+           let go n = Domain_pool.run ~chunks:n (fun i -> bump (float_of_int i))\n"
+        );
+      ]
+  in
+  Alcotest.(check bool) "capture through a callee is caught" true
+    (List.exists (fun (_, r) -> r.Lint_rules.r_rule = "R11") findings)
+
+(* ---- effects manifest: render / load / diff round-trip ---- *)
+
+let test_manifest_roundtrip () =
+  let sigs =
+    [
+      ("Alpha", Lint_effect.of_list [ Lint_effect.Clock; Lint_effect.Io ]);
+      ("Beta", Lint_effect.empty);
+    ]
+  in
+  let path = Filename.temp_file "cslint" ".cseffects" in
+  Lint_manifest.save path sigs;
+  (match Lint_manifest.load path with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      Alcotest.(check int) "two entries" 2 (List.length entries);
+      Alcotest.(check int) "no drift" 0
+        (List.length (Lint_manifest.diff entries sigs));
+      let grown =
+        [
+          ( "Alpha",
+            Lint_effect.of_list
+              [ Lint_effect.Clock; Lint_effect.Io; Lint_effect.Gc ] );
+          ("Gamma", Lint_effect.empty);
+        ]
+      in
+      let drifts = Lint_manifest.diff entries grown in
+      Alcotest.(check int) "three drifts" 3 (List.length drifts);
+      Alcotest.(check bool) "new effect detected" true
+        (List.exists
+           (function
+             | Lint_manifest.New_effects ("Alpha", s) ->
+                 Lint_effect.mem Lint_effect.Gc s
+             | _ -> false)
+           drifts);
+      Alcotest.(check bool) "missing module detected" true
+        (List.exists
+           (function
+             | Lint_manifest.Missing_module "Gamma" -> true
+             | _ -> false)
+           drifts);
+      Alcotest.(check bool) "stale module detected" true
+        (List.exists
+           (function
+             | Lint_manifest.Stale_module ("Beta", _) -> true
+             | _ -> false)
+           drifts));
+  Sys.remove path
+
+let test_manifest_rejects_garbage () =
+  let path = Filename.temp_file "cslint" ".cseffects" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "Alpha: clock\nno-colon-line\n");
+  (match Lint_manifest.load path with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      Alcotest.(check bool) "names the file and line" true
+        (String.length e > String.length path
+        && String.sub e 0 (String.length path) = path));
+  Sys.remove path
+
 let test_rule_metadata_complete () =
   Alcotest.(check (list string))
-    "rule ids" [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9" ]
+    "rule ids"
+    [
+      "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "R11";
+      "R12"; "M1";
+    ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
 let () =
@@ -234,11 +531,41 @@ let () =
         ] );
       ("r3", [ Alcotest.test_case "stdlib Random" `Quick test_r3 ]);
       ("r4", [ Alcotest.test_case "printing from lib" `Quick test_r4 ]);
-      ("r5", [ Alcotest.test_case "mli pairing" `Quick test_r5 ]);
+      ( "r5",
+        [
+          Alcotest.test_case "mli pairing" `Quick test_r5;
+          Alcotest.test_case "orphan mli" `Quick test_r5_orphan_mli;
+        ] );
+      ("mli", [ Alcotest.test_case "interface rules" `Quick test_mli_rules ]);
       ("r6", [ Alcotest.test_case "Obj escape hatches" `Quick test_r6 ]);
       ("r7", [ Alcotest.test_case "raw Domain.spawn" `Quick test_r7 ]);
       ("r8", [ Alcotest.test_case "wall-clock reads" `Quick test_r8 ]);
       ("r9", [ Alcotest.test_case "direct Gc stats" `Quick test_r9 ]);
+      ("m1", [ Alcotest.test_case "unused allows" `Quick test_m1_unused_allow ]);
+      ( "deep",
+        [
+          Alcotest.test_case "mutual recursion converges" `Quick
+            test_fixpoint_mutual_recursion;
+          Alcotest.test_case "higher-order propagation" `Quick
+            test_higher_order_propagation;
+          Alcotest.test_case "unknown callee taints" `Quick
+            test_unknown_callee_taint;
+          Alcotest.test_case "R10 clock in core" `Quick test_r10_clock_in_core;
+          Alcotest.test_case "R10 domain allowed" `Quick test_r10_domain_allowed;
+          Alcotest.test_case "R11 mutable capture" `Quick
+            test_r11_mutable_capture;
+          Alcotest.test_case "R11 read-only capture" `Quick
+            test_r11_read_only_capture;
+          Alcotest.test_case "R11 indirect capture" `Quick
+            test_r11_indirect_through_callee;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "round-trip and drift" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_manifest_rejects_garbage;
+        ] );
       ( "machinery",
         [
           Alcotest.test_case "malformed allow" `Quick test_malformed_allow;
