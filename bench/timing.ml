@@ -309,6 +309,7 @@ let run ?(quick = false) ?(jobs = 1) () =
              {
                Bench_record.ns_per_call = fit.Bench_fit.ns_per_run;
                r_square = fit.Bench_fit.r_square;
+               advisory = not (Bench_fit.reliable fit);
              } ))
          rows)
   in

@@ -190,6 +190,17 @@ let snapshot_out_term =
     & info [ "snapshot-out" ] ~docv:"FILE"
         ~doc:"Where $(b,--snapshot-every) writes its snapshot timeline.")
 
+let serve_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"ADDR"
+        ~doc:
+          "Expose the live metrics registry over HTTP for the duration \
+           of the run: /metrics (Prometheus text), /health (rule \
+           verdict when $(b,--health) is given), /runs (the .csobs \
+           index). $(docv) is $(b,unix:PATH) or $(b,HOST:PORT).")
+
 (* Build an [Obs.t] from the flags and run [k obs snap res] with it.
    [meta] is a thunk so the git-sha capture only happens when a trace
    file is actually being written. Afterwards: print the registry
@@ -202,11 +213,11 @@ let snapshot_out_term =
    that the caller threads to the run's deterministic sampling
    points. *)
 let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
-    ?snapshot ?(resource = false) ?health k =
+    ?snapshot ?(resource = false) ?health ?serve k =
   let registry =
     if
       metrics || prom <> None || snapshot <> None || resource
-      || health <> None
+      || health <> None || serve <> None
     then Some (Obs.Metrics.create ())
     else None
   in
@@ -248,6 +259,59 @@ let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
       prerr_endline ("error: " ^ msg);
       exit 1
   in
+  (* --serve: expose the live registry over HTTP for the duration of
+     the run. The server thread reads the registry while the run
+     mutates it — scrapes see a mid-run state, which is the point. The
+     shutdown is registered with at_exit so the listening socket is
+     joined and unlinked even on the health-verdict exit paths. *)
+  (match serve with
+  | None -> ()
+  | Some addr -> (
+      let addr =
+        match Obs_http.addr_of_string addr with
+        | Ok a -> a
+        | Error msg ->
+            prerr_endline ("error: " ^ msg);
+            exit 2
+      in
+      let source =
+        {
+          Obs_http.metrics =
+            (fun () ->
+              match registry with
+              | Some m -> Obs_export.prometheus m @ prom_extra ()
+              | None -> []);
+          health =
+            (fun () ->
+              match (health_rules, registry) with
+              | Some rules, Some m ->
+                  let report =
+                    Obs_health.evaluate ~rules
+                      [ (None, Obs.Metrics.snapshot m) ]
+                  in
+                  let body =
+                    Format.asprintf "%a" Obs_health.pp_report report
+                  in
+                  if Obs_health.exit_code report = 0 then (200, body)
+                  else (503, body)
+              | _ -> (200, "ok\n"));
+          runs =
+            (fun () ->
+              if not (Sys.file_exists Obs_store.default_root) then
+                Ok (Jsonx.List [])
+              else
+                Result.bind (Obs_store.open_store ()) (fun s ->
+                    Result.map Obs_store.index_to_json (Obs_store.ls s)));
+        }
+      in
+      match Obs_http.serve_in_background ~addr source with
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          exit 1
+      | Ok srv ->
+          at_exit (fun () -> Obs_http.shutdown srv);
+          Format.printf "serving on %a@." Obs_http.pp_addr
+            (Obs_http.address srv)));
   let finish obs =
     k obs snap res;
     (match Obs.metrics obs with
@@ -265,7 +329,8 @@ let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
     | _ -> ());
     (match (snapshot, snap) with
     | Some (_, out), Some s ->
-        write_file out (fun oc -> Obs.Snapshot.write_jsonl s oc);
+        write_file out (fun oc ->
+            Obs.Snapshot.write_jsonl ~meta:(meta ()) s oc);
         Format.printf "wrote %d snapshot(s) to %s@."
           (List.length (Obs.Snapshot.entries s))
           out
@@ -409,7 +474,7 @@ let simulate_cmd =
              on a warn verdict, 2 on critical.")
   in
   let run spec c trials seed jobs trace metrics prom snapshot_every
-      snapshot_out resource health =
+      snapshot_out resource health serve =
     let meta () =
       Obs.Meta.make ~seed:(Int64.of_int seed) ~jobs
         ~scenario:
@@ -424,7 +489,7 @@ let simulate_cmd =
     with_family spec (fun lf ->
         with_obs ~meta ~trace ~metrics ?prom
           ~prom_extra:(fun () -> !extra)
-          ?snapshot ~resource ?health
+          ?snapshot ~resource ?health ?serve
           (fun obs snap res ->
             with_jobs jobs (fun pool ->
             let plan = Guideline.plan ~obs lf ~c in
@@ -453,7 +518,7 @@ let simulate_cmd =
     Term.(
       const run $ family_term $ c_term $ trials $ seed $ jobs_term
       $ trace_term $ metrics_term $ prom_term $ snapshot_every_term
-      $ snapshot_out_term $ resource_term $ health_term)
+      $ snapshot_out_term $ resource_term $ health_term $ serve_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)

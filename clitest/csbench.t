@@ -73,3 +73,61 @@ history summarises a JSONL trajectory.
   $ ../bin/csbench.exe history --bench clean-op hist.jsonl
     aaaaaaa                         100.0 ns/call  r^2 0.990
     bbbbbbb                         200.0 ns/call  r^2 0.990
+
+trend reads the same JSONL trajectory and fits a noise-aware slope
+over the usable points (csbench trend METRIC).
+
+  $ ../bin/csbench.exe trend --history hist.jsonl clean-op
+  metric: clean-op
+     seq  sha                ns/call       r^2
+       0  aaaaaaa                100      0.99
+       1  bbbbbbb                200      0.99
+  slope: +100 ns/call per run (2/2 usable point(s), r^2 nan)
+
+With --store, the first significant jump is attributed against the
+traces filed in a .csobs store. Handcrafted provenance headers carry
+the same shas as the history records, so the lookup joins; the two
+traces diverge at their second event.
+
+  $ cat > ta.jsonl <<'EOF'
+  > {"v":1,"type":"meta","schema":1,"git_sha":"aaaaaaa","seed":7,"scenario":"bench"}
+  > {"v":1,"type":"run_started","t":0.0,"source":"sim","seed":7}
+  > {"v":1,"type":"episode_started","t":0.0,"ws":0,"ep":0}
+  > EOF
+  $ cat > tb.jsonl <<'EOF'
+  > {"v":1,"type":"meta","schema":1,"git_sha":"bbbbbbb","seed":7,"scenario":"bench"}
+  > {"v":1,"type":"run_started","t":0.0,"source":"sim","seed":7}
+  > {"v":1,"type":"episode_started","t":0.5,"ws":0,"ep":0}
+  > EOF
+  $ ../bin/cstrace.exe store add --root store ta.jsonl > /dev/null
+  $ ../bin/cstrace.exe store add --root store tb.jsonl > /dev/null
+  $ ../bin/csbench.exe trend --history hist.jsonl --store store clean-op
+  metric: clean-op
+     seq  sha                ns/call       r^2
+       0  aaaaaaa                100      0.99
+       1  bbbbbbb                200      0.99
+  slope: +100 ns/call per run (2/2 usable point(s), r^2 nan)
+  jump: 2.00x between aaaaaaa (seq 0) and bbbbbbb (seq 1): 100 -> 200 ns/call
+  left  trace: store/runs/fd10be051a44/trace.jsonl
+  right trace: store/runs/2d05f561c75a/trace.jsonl
+  traces diverge at event 1
+    shared context before divergence:
+      [0] [      0.0000] run_started source=sim seed=7
+    left : [      0.0000] ws0 ep0 episode_started
+    right: [      0.5000] ws0 ep0 episode_started
+
+A wider threshold tolerates the 2x shift — nothing to attribute.
+
+  $ ../bin/csbench.exe trend --history hist.jsonl --store store --threshold 3 clean-op
+  metric: clean-op
+     seq  sha                ns/call       r^2
+       0  aaaaaaa                100      0.99
+       1  bbbbbbb                200      0.99
+  slope: +100 ns/call per run (2/2 usable point(s), r^2 nan)
+  no jump beyond 3.00x between adjacent usable points
+
+An unknown benchmark exits 2 and lists what the history does cover.
+
+  $ ../bin/csbench.exe trend --history hist.jsonl nosuch-op
+  csbench: benchmark "nosuch-op" not present in any run (have: clean-op, fast-op, noisy-op)
+  [2]

@@ -162,6 +162,26 @@ the emitted grammar subset before it is written.
   $ grep -c '"ruleId":"R11"' out.sarif
   1
 
+R13 fences socket I/O into lib/obs/obs_http.ml: any other module that
+opens a listening or connecting socket is flagged, so the network
+surface stays in one auditable place.
+
+  $ cat > lib/sneaky.ml << 'EOF'
+  > let listen path =
+  >   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  >   Unix.bind fd (Unix.ADDR_UNIX path);
+  >   fd
+  > EOF
+  $ cat > lib/sneaky.mli << 'EOF'
+  > val listen : string -> Unix.file_descr
+  > EOF
+  $ ../bin/cslint.exe lib/sneaky.ml lib/sneaky.mli
+  lib/sneaky.ml:2:11: R13 Unix.socket opens a network surface outside lib/obs/obs_http.ml; serve through Obs_http so the socket code stays in one auditable place
+  lib/sneaky.ml:3:2: R13 Unix.bind opens a network surface outside lib/obs/obs_http.ml; serve through Obs_http so the socket code stays in one auditable place
+  cslint: 2 finding(s), 0 baselined, 0 suppressed, 0 error(s)
+  [1]
+  $ rm lib/sneaky.ml lib/sneaky.mli
+
 M1 reports suppressions that no longer suppress anything; stale allows
 rot into misleading documentation. --allow-unused-allows downgrades
 the report to a warning for transitional trees.

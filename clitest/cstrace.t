@@ -230,3 +230,73 @@ which makes it usable on finished traces too.
     trace.period_length          n=1076 mean=10.3994 p50=10.6982 p95=13.6002 p99=13.6002
   [PASS] warn trace.episodes_finished >= 200
   verdict: ok (1 rule(s), 1 snapshot(s))
+
+The control-room layer: store files artifacts in a content-addressed
+registry whose run ids are derived from the provenance header (git sha
++ seed + scenario) — same triple, same id, on any machine. Handcrafted
+headers make the ids reproducible here.
+
+  $ cat > t1.jsonl <<'EOF'
+  > {"v":1,"type":"meta","schema":1,"git_sha":"aaaa111","seed":1,"scenario":"demo"}
+  > EOF
+  $ cat > t2.jsonl <<'EOF'
+  > {"v":1,"type":"meta","schema":1,"git_sha":"bbbb222","seed":2,"scenario":"demo"}
+  > EOF
+  $ ../bin/cstrace.exe store add --root store t1.jsonl
+  stored trace as run b339797e9fb6 (store/runs/b339797e9fb6/trace.jsonl)
+  $ ../bin/cstrace.exe store add --root store --kind snapshots t1.jsonl
+  stored snapshots as run b339797e9fb6 (store/runs/b339797e9fb6/snapshots.jsonl)
+  $ ../bin/cstrace.exe store add --root store t2.jsonl
+  stored trace as run ff8c82cad4bc (store/runs/ff8c82cad4bc/trace.jsonl)
+  $ ../bin/cstrace.exe store ls --root store
+  b339797e9fb6  trace      sha aaaa111  seed 1  scenario "demo"
+  b339797e9fb6  snapshots  sha aaaa111  seed 1  scenario "demo"
+  ff8c82cad4bc  trace      sha bbbb222  seed 2  scenario "demo"
+
+Artifacts without a provenance header are refused: a file the store
+cannot re-derive an id for could never be deduplicated or joined.
+
+  $ echo '{"v":1,"type":"run_finished","time":1.0}' > naked.jsonl
+  $ ../bin/cstrace.exe store add --root store naked.jsonl
+  error: naked.jsonl: no provenance header (Obs_meta line) — cannot derive a run id
+  [1]
+
+rm tombstones a run (idempotently); gc sweeps by count or by age
+relative to the store's own newest artifact, never the wall clock.
+
+  $ ../bin/cstrace.exe store rm --root store b339797e9fb6
+  removed run b339797e9fb6 (2 artifact(s))
+  $ ../bin/cstrace.exe store rm --root store b339797e9fb6
+  run b339797e9fb6 not in store
+  $ ../bin/cstrace.exe store gc --root store --keep 0
+  removed run ff8c82cad4bc
+  $ ../bin/cstrace.exe store ls --root store
+  store is empty
+
+serve exposes /metrics (validated Prometheus exposition), /health (SLO
+verdict as 200/503) and /runs (the store index) over HTTP; fetch is
+the matching scrape client, retrying the connect so it can start
+before the server finishes binding.
+
+  $ ../bin/cstrace.exe store add --root store t1.jsonl > /dev/null
+  $ SOCK=$(mktemp -u /tmp/cs_serve_XXXXXX)
+  $ ../bin/cstrace.exe serve --addr unix:$SOCK --snapshots snaps.jsonl --rule "critical episode.runs >= 1" --root store --requests 3 > serve.log &
+  $ ../bin/cstrace.exe fetch unix:$SOCK /metrics --validate-prom
+  valid exposition: 32 sample(s)
+  $ ../bin/cstrace.exe fetch unix:$SOCK /health
+  [PASS] critical episode.runs >= 1
+  verdict: ok (1 rule(s), 3 snapshot(s))
+  $ ../bin/cstrace.exe fetch unix:$SOCK /runs
+  [{"v":1,"type":"add","id":"b339797e9fb6","kind":"trace","file":"runs/b339797e9fb6/trace.jsonl","git_sha":"aaaa111","seed":1,"scenario":"demo"}]
+  $ wait
+  $ grep -c "serving on" serve.log
+  1
+
+--once answers exactly one request and exits — the deterministic smoke
+probe the CI leg runs against a finished trace.
+
+  $ SOCK2=$(mktemp -u /tmp/cs_once_XXXXXX)
+  $ ../bin/cstrace.exe serve --addr unix:$SOCK2 --trace a.jsonl --once > /dev/null &
+  $ ../bin/cstrace.exe fetch unix:$SOCK2 /metrics --validate-prom
+  valid exposition: 26 sample(s)
+  $ wait

@@ -1,4 +1,4 @@
-type entry = { ns_per_call : float; r_square : float }
+type entry = { ns_per_call : float; r_square : float; advisory : bool }
 
 type t = {
   schema : int;
@@ -45,10 +45,11 @@ let to_json t =
              (fun (name, r) ->
                ( name,
                  Jsonx.Obj
-                   [
-                     ("ns_per_call", json_num r.ns_per_call);
-                     ("r_square", json_num r.r_square);
-                   ] ))
+                   (("ns_per_call", json_num r.ns_per_call)
+                   :: ("r_square", json_num r.r_square)
+                   ::
+                   (if r.advisory then [ ("advisory", Jsonx.Bool true) ]
+                    else [])) ))
              t.results) );
     ]
 
@@ -97,7 +98,15 @@ let of_json j =
             let* acc = acc in
             let* ns_per_call = num_or_nan "ns_per_call" rj in
             let* r_square = num_or_nan "r_square" rj in
-            Ok ((name, { ns_per_call; r_square }) :: acc))
+            let* advisory =
+              match Jsonx.member "advisory" rj with
+              | None -> Ok (not (Bench_fit.reliable_r2 r_square))
+              | Some b -> (
+                  match Jsonx.get_bool b with
+                  | Some b -> Ok b
+                  | None -> Error "field \"advisory\" is not a boolean")
+            in
+            Ok ((name, { ns_per_call; r_square; advisory }) :: acc))
           (Ok []) kvs
     | Some _ | None -> Error "missing or ill-typed field \"results\""
   in

@@ -9,7 +9,18 @@
     fits). Schema v2; v1 files (PR 1, no SHA/hostname) still load with
     ["unknown"] placeholders so the gate can diff across the boundary. *)
 
-type entry = { ns_per_call : float; r_square : float }
+type entry = {
+  ns_per_call : float;
+  r_square : float;
+  advisory : bool;
+      (** The fit behind this estimate was not {!Bench_fit.reliable} —
+          too few kept samples or worse-than-constant r². Consumers that
+          divide through the fit quality ([csbench trend], {!Bench_gate})
+          must treat the point as informational, never as a gating or
+          slope input. Serialized as an explicit ["advisory": true]
+          field; absent means derived from [r_square] on load, so v1/v2
+          files without the field still classify correctly. *)
+}
 
 type t = {
   schema : int;

@@ -32,6 +32,7 @@ let scope_of_path path : Lint_rules.scope =
     is_clock = ends_with_any [ "obs/obs_clock.ml"; "obs/obs_clock.mli" ] n;
     is_resource =
       ends_with_any [ "obs/obs_resource.ml"; "obs/obs_resource.mli" ] n;
+    is_http = ends_with_any [ "obs/obs_http.ml"; "obs/obs_http.mli" ] n;
   }
 
 let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =

@@ -6,6 +6,7 @@ type scope = {
   in_parallel : bool;
   is_clock : bool;
   is_resource : bool;
+  is_http : bool;
 }
 
 type meta = { id : string; title : string; remedy : string }
@@ -92,6 +93,15 @@ let all_meta =
          .cseffects manifest (deep)";
       remedy =
         "review the drift, then re-lock with cslint --deep --write-effects";
+    };
+    {
+      id = "R13";
+      title =
+        "no socket I/O (Unix.socket, accept, bind, connect, ...) outside \
+         lib/obs/obs_http.ml";
+      remedy =
+        "serve through Obs_http, whose bounded request loop and validated \
+         responses keep the network surface auditable";
     };
     {
       id = "M1";
@@ -254,6 +264,20 @@ let make_checker (scope : scope) =
         report "R8" loc
           "Sys.time reads the process clock directly; route timing through \
            Obs_clock"
+    | _ -> ());
+    (match lid with
+    | Longident.Ldot
+        ( Longident.Lident "Unix",
+          (( "socket" | "socketpair" | "accept" | "bind" | "listen"
+           | "connect" | "setsockopt" | "getsockname" | "getpeername"
+           | "send" | "recv" | "sendto" | "recvfrom" ) as fn) )
+      when not scope.is_http ->
+        report "R13" loc
+          (Printf.sprintf
+             "Unix.%s opens a network surface outside lib/obs/obs_http.ml; \
+              serve through Obs_http so the socket code stays in one \
+              auditable place"
+             fn)
     | _ -> ());
     (match lid with
     | Longident.Ldot

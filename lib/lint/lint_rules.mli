@@ -17,12 +17,13 @@ type scope = {
   is_clock : bool;  (** [lib/obs/obs_clock.ml] itself: exempt from R8. *)
   is_resource : bool;
       (** [lib/obs/obs_resource.ml] itself: exempt from R9. *)
+  is_http : bool;  (** [lib/obs/obs_http.ml] itself: exempt from R13. *)
 }
 
 type meta = { id : string; title : string; remedy : string }
 
 val all_meta : meta list
-(** One entry per rule, in id order (R1–R12 then the M-series
+(** One entry per rule, in id order (R1–R13 then the M-series
     meta-rules); used by [cslint --rules] and kept in sync with
     DESIGN.md §8 and §13. *)
 

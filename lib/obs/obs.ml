@@ -7,6 +7,9 @@ module Snapshot = Obs_snapshot
 module Resource = Obs_resource
 module Health = Obs_health
 module Watch = Obs_watch
+module Store = Obs_store
+module Trend = Obs_trend
+module Http = Obs_http
 
 type t = {
   sink : Sink.t;

@@ -1,0 +1,143 @@
+(** A minimal, dependency-free HTTP/1.1 exposition server.
+
+    The observability layer's files ([--prom], snapshot timelines,
+    health reports) answer questions {e after} a run; a scraper — a
+    Prometheus poller, a CI smoke probe, an operator with [curl] —
+    wants to ask them {e during} one. This module serves exactly three
+    read-only endpoints over a Unix-domain or TCP socket:
+
+    - [GET /metrics] — Prometheus text exposition. The lines are passed
+      through {!Obs_export.validate_prometheus} before they leave the
+      process: serving unscrapable text is a [500], not a silent
+      poisoning of the poller.
+    - [GET /health] — the {!Obs_health} verdict over the current
+      metrics: [200] when healthy, [503] when any rule fires, mirroring
+      the CLI's exit-code contract so probes and scripts agree.
+    - [GET /runs] — the live {!Obs_store} index as JSON.
+
+    One request per connection ([Connection: close]), bodies framed by
+    [Content-Length]: the protocol surface is deliberately the smallest
+    thing a standard scraper accepts. Request parsing and response
+    framing are pure string functions, unit-testable without a socket;
+    only {!serve} and {!fetch} touch [Unix] — and this file is the
+    {e only} place in the tree allowed to open sockets (lint rule
+    R13). *)
+
+(** {1 Pure protocol core} *)
+
+type request = { meth : string; path : string; version : string }
+
+val max_head_bytes : int
+(** Cap on the request head (request line + headers, [8192]). A peer
+    that sends more gets [431] and the connection closed — the server
+    buffers a bounded amount no matter who connects. *)
+
+val read_head :
+  ?max_len:int ->
+  (bytes -> int -> int -> int) ->
+  (string, [ `Too_large | `Eof ]) result
+(** Accumulate from a [read buf pos len] function (returning [0] at
+    end-of-stream) until the blank line ending an HTTP head ([CRLFCRLF],
+    or bare [LFLF] from hand-typed clients), in chunks as small as the
+    reader yields them — partial reads are the normal case on sockets.
+    Returns the head including its terminator; [`Too_large] past
+    [max_len] (default {!max_head_bytes}), [`Eof] if the stream ends
+    first. *)
+
+val parse_request_line : string -> (request, string) result
+(** Parse the first line of a head: exactly [METHOD SP PATH SP
+    HTTP/x.y]. The path is taken verbatim up to [?] (queries are
+    ignored, not errors); anything else — missing parts, embedded
+    whitespace, non-HTTP version — is an error, which {!handle} turns
+    into [400]. *)
+
+val response : status:int -> ?content_type:string -> string -> string
+(** Frame a complete HTTP/1.1 response: status line with the standard
+    reason phrase, [Content-Type] (default [text/plain; charset=utf-8]),
+    [Content-Length] of the body, [Connection: close], blank line,
+    body. *)
+
+val status_reason : int -> string
+(** Standard reason phrase ([200] → ["OK"], [503] → ["Service
+    Unavailable"], ...); ["Status"] for codes outside the table. *)
+
+(** {1 Routing} *)
+
+type source = {
+  metrics : unit -> string list;
+      (** Current exposition lines ({!Obs_export.prometheus}). *)
+  health : unit -> int * string;
+      (** Probe status ([200] / [503]) and report body. *)
+  runs : unit -> (Jsonx.t, string) result;
+      (** Store index ({!Obs_store.index_to_json}); [Error] → [500]. *)
+}
+(** What the server serves, abstracted so [csctl] can hand it a live
+    registry while [cstrace serve] hands it files — and so tests can
+    hand it constants. *)
+
+val handle : source -> request -> int * string * string
+(** Route one request to [(status, content_type, body)]: the three
+    endpoints plus [/] (a plain-text index of them), [405] for any
+    method but [GET], [404] otherwise. [/metrics] output failing
+    {!Obs_export.validate_prometheus} is reported as a [500] naming the
+    offending line. Pure: all I/O lives in the [source] thunks. *)
+
+(** {1 Addresses} *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** [unix:PATH] (or any string containing [/]) is a Unix-domain socket
+    path; [HOST:PORT] is TCP. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+(** Inverse of {!addr_of_string} ([unix:PATH] / [HOST:PORT]). *)
+
+(** {1 Serving} *)
+
+val serve :
+  ?max_requests:int ->
+  ?ready:(addr -> unit) ->
+  addr:addr ->
+  source ->
+  (unit, string) result
+(** Bind [addr] (unlinking a stale Unix socket path first), call
+    [ready] once listening (the CLI writes an address file here, so a
+    test can start the server in the background and poll for the file
+    instead of racing the bind), then accept one connection at a time:
+    read a head, answer, close. Stops after [max_requests] connections
+    — [~max_requests:1] is the deterministic [--once] mode — or runs
+    until the process dies. Malformed and oversized requests are
+    answered ([400] / [431]) and {e do} count toward [max_requests],
+    so a misbehaving client cannot pin a bounded server open. *)
+
+type server
+(** A server running in a background thread. *)
+
+val serve_in_background :
+  ?max_requests:int -> addr:addr -> source -> (server, string) result
+(** {!serve} on a [Thread.t], returning once the socket is listening —
+    a subsequent {!fetch} cannot land before the bind. Used by
+    [csctl --serve] to expose a live run while the simulation keeps the
+    main thread. The source thunks run on the server thread: registry
+    reads are safe (atomic snapshots), but the thunks must not assume
+    the main thread is parked. *)
+
+val address : server -> addr
+(** The bound address — with TCP port [0], the ephemeral port the
+    kernel picked. *)
+
+val shutdown : server -> unit
+(** Stop accepting, unblock the accept loop, join the thread and remove
+    a Unix socket path. Idempotent. *)
+
+(** {1 Client} *)
+
+val fetch :
+  ?attempts:int -> addr:addr -> string -> (int * string, string) result
+(** Minimal one-shot client: [fetch ~addr path] sends [GET path] and
+    returns [(status, body)]. The
+    connect is retried up to [attempts] (default [100]) times with a
+    50 ms pause — startup polling for tests and CI probes; retry
+    bounds come from attempt counts, never from reading the clock
+    (R8). *)

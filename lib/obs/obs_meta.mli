@@ -18,6 +18,15 @@ type t = {
   seed : int64 option;  (** PRNG seed of the run, when it had one. *)
   jobs : int option;  (** [--jobs] domain count; must never change results. *)
   scenario : string option;  (** Free-form description of the invocation. *)
+  run_id : string option;
+      (** Cross-run identity ({!Obs_store.run_id_of_meta}): the key a
+          trace is filed under in a [.csobs] registry, and the
+          correlation id a farm daemon stamps on the traces of the
+          processes it spawns. *)
+  parent_span : string option;
+      (** Span path in the {e parent} process's trace that caused this
+          one (e.g. ["csfarmd.dispatch;episode.run"]) — the hook for
+          cross-process trace stitching. *)
 }
 
 val meta_version : int
@@ -25,7 +34,14 @@ val meta_version : int
     the event schema it records in [schema]. *)
 
 val make :
-  ?git_sha:string -> ?seed:int64 -> ?jobs:int -> ?scenario:string -> unit -> t
+  ?git_sha:string ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?scenario:string ->
+  ?run_id:string ->
+  ?parent_span:string ->
+  unit ->
+  t
 (** Build a header for the current process: [schema] is this build's
     {!Obs_event.schema_version} and [git_sha] defaults to
     {!capture_git_sha}. *)
@@ -46,5 +62,5 @@ val is_meta_json : Jsonx.t -> bool
     stricter {!of_json}. *)
 
 val pp : Format.formatter -> t -> unit
-(** One-line rendering: schema, scenario, seed, jobs, git sha (present
-    fields only). *)
+(** One-line rendering: schema, scenario, seed, jobs, run id, parent
+    span, git sha (present fields only). *)

@@ -88,30 +88,56 @@ let entry_of_json j =
     in
     Ok { at; metrics }
 
-let write_jsonl t oc =
-  List.iter
-    (fun e ->
+let write_jsonl ?meta t oc =
+  let emit_meta m =
+    output_string oc (Jsonx.to_string (Obs_meta.to_json m));
+    output_char oc '\n'
+  in
+  Option.iter emit_meta meta;
+  (* A wrapped ring means the file is a *shard*: its first entry is not
+     the run's first capture. Re-emit the provenance header at the wrap
+     boundary so a reader that starts at the rotation point (or a shard
+     produced by splitting the file there) still opens with its meta
+     line — Obs_store ingestion must never see a headerless shard. *)
+  List.iteri
+    (fun i e ->
+      if i = 0 && dropped t > 0 then Option.iter emit_meta meta;
       output_string oc (Jsonx.to_string (entry_to_json e));
       output_char oc '\n')
     (entries t)
 
-let load path =
+(* Meta lines are legal anywhere, not just at line 1: a shard written
+   after a ring wrap re-emits its header, and concatenating rotated
+   shards interleaves them mid-file. Every header is still validated —
+   a schema mismatch anywhere is an error, not a skip. *)
+let load_with_meta path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let rec go line_no acc =
+      let rec go line_no meta acc =
         match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
-        | "" -> go (line_no + 1) acc
+        | exception End_of_file -> Ok (meta, List.rev acc)
+        | "" -> go (line_no + 1) meta acc
         | line -> (
             match Jsonx.of_string line with
             | Error msg ->
                 Error (Printf.sprintf "%s:%d: %s" path line_no msg)
+            | Ok j when Obs_meta.is_meta_json j -> (
+                match Obs_meta.of_json j with
+                | Error msg ->
+                    Error (Printf.sprintf "%s:%d: %s" path line_no msg)
+                | Ok m ->
+                    let meta =
+                      match meta with Some _ -> meta | None -> Some m
+                    in
+                    go (line_no + 1) meta acc)
             | Ok j -> (
                 match entry_of_json j with
                 | Error msg ->
                     Error (Printf.sprintf "%s:%d: %s" path line_no msg)
-                | Ok e -> go (line_no + 1) (e :: acc)))
+                | Ok e -> go (line_no + 1) meta (e :: acc)))
       in
-      go 1 [])
+      go 1 None [])
+
+let load path = Result.map snd (load_with_meta path)

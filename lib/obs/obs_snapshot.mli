@@ -53,9 +53,20 @@ val entry_to_json : entry -> Jsonx.t
 
 val entry_of_json : Jsonx.t -> (entry, string) result
 
-val write_jsonl : t -> out_channel -> unit
-(** All retained entries, oldest first, one JSON object per line. *)
+val write_jsonl : ?meta:Obs_meta.t -> t -> out_channel -> unit
+(** All retained entries, oldest first, one JSON object per line. When
+    [meta] is given the file opens with its {!Obs_meta.to_json}
+    provenance header, and — if the ring has wrapped, i.e. the retained
+    window is a shard whose first entry is not the run's first capture —
+    the header is re-emitted at the rotation boundary, so splitting the
+    file there still yields self-describing shards ({!Obs_store}
+    ingestion refuses headerless artifacts). *)
 
 val load : string -> (entry list, string) result
 (** Read a file written by {!write_jsonl}. Blank lines are skipped;
-    malformed lines are errors with [file:line] positions. *)
+    provenance headers are validated and may appear anywhere (rotated
+    shards re-emit them mid-file); malformed lines are errors with
+    [file:line] positions. *)
+
+val load_with_meta : string -> (Obs_meta.t option * entry list, string) result
+(** {!load} plus the first provenance header, when the file has one. *)

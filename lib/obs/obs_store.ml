@@ -1,0 +1,365 @@
+type t = { root : string }
+type kind = Trace | Snapshots | Bench
+
+type record = {
+  id : string;
+  kind : kind;
+  file : string;
+  git_sha : string option;
+  seed : int64 option;
+  scenario : string option;
+}
+
+let default_root = ".csobs"
+let root t = t.root
+let index_version = 1
+
+let kind_to_string = function
+  | Trace -> "trace"
+  | Snapshots -> "snapshots"
+  | Bench -> "bench"
+
+let kind_of_string = function
+  | "trace" -> Ok Trace
+  | "snapshots" -> Ok Snapshots
+  | "bench" -> Ok Bench
+  | s -> Error (Printf.sprintf "unknown artifact kind %S" s)
+
+(* The stored filename is fixed per kind so re-adding a run's artifact
+   lands on the same path — the path is part of the address. *)
+let kind_filename = function
+  | Trace -> "trace.jsonl"
+  | Snapshots -> "snapshots.jsonl"
+  | Bench -> "bench.json"
+
+let run_id_of_meta (m : Obs_meta.t) =
+  let part = function Some s -> s | None -> "-" in
+  let key =
+    String.concat "\x00"
+      [
+        part m.git_sha;
+        part (Option.map Int64.to_string m.seed);
+        part m.scenario;
+      ]
+  in
+  String.sub (Digest.to_hex (Digest.string key)) 0 12
+
+let mkdir_p path =
+  let rec go p =
+    if p = "" || p = "." || p = "/" || Sys.file_exists p then ()
+    else begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let open_store ?(root = default_root) () =
+  if Sys.file_exists root && not (Sys.is_directory root) then
+    Error (Printf.sprintf "%s exists and is not a directory" root)
+  else begin
+    mkdir_p (Filename.concat root "runs");
+    Ok { root }
+  end
+
+let index_path t = Filename.concat t.root "index.jsonl"
+
+(* ------------------------------------------------------------------ *)
+(* Ledger lines                                                        *)
+
+let record_to_json r =
+  let opt name f = function Some v -> [ (name, f v) ] | None -> [] in
+  Jsonx.Obj
+    (("v", Jsonx.Int index_version)
+    :: ("type", Jsonx.String "add")
+    :: ("id", Jsonx.String r.id)
+    :: ("kind", Jsonx.String (kind_to_string r.kind))
+    :: ("file", Jsonx.String r.file)
+    :: (opt "git_sha" (fun s -> Jsonx.String s) r.git_sha
+       @ opt "seed" (fun s -> Jsonx.Int (Int64.to_int s)) r.seed
+       @ opt "scenario" (fun s -> Jsonx.String s) r.scenario))
+
+let tombstone_to_json id =
+  Jsonx.Obj
+    [
+      ("v", Jsonx.Int index_version);
+      ("type", Jsonx.String "rm");
+      ("id", Jsonx.String id);
+    ]
+
+type ledger_line = Add of record | Rm of string
+
+let ledger_line_of_json j =
+  let ( let* ) = Result.bind in
+  let str name = Option.bind (Jsonx.member name j) Jsonx.get_string in
+  let int name = Option.bind (Jsonx.member name j) Jsonx.get_int in
+  let* () =
+    match int "v" with
+    | Some v when v = index_version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported index version %d" v)
+    | None -> Error "missing or ill-typed field \"v\""
+  in
+  let* id =
+    match str "id" with
+    | Some id -> Ok id
+    | None -> Error "missing or ill-typed field \"id\""
+  in
+  match str "type" with
+  | Some "rm" -> Ok (Rm id)
+  | Some "add" ->
+      let* kind =
+        match str "kind" with
+        | Some k -> kind_of_string k
+        | None -> Error "missing or ill-typed field \"kind\""
+      in
+      let* file =
+        match str "file" with
+        | Some f -> Ok f
+        | None -> Error "missing or ill-typed field \"file\""
+      in
+      Ok
+        (Add
+           {
+             id;
+             kind;
+             file;
+             git_sha = str "git_sha";
+             seed = Option.map Int64.of_int (int "seed");
+             scenario = str "scenario";
+           })
+  | Some other -> Error (Printf.sprintf "unknown index line type %S" other)
+  | None -> Error "missing or ill-typed field \"type\""
+
+let append_line t json =
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (index_path t)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string json);
+      output_char oc '\n')
+
+let fold_ledger t =
+  let path = index_path t in
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go line_no acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (line_no + 1) acc
+          | line -> (
+              match
+                Result.bind (Jsonx.of_string line) ledger_line_of_json
+              with
+              | Error msg ->
+                  Error (Printf.sprintf "%s:%d: %s" path line_no msg)
+              | Ok l -> go (line_no + 1) (l :: acc))
+        in
+        go 1 [])
+
+(* Fold the ledger into the live view: tombstones erase every record of
+   their id; a re-add of the same (id, kind) supersedes the earlier
+   record but keeps its original position, so [ls] order reflects when a
+   run first entered the store, not when it was last refreshed. *)
+let live lines =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Rm id :: rest -> go (List.filter (fun r -> r.id <> id) acc) rest
+    | Add r :: rest ->
+        let acc =
+          if List.exists (fun r' -> r'.id = r.id && r'.kind = r.kind) acc
+          then
+            List.map
+              (fun r' ->
+                if r'.id = r.id && r'.kind = r.kind then r else r')
+              acc
+          else r :: acc
+        in
+        go acc rest
+  in
+  go [] lines
+
+let ls t = Result.map live (fold_ledger t)
+
+let find t ~id =
+  Result.map (List.filter (fun r -> r.id = id)) (ls t)
+
+let find_by_sha t ~git_sha =
+  Result.map (List.filter (fun r -> r.git_sha = Some git_sha)) (ls t)
+
+let artifact_path t r = Filename.concat t.root r.file
+
+(* ------------------------------------------------------------------ *)
+(* add                                                                 *)
+
+(* First provenance header in a JSONL artifact, scanned without loading
+   the (possibly large) body. Unparseable lines just don't match — the
+   artifact's own loader owns strictness; the store only needs the id. *)
+let scan_meta path =
+  let ic = try Some (open_in path) with Sys_error _ -> None in
+  match ic with
+  | None -> None
+  | Some ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line -> (
+                match Jsonx.of_string line with
+                | Ok j when Obs_meta.is_meta_json j -> (
+                    match Obs_meta.of_json j with
+                    | Ok m -> Some m
+                    | Error _ -> None)
+                | _ -> go ())
+          in
+          go ())
+
+let copy_file ~src ~dst =
+  In_channel.with_open_bin src (fun ic ->
+      Out_channel.with_open_bin dst (fun oc ->
+          let buf = Bytes.create 65536 in
+          let rec loop () =
+            let n = In_channel.input ic buf 0 (Bytes.length buf) in
+            if n > 0 then begin
+              Out_channel.output oc buf 0 n;
+              loop ()
+            end
+          in
+          loop ()))
+
+let add t ?meta ~kind src =
+  if not (Sys.file_exists src) then
+    Error (Printf.sprintf "%s: no such file" src)
+  else
+    let meta =
+      match meta with Some _ as m -> m | None -> scan_meta src
+    in
+    match meta with
+    | None ->
+        Error
+          (Printf.sprintf
+             "%s: no provenance header (Obs_meta line) — cannot derive a \
+              run id"
+             src)
+    | Some m -> (
+        let id = run_id_of_meta m in
+        let rel =
+          Filename.concat
+            (Filename.concat "runs" id)
+            (kind_filename kind)
+        in
+        let dst = Filename.concat t.root rel in
+        mkdir_p (Filename.dirname dst);
+        match copy_file ~src ~dst with
+        | exception Sys_error msg -> Error msg
+        | () ->
+            let r =
+              {
+                id;
+                kind;
+                file = rel;
+                git_sha = m.Obs_meta.git_sha;
+                seed = m.Obs_meta.seed;
+                scenario = m.Obs_meta.scenario;
+              }
+            in
+            append_line t (record_to_json r);
+            Ok r)
+
+(* ------------------------------------------------------------------ *)
+(* rm / gc                                                             *)
+
+let rm t ~id =
+  let ( let* ) = Result.bind in
+  let* records = find t ~id in
+  if records = [] then Ok 0
+  else begin
+    append_line t (tombstone_to_json id);
+    let removed =
+      List.fold_left
+        (fun n r ->
+          let path = artifact_path t r in
+          match Sys.remove path with
+          | () -> n + 1
+          | exception Sys_error _ -> n)
+        0 records
+    in
+    let dir = Filename.concat (Filename.concat t.root "runs") id in
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    Ok removed
+  end
+
+(* Newest artifact mtime of a run — its "recency" for age-based GC.
+   Measured with Unix.stat, never the wall clock: ages are computed
+   relative to the newest mtime across the whole store, so the sweep is
+   a pure function of the files on disk (R8: Obs_clock owns time). *)
+let run_mtime t records =
+  List.fold_left
+    (fun acc r ->
+      match Unix.stat (artifact_path t r) with
+      | st -> Stdlib.max acc st.Unix.st_mtime
+      | exception Unix.Unix_error _ -> acc)
+    neg_infinity records
+
+let gc t ?keep ?max_age_s () =
+  let ( let* ) = Result.bind in
+  let* records = ls t in
+  (* Distinct run ids in first-added order. *)
+  let ids =
+    List.rev
+      (List.fold_left
+         (fun acc r -> if List.mem r.id acc then acc else r.id :: acc)
+         [] records)
+  in
+  let of_id id = List.filter (fun r -> r.id = id) records in
+  let doomed_by_keep =
+    match keep with
+    | None -> []
+    | Some k ->
+        let n = List.length ids in
+        if n <= k then []
+        else List.filteri (fun i _ -> i < n - k) ids
+  in
+  let doomed_by_age =
+    match max_age_s with
+    | None -> []
+    | Some age ->
+        let mtimes = List.map (fun id -> (id, run_mtime t (of_id id))) ids in
+        let frontier =
+          List.fold_left (fun acc (_, m) -> Stdlib.max acc m) neg_infinity
+            mtimes
+        in
+        List.filter_map
+          (fun (id, m) ->
+            if Float.is_finite m && frontier -. m > age then Some id
+            else None)
+          mtimes
+  in
+  let doomed =
+    List.filter
+      (fun id ->
+        List.mem id doomed_by_keep || List.mem id doomed_by_age)
+      ids
+  in
+  let* () =
+    List.fold_left
+      (fun acc id ->
+        let* () = acc in
+        Result.map (fun (_ : int) -> ()) (rm t ~id))
+      (Ok ()) doomed
+  in
+  Ok doomed
+
+(* ------------------------------------------------------------------ *)
+(* wire form                                                           *)
+
+let index_to_json records =
+  Jsonx.List (List.map record_to_json records)

@@ -1,0 +1,112 @@
+(** A content-addressed registry of observability artifacts on disk.
+
+    A single run's trace tells you what that run did; comparing runs —
+    "when did this regression appear, and what did the first bad run do
+    differently?" — needs the artifacts of many runs filed somewhere
+    queryable. A store is a [.csobs] directory:
+
+    {v
+    .csobs/
+      index.jsonl            append-only ledger: add + rm lines
+      runs/<run-id>/
+        trace.jsonl          event trace (Obs_sink)
+        snapshots.jsonl      snapshot timeline (Obs_snapshot)
+        bench.json           bench record (Bench_record)
+    v}
+
+    The run id is {e derived, not minted}: a fixed-width digest of the
+    provenance triple (git sha, seed, scenario) from the artifact's
+    {!Obs_meta} header. Re-adding an artifact of the same run therefore
+    files it in the same place — the store is content-addressed by
+    provenance, and two machines indexing the same run agree on its id
+    without coordination. Artifacts without a provenance header are
+    refused: a file the store cannot re-derive an id for is a file it
+    could never deduplicate or join against.
+
+    The index is an append-only JSONL ledger, never rewritten in place:
+    [add] appends a record line, [rm] appends a tombstone. Readers fold
+    the ledger in order, so the live view is always last-writer-wins and
+    a crash mid-append loses at most the line being written. Removal by
+    age ({!gc}) is measured against file mtimes relative to the newest
+    artifact in the store — not against the wall clock, which belongs to
+    {!Obs_clock} alone (lint rule R8). *)
+
+type t
+(** An open store (root directory). *)
+
+type kind = Trace | Snapshots | Bench
+
+type record = {
+  id : string;  (** Run id ({!run_id_of_meta}). *)
+  kind : kind;
+  file : string;  (** Artifact path relative to the store root. *)
+  git_sha : string option;
+  seed : int64 option;
+  scenario : string option;
+}
+(** One live index entry: an artifact of run [id]. A run that stored
+    both a trace and a snapshot timeline has two records with the same
+    [id]. *)
+
+val default_root : string
+(** [".csobs"]. *)
+
+val open_store : ?root:string -> unit -> (t, string) result
+(** Open (creating if needed) the store rooted at [root] (default
+    {!default_root}). Errors if [root] exists and is not a directory. *)
+
+val root : t -> string
+
+val run_id_of_meta : Obs_meta.t -> string
+(** The deterministic run id of a provenance header: a 12-hex-digit
+    digest of [(git_sha, seed, scenario)], each component falling back
+    to ["-"] when absent. Same triple, same id — on any machine. *)
+
+val kind_to_string : kind -> string
+(** ["trace"] / ["snapshots"] / ["bench"]. *)
+
+val kind_of_string : string -> (kind, string) result
+
+val add :
+  t -> ?meta:Obs_meta.t -> kind:kind -> string -> (record, string) result
+(** [add t ~kind src] files a copy of [src] under [runs/<id>/] and
+    appends its record to the index. The id comes from [meta] when
+    given, otherwise from the first {!Obs_meta} header found in [src]
+    itself (trace and snapshot JSONL open with one); a headerless
+    artifact with no [?meta] override is an error. Re-adding the same
+    [(id, kind)] overwrites the stored copy and appends a fresh record
+    line (last one wins on read-back). *)
+
+val ls : t -> (record list, string) result
+(** Live records, oldest-added first: the index folded with tombstones
+    applied and duplicate [(id, kind)] entries collapsed to the latest. *)
+
+val find : t -> id:string -> (record list, string) result
+(** Live records of one run. *)
+
+val find_by_sha : t -> git_sha:string -> (record list, string) result
+(** Live records whose provenance git sha matches — the join key trend
+    attribution uses to map a bench-history row back to its trace. *)
+
+val artifact_path : t -> record -> string
+(** Absolute-ish path ([root ^ "/" ^ file]) of a record's artifact. *)
+
+val rm : t -> id:string -> (int, string) result
+(** Remove run [id]: append a tombstone and delete its artifacts.
+    Returns the number of artifacts deleted; [Ok 0] if the id was not
+    live (removal is idempotent). *)
+
+val gc :
+  t -> ?keep:int -> ?max_age_s:float -> unit -> (string list, string) result
+(** Retention sweep; returns the removed run ids, oldest first. [keep]
+    retains only the [keep] most recently {e added} runs (ledger
+    order). [max_age_s] removes runs whose newest artifact mtime lags
+    the newest mtime in the whole store by more than [max_age_s]
+    seconds — age is relative to the store's own frontier, so an
+    offline archive does not rot merely because nobody ran anything
+    ({!Obs_clock} owns the wall clock; the store never reads it). Both
+    criteria may be combined; with neither, nothing is removed. *)
+
+val index_to_json : record list -> Jsonx.t
+(** The [/runs] wire form: a JSON array of record objects — what
+    [cstrace serve] returns and what the CI artifact upload captures. *)

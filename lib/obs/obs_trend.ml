@@ -1,0 +1,206 @@
+type point = {
+  seq : int;
+  git_sha : string;
+  unix_time : float;
+  ns_per_call : float;
+  r_square : float;
+  advisory : bool;
+}
+
+type trajectory = {
+  metric : string;
+  points : point list;
+  fit : Bench_fit.fit option;
+}
+
+type jump = { j_from : point; j_to : point; j_ratio : float }
+
+type attribution = {
+  a_jump : jump;
+  a_left_trace : string option;
+  a_right_trace : string option;
+  a_divergence : Obs_query.divergence option;
+  a_note : string;
+}
+
+(* A point the analytics may lean on: measured (not advisory) and
+   finite. Advisory points still render in the table — they are data
+   about the *measurement*, just not about the code. *)
+let usable p = (not p.advisory) && Float.is_finite p.ns_per_call
+
+let metrics_of records =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun r -> List.map fst r.Bench_record.results)
+       records)
+
+(* Kahan-compensated fold, same discipline as Bench_fit: trajectories
+   are short but the ns values span nine orders of magnitude. *)
+let ksum f xs =
+  let sum = ref 0.0 and c = ref 0.0 in
+  List.iter
+    (fun x ->
+      let y = f x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum
+
+let slope_fit pairs =
+  let n = List.length pairs in
+  if n < 2 then None
+  else
+    let nf = float_of_int n in
+    let mx = ksum fst pairs /. nf and my = ksum snd pairs /. nf in
+    let sxx = ksum (fun (x, _) -> (x -. mx) *. (x -. mx)) pairs in
+    let syy = ksum (fun (_, y) -> (y -. my) *. (y -. my)) pairs in
+    let sxy = ksum (fun (x, y) -> (x -. mx) *. (y -. my)) pairs in
+    let slope = if sxx > 0.0 then sxy /. sxx else Float.nan in
+    let r_square =
+      (* With-intercept r² = sxy²/(sxx·syy); nan below min_samples or
+         when either variance is degenerate, per Bench_fit. *)
+      if n >= Bench_fit.min_samples && sxx > 0.0 && syy > 0.0 then
+        sxy *. sxy /. (sxx *. syy)
+      else Float.nan
+    in
+    Some { Bench_fit.ns_per_run = slope; r_square; kept = n; total = n }
+
+let trajectory ~metric records =
+  let points =
+    records
+    |> List.mapi (fun seq (r : Bench_record.t) ->
+           match List.assoc_opt metric r.results with
+           | None -> None
+           | Some (e : Bench_record.entry) ->
+               Some
+                 {
+                   seq;
+                   git_sha = r.git_sha;
+                   unix_time = r.unix_time;
+                   ns_per_call = e.ns_per_call;
+                   r_square = e.r_square;
+                   advisory = e.advisory;
+                 })
+    |> List.filter_map Fun.id
+  in
+  let pairs =
+    List.filter_map
+      (fun p ->
+        if usable p then Some (float_of_int p.seq, p.ns_per_call)
+        else None)
+      points
+  in
+  let fit =
+    Option.map
+      (fun f -> { f with Bench_fit.total = List.length points })
+      (slope_fit pairs)
+  in
+  { metric; points; fit }
+
+let first_jump ?(threshold = 1.25) tr =
+  if not (threshold > 1.0) then
+    invalid_arg "Obs_trend.first_jump: threshold must be > 1";
+  let rec go = function
+    | a :: (b :: _ as rest) when a.ns_per_call > 0.0 ->
+        let ratio = b.ns_per_call /. a.ns_per_call in
+        if ratio > threshold || ratio < 1.0 /. threshold then
+          Some { j_from = a; j_to = b; j_ratio = ratio }
+        else go rest
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (List.filter usable tr.points)
+
+let attribute ?threshold ~store tr =
+  match first_jump ?threshold tr with
+  | None -> None
+  | Some jump ->
+      let trace_of sha =
+        match Obs_store.find_by_sha store ~git_sha:sha with
+        | Error e -> (None, Some e)
+        | Ok records -> (
+            match
+              List.find_opt
+                (fun r -> r.Obs_store.kind = Obs_store.Trace)
+                records
+            with
+            | Some r -> (Some (Obs_store.artifact_path store r), None)
+            | None -> (None, None))
+      in
+      let left, lerr = trace_of jump.j_from.git_sha in
+      let right, rerr = trace_of jump.j_to.git_sha in
+      let missing side sha =
+        Printf.sprintf "no stored trace for %s commit %s" side sha
+      in
+      let divergence, note =
+        match (left, right, lerr, rerr) with
+        | _, _, Some e, _ | _, _, _, Some e -> (None, "store error: " ^ e)
+        | None, None, _, _ ->
+            ( None,
+              missing "either" jump.j_from.git_sha
+              ^ " / " ^ jump.j_to.git_sha )
+        | None, Some _, _, _ -> (None, missing "left" jump.j_from.git_sha)
+        | Some _, None, _, _ -> (None, missing "right" jump.j_to.git_sha)
+        | Some l, Some r, None, None -> (
+            match (Obs_query.load l, Obs_query.load r) with
+            | Error e, _ | _, Error e -> (None, "trace load: " ^ e)
+            | Ok lt, Ok rt -> (
+                match
+                  Obs_query.diff lt.Obs_query.events rt.Obs_query.events
+                with
+                | Some d -> (Some d, "")
+                | None ->
+                    ( None,
+                      "stored traces are structurally identical — the \
+                       regression is not visible at event granularity" )))
+      in
+      Some
+        {
+          a_jump = jump;
+          a_left_trace = left;
+          a_right_trace = right;
+          a_divergence = divergence;
+          a_note = note;
+        }
+
+let pp_trajectory ppf tr =
+  Format.fprintf ppf "metric: %s@." tr.metric;
+  if tr.points = [] then Format.fprintf ppf "  (no points)@."
+  else begin
+    Format.fprintf ppf "  %4s  %-10s  %14s  %8s@." "seq" "sha" "ns/call"
+      "r^2";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "  %4d  %-10s  %14.6g  %8.4g%s@." p.seq
+          p.git_sha p.ns_per_call p.r_square
+          (if p.advisory then "  advisory" else ""))
+      tr.points
+  end;
+  match tr.fit with
+  | None ->
+      Format.fprintf ppf
+        "slope: not fit (fewer than 2 usable points)@."
+  | Some f ->
+      Format.fprintf ppf
+        "slope: %+.6g ns/call per run (%d/%d usable point(s), r^2 %.4g)@."
+        f.Bench_fit.ns_per_run f.Bench_fit.kept f.Bench_fit.total
+        f.Bench_fit.r_square
+
+let pp_attribution ppf a =
+  let j = a.a_jump in
+  Format.fprintf ppf
+    "jump: %.2fx between %s (seq %d) and %s (seq %d): %.6g -> %.6g \
+     ns/call@."
+    j.j_ratio j.j_from.git_sha j.j_from.seq j.j_to.git_sha j.j_to.seq
+    j.j_from.ns_per_call j.j_to.ns_per_call;
+  let side name = function
+    | Some p -> Format.fprintf ppf "%s trace: %s@." name p
+    | None -> Format.fprintf ppf "%s trace: not in store@." name
+  in
+  side "left " a.a_left_trace;
+  side "right" a.a_right_trace;
+  (match a.a_divergence with
+  | Some d -> Format.fprintf ppf "%a" Obs_query.pp_divergence d
+  | None -> ());
+  if a.a_note <> "" then Format.fprintf ppf "note: %s@." a.a_note

@@ -74,7 +74,12 @@ let test_min_samples_guard () =
     (Float.is_finite fit4.Bench_fit.r_square);
   Alcotest.(check bool) "fit reliable" true (Bench_fit.reliable fit4)
 
-let entry ns r2 = { Bench_record.ns_per_call = ns; r_square = r2 }
+let entry ns r2 =
+  {
+    Bench_record.ns_per_call = ns;
+    r_square = r2;
+    advisory = not (Bench_fit.reliable_r2 r2);
+  }
 
 let record ?(git_sha = "abc1234") results =
   Bench_record.make ~ocaml:"5.2.0" ~git_sha ~hostname:"testhost"

@@ -209,6 +209,31 @@ let test_r9 () =
   check_rules "suppressed" []
     (lint "let s () = (Gc.quick_stat () [@lint.allow \"R9\"])\n")
 
+(* ---- R13: socket I/O outside lib/obs/obs_http.ml ---- *)
+
+let test_r13 () =
+  check_rules "socket in lib" [ "R13" ]
+    (lint "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n");
+  check_rules "accept in bin" [ "R13" ]
+    (lint ~path:"bin/fixture.ml" "let a fd = Unix.accept fd\n");
+  check_rules "bind in bench" [ "R13" ]
+    (lint ~path:"bench/fixture.ml" "let b fd sa = Unix.bind fd sa\n");
+  check_rules "connect in lib" [ "R13" ]
+    (lint "let c fd sa = Unix.connect fd sa\n");
+  check_rules "obs_http exempt" []
+    (lint ~path:"lib/obs/obs_http.ml"
+       "let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
+  (* The rest of Unix stays available — only the socket surface is
+     fenced, and a bare [shutdown] is not Unix.shutdown. *)
+  check_rules "Unix.read fine" []
+    (lint "let r fd b = Unix.read fd b 0 1\n");
+  check_rules "local shutdown fine" []
+    (lint "let shutdown () = ()\nlet s = shutdown ()\n");
+  check_rules "suppressed" []
+    (lint
+       "let s () = (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0) \
+        [@lint.allow \"R13\"]\n")
+
 (* ---- malformed suppression payloads, parse errors, baseline ---- *)
 
 let test_malformed_allow () =
@@ -508,7 +533,7 @@ let test_rule_metadata_complete () =
     "rule ids"
     [
       "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "R11";
-      "R12"; "M1";
+      "R12"; "R13"; "M1";
     ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
@@ -541,6 +566,7 @@ let () =
       ("r7", [ Alcotest.test_case "raw Domain.spawn" `Quick test_r7 ]);
       ("r8", [ Alcotest.test_case "wall-clock reads" `Quick test_r8 ]);
       ("r9", [ Alcotest.test_case "direct Gc stats" `Quick test_r9 ]);
+      ("r13", [ Alcotest.test_case "socket I/O fence" `Quick test_r13 ]);
       ("m1", [ Alcotest.test_case "unused allows" `Quick test_m1_unused_allow ]);
       ( "deep",
         [

@@ -1,0 +1,394 @@
+(* The content-addressed observability store (Obs_store): deterministic
+   run-id derivation, add/ls round trips through the append-only index
+   ledger, tombstone semantics of rm, retention sweeps (gc by count and
+   by mtime-relative age), and the snapshot shard headers the store's
+   ingestion contract relies on. *)
+
+let with_temp_dir k =
+  let path = Filename.temp_file "cs_store" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm path) (fun () -> k path)
+
+let write_file path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let contains_sub hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Obs_meta.make defaults git_sha to the enclosing repository's HEAD;
+   pin it (or its absence) explicitly so ids are reproducible here. *)
+let meta ?git_sha ?seed ?scenario () =
+  let m = Obs_meta.make ?seed ?scenario () in
+  { m with Obs_meta.git_sha }
+
+let trace_lines m =
+  Jsonx.to_string (Obs_meta.to_json m)
+  :: List.map
+       (fun ev -> Jsonx.to_string (Obs_event.to_json ev))
+       Obs_event.
+         [
+           Run_started { time = 0.0; source = "test"; seed = m.Obs_meta.seed };
+           Run_finished { time = 1.0 };
+         ]
+
+(* ------------------------------------------------------------------ *)
+(* Run ids                                                             *)
+
+let test_run_id_deterministic () =
+  let m () = meta ~git_sha:"abc123" ~seed:7L ~scenario:"simulate u" () in
+  let id = Obs_store.run_id_of_meta (m ()) in
+  (* The acceptance contract: same (sha, seed, scenario), same id. *)
+  Alcotest.(check string) "same triple, same id" id
+    (Obs_store.run_id_of_meta (m ()));
+  Alcotest.(check int) "12 digits" 12 (String.length id);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        (String.contains "0123456789abcdef" c))
+    id;
+  (* Fields outside the triple must not perturb the id: a re-run with
+     more domains is the same run. *)
+  Alcotest.(check string) "jobs not part of the identity" id
+    (Obs_store.run_id_of_meta { (m ()) with Obs_meta.jobs = Some 8 });
+  let differs label m' =
+    Alcotest.(check bool) label true (Obs_store.run_id_of_meta m' <> id)
+  in
+  differs "seed changes the id"
+    (meta ~git_sha:"abc123" ~seed:8L ~scenario:"simulate u" ());
+  differs "sha changes the id"
+    (meta ~git_sha:"abc124" ~seed:7L ~scenario:"simulate u" ());
+  differs "scenario changes the id"
+    (meta ~git_sha:"abc123" ~seed:7L ~scenario:"simulate g" ());
+  (* Absent fields fall back to "-": a bare header still derives a
+     stable id. *)
+  Alcotest.(check string) "bare header is stable"
+    (Obs_store.run_id_of_meta (meta ()))
+    (Obs_store.run_id_of_meta (meta ()))
+
+(* ------------------------------------------------------------------ *)
+(* add / ls / find                                                     *)
+
+let test_add_and_ls () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let st = ok (Obs_store.open_store ~root ()) in
+      let m = meta ~git_sha:"deadbeef" ~seed:7L ~scenario:"sim" () in
+      let src = Filename.concat dir "trace.jsonl" in
+      write_file src (trace_lines m);
+      let r = ok (Obs_store.add st ~kind:Obs_store.Trace src) in
+      Alcotest.(check string) "id derived from the embedded header"
+        (Obs_store.run_id_of_meta m) r.Obs_store.id;
+      Alcotest.(check string) "filed under runs/<id>/"
+        (Filename.concat (Filename.concat "runs" r.Obs_store.id)
+           "trace.jsonl")
+        r.Obs_store.file;
+      Alcotest.(check bool) "copy exists" true
+        (Sys.file_exists (Obs_store.artifact_path st r));
+      Alcotest.(check bool) "provenance surfaced" true
+        (r.Obs_store.git_sha = Some "deadbeef"
+        && r.Obs_store.seed = Some 7L
+        && r.Obs_store.scenario = Some "sim");
+      (* A second artifact of the same run files under the same id. *)
+      let snap = Filename.concat dir "snap.jsonl" in
+      write_file snap [ Jsonx.to_string (Obs_meta.to_json m) ];
+      let r2 = ok (Obs_store.add st ~kind:Obs_store.Snapshots snap) in
+      Alcotest.(check string) "same run id" r.Obs_store.id r2.Obs_store.id;
+      let rows = ok (Obs_store.ls st) in
+      Alcotest.(check int) "two live records" 2 (List.length rows);
+      Alcotest.(check int) "find by id" 2
+        (List.length (ok (Obs_store.find st ~id:r.Obs_store.id)));
+      Alcotest.(check int) "find by sha" 2
+        (List.length (ok (Obs_store.find_by_sha st ~git_sha:"deadbeef")));
+      Alcotest.(check int) "find by unknown sha" 0
+        (List.length (ok (Obs_store.find_by_sha st ~git_sha:"cafe")));
+      match Obs_store.index_to_json rows with
+      | Jsonx.List items ->
+          Alcotest.(check int) "wire form lists every record" 2
+            (List.length items)
+      | _ -> Alcotest.fail "index_to_json is not an array")
+
+let test_readd_supersedes_in_place () =
+  with_temp_dir (fun dir ->
+      let st =
+        ok (Obs_store.open_store ~root:(Filename.concat dir "store") ())
+      in
+      let ma = meta ~git_sha:"aaaa" ~seed:1L () in
+      let mb = meta ~git_sha:"bbbb" ~seed:2L () in
+      let src_a = Filename.concat dir "a.jsonl" in
+      let src_b = Filename.concat dir "b.jsonl" in
+      write_file src_a (trace_lines ma);
+      write_file src_b (trace_lines mb);
+      let ra = ok (Obs_store.add st ~kind:Obs_store.Trace src_a) in
+      let rb = ok (Obs_store.add st ~kind:Obs_store.Trace src_b) in
+      (* Refresh run A: the ledger gains a line but the live view still
+         shows one trace per run, in first-added order. *)
+      write_file src_a (trace_lines ma @ [ "" ]);
+      let ra' = ok (Obs_store.add st ~kind:Obs_store.Trace src_a) in
+      Alcotest.(check string) "same id on re-add" ra.Obs_store.id
+        ra'.Obs_store.id;
+      let rows = ok (Obs_store.ls st) in
+      Alcotest.(check (list string)) "collapsed, original order"
+        [ ra.Obs_store.id; rb.Obs_store.id ]
+        (List.map (fun r -> r.Obs_store.id) rows))
+
+let test_headerless_refused () =
+  with_temp_dir (fun dir ->
+      let st =
+        ok (Obs_store.open_store ~root:(Filename.concat dir "store") ())
+      in
+      let src = Filename.concat dir "naked.jsonl" in
+      write_file src
+        [
+          Jsonx.to_string
+            (Obs_event.to_json
+               (Obs_event.Run_finished { time = 0.0 }));
+        ];
+      (match Obs_store.add st ~kind:Obs_store.Trace src with
+      | Ok _ -> Alcotest.fail "accepted a headerless artifact"
+      | Error msg ->
+          Alcotest.(check bool) "error names the missing header" true
+            (contains_sub msg "provenance"));
+      (* An explicit ?meta override supplies the provenance instead. *)
+      let r =
+        ok
+          (Obs_store.add st
+             ~meta:(meta ~git_sha:"feed" ~seed:3L ())
+             ~kind:Obs_store.Trace src)
+      in
+      Alcotest.(check bool) "override filed it" true
+        (Sys.file_exists (Obs_store.artifact_path st r));
+      match Obs_store.add st ~kind:Obs_store.Trace "no/such/file" with
+      | Ok _ -> Alcotest.fail "added a missing file"
+      | Error _ -> ())
+
+let test_open_store_rejects_non_directory () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "plain" in
+      write_file root [ "not a directory" ];
+      match Obs_store.open_store ~root () with
+      | Ok _ -> Alcotest.fail "opened a store on a plain file"
+      | Error msg ->
+          Alcotest.(check bool) "says why" true
+            (contains_sub msg "not a directory"))
+
+(* ------------------------------------------------------------------ *)
+(* rm / tombstones                                                     *)
+
+let test_rm_tombstones () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let st = ok (Obs_store.open_store ~root ()) in
+      let m = meta ~git_sha:"c0ffee" ~seed:5L () in
+      let src = Filename.concat dir "t.jsonl" in
+      write_file src (trace_lines m);
+      let r = ok (Obs_store.add st ~kind:Obs_store.Trace src) in
+      let (_ : Obs_store.record) =
+        ok (Obs_store.add st ~meta:m ~kind:Obs_store.Snapshots src)
+      in
+      let id = r.Obs_store.id in
+      Alcotest.(check int) "both artifacts deleted" 2
+        (ok (Obs_store.rm st ~id));
+      Alcotest.(check bool) "artifact gone" false
+        (Sys.file_exists (Obs_store.artifact_path st r));
+      Alcotest.(check int) "live view empty" 0
+        (List.length (ok (Obs_store.ls st)));
+      Alcotest.(check int) "rm is idempotent" 0 (ok (Obs_store.rm st ~id));
+      (* The tombstone is in the ledger, not in-process state: a fresh
+         handle folds to the same empty view. *)
+      let st2 = ok (Obs_store.open_store ~root ()) in
+      Alcotest.(check int) "tombstone persisted" 0
+        (List.length (ok (Obs_store.ls st2)));
+      (* A re-add after rm resurrects the run. *)
+      let (_ : Obs_store.record) =
+        ok (Obs_store.add st ~kind:Obs_store.Trace src)
+      in
+      Alcotest.(check int) "re-added run is live" 1
+        (List.length (ok (Obs_store.ls st))))
+
+let test_corrupt_ledger_is_an_error () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "store" in
+      let st = ok (Obs_store.open_store ~root ()) in
+      let src = Filename.concat dir "t.jsonl" in
+      write_file src (trace_lines (meta ~git_sha:"ab" ~seed:1L ()));
+      let (_ : Obs_store.record) =
+        ok (Obs_store.add st ~kind:Obs_store.Trace src)
+      in
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Filename.concat root "index.jsonl")
+      in
+      output_string oc "not json\n";
+      close_out oc;
+      match Obs_store.ls st with
+      | Ok _ -> Alcotest.fail "folded a corrupt ledger"
+      | Error msg ->
+          Alcotest.(check bool) "error carries file:line" true
+            (contains_sub msg "index.jsonl:2"))
+
+(* ------------------------------------------------------------------ *)
+(* gc                                                                  *)
+
+let add_run st dir tag seed =
+  let src = Filename.concat dir (tag ^ ".jsonl") in
+  write_file src (trace_lines (meta ~git_sha:tag ~seed ()));
+  ok (Obs_store.add st ~kind:Obs_store.Trace src)
+
+let test_gc_keep () =
+  with_temp_dir (fun dir ->
+      let st =
+        ok (Obs_store.open_store ~root:(Filename.concat dir "store") ())
+      in
+      let ra = add_run st dir "aa" 1L in
+      let rb = add_run st dir "bb" 2L in
+      let rc = add_run st dir "cc" 3L in
+      Alcotest.(check (list string)) "nothing without criteria" []
+        (ok (Obs_store.gc st ()));
+      Alcotest.(check (list string)) "keep more than exists" []
+        (ok (Obs_store.gc st ~keep:5 ()));
+      Alcotest.(check (list string)) "oldest evicted first, newest kept"
+        [ ra.Obs_store.id; rb.Obs_store.id ]
+        (ok (Obs_store.gc st ~keep:1 ()));
+      Alcotest.(check (list string)) "survivor"
+        [ rc.Obs_store.id ]
+        (List.map
+           (fun r -> r.Obs_store.id)
+           (ok (Obs_store.ls st))))
+
+let test_gc_age_relative_to_frontier () =
+  with_temp_dir (fun dir ->
+      let st =
+        ok (Obs_store.open_store ~root:(Filename.concat dir "store") ())
+      in
+      let old_r = add_run st dir "old1" 1L in
+      let new_r = add_run st dir "new1" 2L in
+      (* Age is measured against the store's newest mtime, not the wall
+         clock: backdate the old run 100 s behind the frontier. *)
+      let frontier =
+        (Unix.stat (Obs_store.artifact_path st new_r)).Unix.st_mtime
+      in
+      Unix.utimes
+        (Obs_store.artifact_path st old_r)
+        (frontier -. 100.0) (frontier -. 100.0);
+      Alcotest.(check (list string)) "inside the window, nothing removed"
+        []
+        (ok (Obs_store.gc st ~max_age_s:200.0 ()));
+      Alcotest.(check (list string)) "stale run removed"
+        [ old_r.Obs_store.id ]
+        (ok (Obs_store.gc st ~max_age_s:50.0 ()));
+      Alcotest.(check (list string)) "frontier run survives"
+        [ new_r.Obs_store.id ]
+        (List.map
+           (fun r -> r.Obs_store.id)
+           (ok (Obs_store.ls st))))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot shard headers (the store's ingestion contract)             *)
+
+let test_snapshot_shard_headers () =
+  let reg = Obs_metrics.create () in
+  let c = Obs_metrics.counter reg "n" in
+  let snap = Obs_snapshot.create ~capacity:2 ~every:1 reg in
+  List.iter
+    (fun at ->
+      Obs_metrics.incr c;
+      Obs_snapshot.tick snap ~at)
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "ring wrapped" 1 (Obs_snapshot.dropped snap);
+  let m = meta ~git_sha:"abcd" ~seed:9L ~scenario:"shard" () in
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.jsonl" in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs_snapshot.write_jsonl ~meta:m snap oc);
+      (* A wrapped ring re-emits the header at the rotation boundary, so
+         splitting the file there yields two self-describing shards. *)
+      let lines = String.split_on_char '\n' In_channel.(with_open_bin path input_all) in
+      let metas =
+        List.length
+          (List.filter (fun l -> contains_sub l "\"type\":\"meta\"") lines)
+      in
+      Alcotest.(check int) "header emitted at start and at the wrap" 2 metas;
+      let hdr, entries = ok (Obs_snapshot.load_with_meta path) in
+      Alcotest.(check bool) "first header surfaced" true (hdr = Some m);
+      Alcotest.(check bool) "entries survive the duplicated header" true
+        (entries = Obs_snapshot.entries snap);
+      Alcotest.(check bool) "load strips headers" true
+        (ok (Obs_snapshot.load path) = entries);
+      (* The shard ingests cleanly: the store reads the same header. *)
+      let st =
+        ok (Obs_store.open_store ~root:(Filename.concat dir "store") ())
+      in
+      let r = ok (Obs_store.add st ~kind:Obs_store.Snapshots path) in
+      Alcotest.(check string) "store derives the shard's id"
+        (Obs_store.run_id_of_meta m) r.Obs_store.id);
+  (* An unwrapped ring writes exactly one header. *)
+  let snap2 = Obs_snapshot.create ~capacity:8 ~every:1 reg in
+  Obs_snapshot.tick snap2 ~at:1;
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "snap.jsonl" in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs_snapshot.write_jsonl ~meta:m snap2 oc);
+      let lines = String.split_on_char '\n' In_channel.(with_open_bin path input_all) in
+      Alcotest.(check int) "single header when nothing was dropped" 1
+        (List.length
+           (List.filter (fun l -> contains_sub l "\"type\":\"meta\"") lines)))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "run-id",
+        [ Alcotest.test_case "deterministic" `Quick test_run_id_deterministic ]
+      );
+      ( "add",
+        [
+          Alcotest.test_case "add and ls" `Quick test_add_and_ls;
+          Alcotest.test_case "re-add supersedes in place" `Quick
+            test_readd_supersedes_in_place;
+          Alcotest.test_case "headerless refused" `Quick
+            test_headerless_refused;
+          Alcotest.test_case "root must be a directory" `Quick
+            test_open_store_rejects_non_directory;
+        ] );
+      ( "rm",
+        [
+          Alcotest.test_case "tombstones" `Quick test_rm_tombstones;
+          Alcotest.test_case "corrupt ledger" `Quick
+            test_corrupt_ledger_is_an_error;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "keep newest" `Quick test_gc_keep;
+          Alcotest.test_case "age relative to frontier" `Quick
+            test_gc_age_relative_to_frontier;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "meta header re-emitted on wrap" `Quick
+            test_snapshot_shard_headers;
+        ] );
+    ]
