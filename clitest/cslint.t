@@ -146,10 +146,11 @@ in one parse.
   lib/sched/plan.ml:3:0: R10 planning-core binding Plan.stamp is not effect-free: reaches clock via Plan.stamp -> Unix.gettimeofday (lib/sched/plan.ml:3)
   lib/sched/plan.ml:3:15: R8 Unix.gettimeofday reads the wall clock directly; route timing through Obs_clock
   lib/sched/plan.ml:4:0: R10 planning-core binding Plan.plan_stamped is not effect-free: reaches clock via Plan.plan_stamped -> Plan.stamp -> Unix.gettimeofday (lib/sched/plan.ml:3)
+  lib/sched/plan.ml:5:12: R14 toplevel ref allocates module-lifetime mutable state in lib/sched; plan memoization belongs in lib/plancache (Plancache.create), passed explicitly
   lib/sched/plan.ml:6:0: R10 planning-core binding Plan.sum is not effect-free: reaches global-mut via Plan.sum -> touches toplevel mutable Plan.tally (lib/sched/plan.ml:6)
   lib/sched/plan.ml:6:48: R11 closure passed to Domain_pool.run captures toplevel mutable Plan.tally; pass state through chunk-local arguments and merge on the caller
   lib/sched/plan.ml:6:48: R11 closure passed to Domain_pool.run mutates toplevel state Plan.tally via :=; chunks must only write state disjoint per chunk index
-  cslint: 7 finding(s), 0 baselined, 1 suppressed, 0 error(s)
+  cslint: 8 finding(s), 0 baselined, 1 suppressed, 0 error(s)
   [1]
 
 SARIF 2.1.0 export for CI annotations: the file is validated against
@@ -199,3 +200,28 @@ the report to a warning for transitional trees.
   $ ../bin/cslint.exe --allow-unused-allows lib/stale.ml lib/stale.mli
   warning: lib/stale.ml:1:18: M1 unused [@lint.allow "R1"]: no R1 finding falls inside its span; delete the stale suppression
   cslint: clean (0 new, 0 baselined, 0 suppressed)
+
+R14 fences plan-memoization state into lib/plancache: toplevel mutable
+containers (Hashtbl, Atomic, ref) in lib/sched would make the planning
+core's answers depend on call history, breaking R10 purity and bit
+reproducibility. Function-local tables stay legal — they die with the
+call.
+
+  $ mkdir -p lib/sched
+  $ cat > lib/sched/memo.ml << 'EOF2'
+  > let cache = Hashtbl.create 64
+  > let lookup k = Hashtbl.find_opt cache k
+  > let local k =
+  >   let scratch = Hashtbl.create 8 in
+  >   Hashtbl.replace scratch k ();
+  >   Hashtbl.length scratch
+  > EOF2
+  $ cat > lib/sched/memo.mli << 'EOF2'
+  > val lookup : string -> int option
+  > val local : string -> int
+  > EOF2
+  $ ../bin/cslint.exe lib/sched/memo.ml lib/sched/memo.mli
+  lib/sched/memo.ml:1:12: R14 toplevel Hashtbl.create allocates module-lifetime mutable state in lib/sched; plan memoization belongs in lib/plancache (Plancache.create), passed explicitly
+  cslint: 1 finding(s), 0 baselined, 0 suppressed, 0 error(s)
+  [1]
+  $ rm -r lib/sched

@@ -33,6 +33,7 @@ let scope_of_path path : Lint_rules.scope =
     is_resource =
       ends_with_any [ "obs/obs_resource.ml"; "obs/obs_resource.mli" ] n;
     is_http = ends_with_any [ "obs/obs_http.ml"; "obs/obs_http.mli" ] n;
+    in_sched = under "lib" n && under "sched" n;
   }
 
 let finding_of_raw file (r : Lint_rules.raw) : Lint_finding.t =

@@ -7,6 +7,7 @@ type scope = {
   is_clock : bool;
   is_resource : bool;
   is_http : bool;
+  in_sched : bool;
 }
 
 type meta = { id : string; title : string; remedy : string }
@@ -102,6 +103,16 @@ let all_meta =
       remedy =
         "serve through Obs_http, whose bounded request loop and validated \
          responses keep the network surface auditable";
+    };
+    {
+      id = "R14";
+      title =
+        "no toplevel mutable memo/cache state (Hashtbl, Atomic, ref) in \
+         lib/sched; plan memoization lives in lib/plancache";
+      remedy =
+        "hold the state in an explicit Plancache.t handle and pass it \
+         through call-sites; the planning core stays pure (R10) and \
+         bit-reproducible";
     };
     {
       id = "M1";
@@ -363,10 +374,80 @@ let make_checker (scope : scope) =
         | _ -> ())
     | _ -> ()
   in
+  (* R14: a structure-level binding in lib/sched whose right-hand side
+     allocates a Hashtbl, an Atomic or a ref outside any function body is
+     module-lifetime mutable state — memoization smuggled into the pure
+     planning core. The scan descends only through constructors that
+     evaluate at module init (let/sequence/tuple/record/construct/if/
+     apply arguments...); anything else — in particular function and lazy
+     bodies, whose allocations are per-call — is skipped, so the local
+     scratch tables the planners build inside calls stay legal. *)
+  let rec r14_scan_static e =
+    let alloc =
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) -> (
+          match txt with
+          | Longident.Ldot
+              (Longident.Lident "Hashtbl", (("create" | "of_seq") as fn)) ->
+              Some ("Hashtbl." ^ fn)
+          | Longident.Ldot (Longident.Lident "Atomic", "make") ->
+              Some "Atomic.make"
+          | Longident.Lident "ref" -> Some "ref"
+          | _ -> None)
+      | _ -> None
+    in
+    (match alloc with
+    | Some what ->
+        report "R14" e.pexp_loc
+          (Printf.sprintf
+             "toplevel %s allocates module-lifetime mutable state in \
+              lib/sched; plan memoization belongs in lib/plancache \
+              (Plancache.create), passed explicitly"
+             what)
+    | None -> ());
+    match e.pexp_desc with
+    | Pexp_apply (_, args) -> List.iter (fun (_, a) -> r14_scan_static a) args
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> r14_scan_static vb.pvb_expr) vbs;
+        r14_scan_static body
+    | Pexp_sequence (a, b) ->
+        r14_scan_static a;
+        r14_scan_static b
+    | Pexp_tuple es | Pexp_array es -> List.iter r14_scan_static es
+    | Pexp_record (fields, base) ->
+        List.iter (fun (_, v) -> r14_scan_static v) fields;
+        Option.iter r14_scan_static base
+    | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+        Option.iter r14_scan_static arg
+    | Pexp_constraint (inner, _) | Pexp_open (_, inner) ->
+        r14_scan_static inner
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        r14_scan_static cond;
+        r14_scan_static then_;
+        Option.iter r14_scan_static else_
+    | _ -> ()
+  in
+  let r14_check_structure str =
+    if scope.in_sched then
+      List.iter
+        (fun si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter (fun vb -> r14_scan_static vb.pvb_expr) vbs
+          | _ -> ())
+        str
+  in
   let default = Ast_iterator.default_iterator in
   let iter =
     {
       default with
+      structure =
+        (fun it str ->
+          (* Runs for the compilation unit and for each nested [struct]
+             — module-lifetime state is module-lifetime wherever the
+             module sits. *)
+          r14_check_structure str;
+          default.structure it str);
       expr =
         (fun it e ->
           note_attrs e.pexp_attributes e.pexp_loc;

@@ -1,0 +1,87 @@
+type family =
+  | Uniform of { lifespan : float }
+  | Polynomial of { d : int; lifespan : float }
+  | Geo_dec of { a : float }
+  | Geo_inc of { lifespan : float }
+  | Weibull of { w_shape : float; w_scale : float }
+  | Power_law of { d : float }
+
+type scenario = { family : family; c : float }
+
+let exponential ~rate = Geo_dec { a = exp rate }
+
+let canonical = function
+  | Polynomial { d = 1; lifespan } -> Uniform { lifespan }
+  | f -> f
+
+(* 9 significant digits matches Tol.default_eps (1e-9 relative): floats
+   closer than the planner's own comparison tolerance land on the same
+   grid point. %.9g round-trips exactly through float_of_string, so the
+   quantized value is itself a representable key coordinate. *)
+let fp x = Printf.sprintf "%.9g" x
+
+let quantize x = if Float.is_finite x then float_of_string (fp x) else x
+
+let key { family; c } =
+  let body =
+    match canonical family with
+    | Uniform { lifespan } -> "u:" ^ fp lifespan
+    | Polynomial { d; lifespan } -> Printf.sprintf "p:%d:%s" d (fp lifespan)
+    | Geo_dec { a } -> "gd:" ^ fp a
+    | Geo_inc { lifespan } -> "gi:" ^ fp lifespan
+    | Weibull { w_shape; w_scale } ->
+        Printf.sprintf "w:%s:%s" (fp w_shape) (fp w_scale)
+    | Power_law { d } -> "pl:" ^ fp d
+  in
+  body ^ "|c:" ^ fp c
+
+let life_function family =
+  match canonical family with
+  | Uniform { lifespan } -> Families.uniform ~lifespan
+  | Polynomial { d; lifespan } -> Families.polynomial ~d ~lifespan
+  | Geo_dec { a } -> Families.geometric_decreasing ~a
+  | Geo_inc { lifespan } -> Families.geometric_increasing ~lifespan
+  | Weibull { w_shape; w_scale } ->
+      Families.weibull ~shape:w_shape ~scale:w_scale
+  | Power_law { d } -> Families.power_law ~d
+
+let family_name = function
+  | Uniform _ -> "uniform"
+  | Polynomial _ -> "polynomial"
+  | Geo_dec _ -> "geo-dec"
+  | Geo_inc _ -> "geo-inc"
+  | Weibull _ -> "weibull"
+  | Power_law _ -> "power-law"
+
+let table_param f =
+  match canonical f with
+  | Uniform { lifespan } | Polynomial { lifespan; _ } | Geo_inc { lifespan } ->
+      Some lifespan
+  | Geo_dec { a } -> Some a
+  | Weibull _ | Power_law _ -> None
+
+let with_table_param f v =
+  match canonical f with
+  | Uniform _ -> Uniform { lifespan = v }
+  | Polynomial { d; _ } -> Polynomial { d; lifespan = v }
+  | Geo_inc _ -> Geo_inc { lifespan = v }
+  | Geo_dec _ -> Geo_dec { a = v }
+  | (Weibull _ | Power_law _) as f ->
+      invalid_arg
+        (Printf.sprintf "Plan_key.with_table_param: %s has no table axis"
+           (family_name f))
+
+let pp_scenario ppf { family; c } =
+  let pp_family ppf f =
+    match canonical f with
+    | Uniform { lifespan } -> Format.fprintf ppf "uniform(L=%s)" (fp lifespan)
+    | Polynomial { d; lifespan } ->
+        Format.fprintf ppf "polynomial(d=%d, L=%s)" d (fp lifespan)
+    | Geo_dec { a } -> Format.fprintf ppf "geo-dec(a=%s)" (fp a)
+    | Geo_inc { lifespan } -> Format.fprintf ppf "geo-inc(L=%s)" (fp lifespan)
+    | Weibull { w_shape; w_scale } ->
+        Format.fprintf ppf "weibull(shape=%s, scale=%s)" (fp w_shape)
+          (fp w_scale)
+    | Power_law { d } -> Format.fprintf ppf "power-law(d=%s)" (fp d)
+  in
+  Format.fprintf ppf "%a @@ c=%s" pp_family family (fp c)

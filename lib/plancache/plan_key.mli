@@ -1,0 +1,64 @@
+(** Canonical scenario keys for the plan cache (DESIGN §15).
+
+    The planner is pure in [(life function, c)]: everything else a caller
+    can vary — [jobs], the domain pool, observability — cannot change the
+    answer (DESIGN §10), so none of it appears in the key. A scenario is
+    described declaratively (family constructor + parameters) rather than
+    by the opaque {!Life_function.t} closure, which lets two callers that
+    built "the same" life function independently share one cache line.
+
+    Canonicalization folds aliases onto one representative before the key
+    is formed: [exponential ~rate] is stored as geometric-decreasing with
+    [a = exp rate], and [polynomial ~d:1] as uniform. Float parameters are
+    quantized to the [Tol]-aligned [%.9g] grid, so [L = 100.] and
+    [L = 100.0000001] map to the same key and never double-store. *)
+
+type family =
+  | Uniform of { lifespan : float }
+  | Polynomial of { d : int; lifespan : float }
+  | Geo_dec of { a : float }
+  | Geo_inc of { lifespan : float }
+  | Weibull of { w_shape : float; w_scale : float }
+  | Power_law of { d : float }
+
+type scenario = { family : family; c : float }
+
+val exponential : rate:float -> family
+(** [exponential ~rate] canonicalizes onto [Geo_dec { a = exp rate }]
+    ([p(t) = e^{-rate·t} = a^{-t}]). *)
+
+val canonical : family -> family
+(** Fold aliases onto their representative: [Polynomial] with [d = 1]
+    becomes [Uniform]; other constructors are returned unchanged. *)
+
+val quantize : float -> float
+(** Snap a float to the key grid: the nearest value representable with 9
+    significant decimal digits ([%.9g], aligned with [Tol.default_eps]
+    = 1e-9 relative). Non-finite values are returned unchanged. *)
+
+val key : scenario -> string
+(** Canonical cache key: family tag + quantized parameters in a fixed
+    order + quantized [c]. Deliberately excludes [jobs] and every other
+    execution knob (see DESIGN §15). *)
+
+val life_function : family -> Life_function.t
+(** Materialize the validated {!Life_function.t} for a family. Raises
+    [Invalid_argument] (from the {!Families} constructors) on parameters
+    outside a family's domain. *)
+
+val family_name : family -> string
+(** Short family tag used by plan tables: ["uniform"], ["polynomial"],
+    ["geo-dec"], ["geo-inc"], ["weibull"], ["power-law"]. *)
+
+val table_param : family -> float option
+(** The scalar axis a plan table grids over: the lifespan for bounded
+    families, [a] for geometric-decreasing. [None] for the families
+    tables do not cover (Weibull is two-parameter; power-law is
+    inadmissible per Corollary 3.2). *)
+
+val with_table_param : family -> float -> family
+(** Replace the {!table_param} axis value, keeping fixed parameters
+    (e.g. a polynomial's degree). Raises [Invalid_argument] for families
+    where {!table_param} is [None]. *)
+
+val pp_scenario : Format.formatter -> scenario -> unit

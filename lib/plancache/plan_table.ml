@@ -1,0 +1,252 @@
+type t = {
+  t_kind : string;
+  t_degree : int option;
+  c_grid : float array; (* strictly increasing, length >= 2 *)
+  param_grid : float array; (* strictly increasing, length >= 2 *)
+  t0 : float array array; (* t0.(i).(j) at (param_grid.(i), c_grid.(j)) *)
+  err : float;
+}
+
+let kind t = t.t_kind
+let degree t = t.t_degree
+let error_bound t = t.err
+let nodes t = Array.length t.c_grid * Array.length t.param_grid
+let c_range t = (t.c_grid.(0), t.c_grid.(Array.length t.c_grid - 1))
+
+let param_range t =
+  (t.param_grid.(0), t.param_grid.(Array.length t.param_grid - 1))
+
+let family_of_kind ~kind ~degree ~param =
+  match (kind, degree) with
+  | "uniform", None -> Ok (Plan_key.Uniform { lifespan = param })
+  | "polynomial", Some d -> Ok (Plan_key.Polynomial { d; lifespan = param })
+  | "geo-dec", None -> Ok (Plan_key.Geo_dec { a = param })
+  | "geo-inc", None -> Ok (Plan_key.Geo_inc { lifespan = param })
+  | "polynomial", None -> Error "polynomial tables need a degree"
+  | ("uniform" | "geo-dec" | "geo-inc"), Some _ ->
+      Error (kind ^ " tables take no degree")
+  | k, _ ->
+      Error
+        ("unsupported table family: " ^ k
+       ^ " (supported: uniform, polynomial, geo-dec, geo-inc)")
+
+let linspace lo hi n =
+  Array.init n (fun i ->
+      if i = n - 1 then hi
+      else lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+(* Cell index of [x] in grid [g]: [Some (k, frac)] with
+   [g.(k) <= x <= g.(k+1)]. Grids are tiny (tens of nodes), linear scan. *)
+let locate g x =
+  let n = Array.length g in
+  if x < g.(0) || x > g.(n - 1) then None
+  else begin
+    let k = ref 0 in
+    while !k < n - 2 && x > g.(!k + 1) do
+      incr k
+    done;
+    let lo = g.(!k) and hi = g.(!k + 1) in
+    let frac = if hi -. lo <= 0.0 then 0.0 else (x -. lo) /. (hi -. lo) in
+    Some (!k, frac)
+  end
+
+(* Bilinear = the product of two monotone 1D linear interpolants: the
+   result is a convex combination of the cell's four node values, so it
+   can never leave their range (the monotonicity/bounds guarantee
+   DESIGN §15 relies on). *)
+let bilinear t ~param ~c =
+  match (locate t.param_grid param, locate t.c_grid c) with
+  | Some (i, u), Some (j, v) ->
+      let g = t.t0 in
+      Some
+        (((1.0 -. u) *. (((1.0 -. v) *. g.(i).(j)) +. (v *. g.(i).(j + 1))))
+        +. (u *. (((1.0 -. v) *. g.(i + 1).(j)) +. (v *. g.(i + 1).(j + 1)))))
+  | _ -> None
+
+let covers t (s : Plan_key.scenario) =
+  let f = Plan_key.canonical s.family in
+  String.equal (Plan_key.family_name f) t.t_kind
+  && (match (f, t.t_degree) with
+     | Plan_key.Polynomial { d; _ }, Some d' -> d = d'
+     | Plan_key.Polynomial _, None | _, Some _ -> false
+     | _, None -> true)
+  &&
+  match Plan_key.table_param f with
+  | None -> false
+  | Some p ->
+      let clo, chi = c_range t and plo, phi = param_range t in
+      s.c >= clo && s.c <= chi && p >= plo && p <= phi
+
+let t0_of t (s : Plan_key.scenario) =
+  if not (covers t s) then None
+  else
+    match Plan_key.table_param s.family with
+    | None -> None
+    | Some param -> bilinear t ~param ~c:s.c
+
+let plan t (s : Plan_key.scenario) =
+  match t0_of t s with
+  | None -> None
+  | Some t0 ->
+      Some (Guideline.plan_with_t0 (Plan_key.life_function s.family) ~c:s.c ~t0)
+
+let bake ?t0_steps ~kind ?degree ~c_lo ~c_hi ~c_steps ~param_lo ~param_hi
+    ~param_steps () =
+  if c_steps < 2 || param_steps < 2 then
+    Error "table grids need at least 2 steps per axis"
+  else if not (c_lo > 0.0 && c_hi > c_lo) then
+    Error "need 0 < c_lo < c_hi"
+  else if not (param_lo > 0.0 && param_hi > param_lo) then
+    Error "need 0 < param_lo < param_hi"
+  else
+    match family_of_kind ~kind ~degree ~param:param_lo with
+    | Error e -> Error e
+    | Ok _ -> (
+        let c_grid = linspace c_lo c_hi c_steps in
+        let param_grid = linspace param_lo param_hi param_steps in
+        let family_at param =
+          match family_of_kind ~kind ~degree ~param with
+          | Ok f -> f
+          | Error e -> invalid_arg e
+        in
+        try
+          let t0 =
+            Array.map
+              (fun param ->
+                let lf = Plan_key.life_function (family_at param) in
+                Array.map
+                  (fun c -> (Guideline.plan ?t0_steps lf ~c).Guideline.t0)
+                  c_grid)
+              param_grid
+          in
+          let t =
+            { t_kind = kind; t_degree = degree; c_grid; param_grid; t0; err = 0.0 }
+          in
+          (* Certification: probe every interior cell at its center — the
+             worst point for bilinear error on a smooth t0 field (the
+             expected-work shortfall is quadratic in the t0 error, which
+             peaks mid-cell). Double the observed maximum for safety. *)
+          let worst = ref 0.0 in
+          for i = 0 to param_steps - 2 do
+            for j = 0 to c_steps - 2 do
+              let param = 0.5 *. (param_grid.(i) +. param_grid.(i + 1)) in
+              let c = 0.5 *. (c_grid.(j) +. c_grid.(j + 1)) in
+              let family = family_at param in
+              match t0_of t { Plan_key.family; c } with
+              | None -> ()
+              | Some t0i ->
+                  let lf = Plan_key.life_function family in
+                  let direct = Guideline.plan ?t0_steps lf ~c in
+                  let interp = Guideline.plan_with_t0 lf ~c ~t0:t0i in
+                  let d = direct.Guideline.expected_work in
+                  if d > 0.0 then begin
+                    let shortfall =
+                      (d -. interp.Guideline.expected_work) /. d
+                    in
+                    if shortfall > !worst then worst := shortfall
+                  end
+            done
+          done;
+          Ok { t with err = (2.0 *. !worst) +. 1e-9 }
+        with
+        | Invalid_argument e -> Error ("table bake: " ^ e)
+        | Life_function.Invalid_life_function e -> Error ("table bake: " ^ e))
+
+let json_floats a = Jsonx.List (Array.to_list (Array.map (fun x -> Jsonx.Float x) a))
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Int 1);
+      ("type", Jsonx.String "cs-plan-table");
+      ("family", Jsonx.String t.t_kind);
+      ( "degree",
+        match t.t_degree with Some d -> Jsonx.Int d | None -> Jsonx.Null );
+      ("c_grid", json_floats t.c_grid);
+      ("param_grid", json_floats t.param_grid);
+      ( "t0",
+        Jsonx.List (Array.to_list (Array.map json_floats t.t0)) );
+      ("err_bound", Jsonx.Float t.err);
+    ]
+
+let floats_of_json = function
+  | Jsonx.List l ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | j :: rest -> (
+            match Jsonx.get_float j with
+            | Some x when Float.is_finite x -> go (x :: acc) rest
+            | _ -> None)
+      in
+      go [] l
+  | _ -> None
+
+let increasing g =
+  let ok = ref (Array.length g >= 2) in
+  for i = 0 to Array.length g - 2 do
+    if not (g.(i) < g.(i + 1)) then ok := false
+  done;
+  !ok
+
+let of_json j =
+  let str k = Option.bind (Jsonx.member k j) Jsonx.get_string in
+  let err m = Error ("plan table: " ^ m) in
+  match str "type" with
+  | Some "cs-plan-table" -> (
+      match
+        ( str "family",
+          Option.bind (Jsonx.member "c_grid" j) floats_of_json,
+          Option.bind (Jsonx.member "param_grid" j) floats_of_json,
+          Option.bind
+            (Option.bind (Jsonx.member "err_bound" j) Jsonx.get_float)
+            (fun e -> if Float.is_finite e && e >= 0.0 then Some e else None)
+        )
+      with
+      | Some t_kind, Some c_grid, Some param_grid, Some e -> (
+          let t_degree =
+            Option.bind (Jsonx.member "degree" j) Jsonx.get_int
+          in
+          if not (increasing c_grid && increasing param_grid) then
+            err "grids must be strictly increasing with >= 2 nodes"
+          else
+            let rows =
+              match Jsonx.member "t0" j with
+              | Some (Jsonx.List l) ->
+                  let rec go acc = function
+                    | [] -> Some (Array.of_list (List.rev acc))
+                    | r :: rest -> (
+                        match floats_of_json r with
+                        | Some row
+                          when Array.length row = Array.length c_grid ->
+                            go (row :: acc) rest
+                        | _ -> None)
+                  in
+                  go [] l
+              | _ -> None
+            in
+            match rows with
+            | Some t0 when Array.length t0 = Array.length param_grid ->
+                Ok { t_kind; t_degree; c_grid; param_grid; t0; err = e }
+            | _ -> err "t0 matrix does not match the grids")
+      | _ -> err "missing or malformed family/c_grid/param_grid/err_bound")
+  | _ -> err "not a cs-plan-table file"
+
+let save path t =
+  match
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Jsonx.to_string (to_json t));
+        Out_channel.output_char oc '\n')
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content -> (
+      match Jsonx.of_string (String.trim content) with
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok j -> (
+          match of_json j with
+          | Error e -> Error (path ^ ": " ^ e)
+          | Ok t -> Ok t))

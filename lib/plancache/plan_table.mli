@@ -1,0 +1,69 @@
+(** Ahead-of-time plan tables: precomputed optimal start periods over a
+    [(c, family-parameter)] grid, with a certified error bound
+    (DESIGN §15).
+
+    A table stores the planner's optimal [t0] at every node of a
+    rectangular grid. A query bilinearly interpolates [t0] — the product
+    of two monotone 1D linear interpolants, so the interpolated value
+    stays inside its cell's node range — and regenerates the schedule
+    from that period with {!Guideline.plan_with_t0}. The schedule is a
+    genuine admissible schedule (the recurrence ran); only its
+    optimality is approximate, and the stored {!error_bound} certifies by
+    how much: at bake time every interior cell's center — the point of
+    maximal interpolation error for a smooth [t0] field — is compared
+    against a direct {!Guideline.plan} call, and the worst relative
+    expected-work shortfall (doubled for safety, floored at 1e-9) is
+    recorded in the table file. *)
+
+type t
+
+val bake :
+  ?t0_steps:int ->
+  kind:string ->
+  ?degree:int ->
+  c_lo:float ->
+  c_hi:float ->
+  c_steps:int ->
+  param_lo:float ->
+  param_hi:float ->
+  param_steps:int ->
+  unit ->
+  (t, string) result
+(** Build a table for family [kind] (["uniform"], ["polynomial"] with
+    [~degree], ["geo-dec"], ["geo-inc"]) over [c_steps × param_steps]
+    grid nodes spanning the closed ranges, planning each node directly
+    and certifying the interpolation error at interior cell centers.
+    Both step counts must be ≥ 2. Runs one direct plan per node plus two
+    per interior cell, so cost scales with grid area — this is the
+    offline path behind [csctl table bake]. *)
+
+val kind : t -> string
+val degree : t -> int option
+val error_bound : t -> float
+(** Certified relative expected-work shortfall of a table-interpolated
+    plan against a direct plan, valid anywhere in the covered range. *)
+
+val nodes : t -> int
+(** Number of grid nodes ([c_steps × param_steps]). *)
+
+val c_range : t -> float * float
+val param_range : t -> float * float
+
+val covers : t -> Plan_key.scenario -> bool
+(** Whether the scenario's family matches the table (same kind, same
+    fixed degree) and its [(c, param)] falls inside the grid ranges. *)
+
+val t0_of : t -> Plan_key.scenario -> float option
+(** Bilinearly interpolated start period, when {!covers}. *)
+
+val plan : t -> Plan_key.scenario -> Guideline.result option
+(** Full table-tier answer: interpolate [t0], regenerate the schedule.
+    [None] when the table does not cover the scenario. *)
+
+val to_json : t -> Jsonx.t
+val of_json : Jsonx.t -> (t, string) result
+
+val save : string -> t -> (unit, string) result
+(** Write the table as a single-line JSON file. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,138 @@
+(* LRU recency order lives in an intrusive circular doubly-linked list
+   of key nodes (sentinel.next = most recent); the index maps a
+   canonical key to its cached result and its list node. All of it is
+   private to the explicit [t] handle: nothing in lib/sched holds cache
+   state (lint rule R14). *)
+type node = { n_key : string; mutable prev : node; mutable next : node }
+
+type t = {
+  capacity : int;
+  obs : Obs.t;
+  closed_forms : bool;
+  mutable tbls : Plan_table.t list;
+  index : (string, Guideline.result * node) Hashtbl.t;
+  sentinel : node;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?(obs = Obs.disabled) ?(capacity = 1024) ?(closed_forms = true) ()
+    =
+  if capacity < 1 then invalid_arg "Plancache.create: capacity must be >= 1";
+  let rec sentinel = { n_key = ""; prev = sentinel; next = sentinel } in
+  {
+    capacity;
+    obs;
+    closed_forms;
+    tbls = [];
+    index = Hashtbl.create (min capacity 64);
+    sentinel;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let add_table t tbl = t.tbls <- t.tbls @ [ tbl ]
+let tables t = t.tbls
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.prev <- t.sentinel;
+  n.next <- t.sentinel.next;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let touch t n =
+  unlink n;
+  push_front t n
+
+let evict_lru t =
+  let last = t.sentinel.prev in
+  if last != t.sentinel then begin
+    unlink last;
+    Hashtbl.remove t.index last.n_key;
+    t.evictions <- t.evictions + 1;
+    Obs.incr t.obs "cache.evictions"
+  end
+
+let insert t key value =
+  if not (Hashtbl.mem t.index key) then begin
+    if Hashtbl.length t.index >= t.capacity then evict_lru t;
+    let n = { n_key = key; prev = t.sentinel; next = t.sentinel } in
+    push_front t n;
+    Hashtbl.replace t.index key (value, n);
+    Obs.set_gauge t.obs "cache.size" (float_of_int (Hashtbl.length t.index))
+  end
+
+(* Tier 2: the paper's exact answers. Geometric-decreasing admits the
+   Lambert-W closed form t* (Closed_forms.geo_dec_t_optimal), the fixed
+   point of the recurrence — so regenerating from t* is the provably
+   optimal schedule, not an approximation. *)
+let closed_form t (scen : Plan_key.scenario) =
+  if not t.closed_forms then None
+  else
+    match Plan_key.canonical scen.family with
+    | Plan_key.Geo_dec { a } when a > 1.0 && scen.c > 0.0 ->
+        let t0 = Closed_forms.geo_dec_t_optimal ~a ~c:scen.c in
+        Obs.incr t.obs "cache.closed_form";
+        Some
+          (Guideline.plan_with_t0
+             (Plan_key.life_function scen.family)
+             ~c:scen.c ~t0)
+    | _ -> None
+
+(* Tier 3: first loaded table covering the scenario answers, within its
+   certified error bound. *)
+let table_plan t scen =
+  let rec go = function
+    | [] -> None
+    | tbl :: rest -> (
+        match Plan_table.plan tbl scen with
+        | Some r ->
+            Obs.incr t.obs "cache.table_interp";
+            Some r
+        | None -> go rest)
+  in
+  go t.tbls
+
+let compute t (scen : Plan_key.scenario) =
+  match closed_form t scen with
+  | Some r -> r
+  | None -> (
+      match table_plan t scen with
+      | Some r -> r
+      | None ->
+          Guideline.plan ~obs:t.obs
+            (Plan_key.life_function scen.family)
+            ~c:scen.c)
+
+let plan t scen =
+  let key = Plan_key.key scen in
+  match Hashtbl.find_opt t.index key with
+  | Some (value, n) ->
+      t.hits <- t.hits + 1;
+      Obs.incr t.obs "cache.hits";
+      touch t n;
+      value
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr t.obs "cache.misses";
+      let value = compute t scen in
+      insert t key value;
+      value
+
+let plan_batch t scenarios = List.map (fun s -> plan t s) scenarios
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = Hashtbl.length t.index;
+  }

@@ -1,0 +1,63 @@
+(** Three-tier plan cache: the fastest correct answer for a planning
+    query (DESIGN §15).
+
+    Tier order on a query, fastest first:
+
+    + {b LRU hit} — the canonical quantized key ({!Plan_key.key}) is
+      already resident: return the stored result. Bit-identity invariant:
+      a hit returns {e exactly} the value the original miss computed
+      (physically the same {!Guideline.result}), whichever tier computed
+      it — cram-gated via [cstrace diff].
+    + {b Closed form} — families where the paper gives the exact optimal
+      period skip the interval search entirely: geometric-decreasing uses
+      the Lambert-W [t*] of {!Closed_forms.geo_dec_t_optimal} (the
+      recurrence's fixed point, hence exact) and pays only one schedule
+      regeneration.
+    + {b Plan table} — a loaded {!Plan_table.t} covering the scenario
+      answers with an interpolated [t0] within the table's certified
+      error bound.
+    + {b Direct} — fall through to {!Guideline.plan}.
+
+    Misses from any tier are inserted into the LRU, so repeated queries
+    always converge to tier-1 latency. All mutable state lives inside the
+    explicit [t] handle — {!Guideline} itself stays pure, which is what
+    lint rule R14 enforces.
+
+    Counters [cache.hits] / [cache.misses] / [cache.evictions] (plus the
+    per-tier [cache.closed_form] / [cache.table_interp]) are registered
+    on the handle's {!Obs.t} and ride the existing Prometheus exposition
+    ([cs_cache_hits] etc.) for free. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val create : ?obs:Obs.t -> ?capacity:int -> ?closed_forms:bool -> unit -> t
+(** A fresh cache. [capacity] (default 1024, must be ≥ 1) bounds resident
+    entries; the least-recently-used entry is evicted on overflow.
+    [closed_forms] (default [true]) enables tier 2. [obs] receives the
+    [cache.*] counters and instruments the underlying direct plans. *)
+
+val add_table : t -> Plan_table.t -> unit
+(** Register a baked table for tier 3. Tables are consulted in the order
+    added; the first one covering a scenario answers. *)
+
+val tables : t -> Plan_table.t list
+
+val plan : t -> Plan_key.scenario -> Guideline.result
+(** The cached plan for a scenario, via the tier order above. Serves the
+    planner's default configuration ([t0_steps = 128], faithful finish) —
+    callers needing non-default knobs use {!Guideline.plan} directly;
+    execution knobs like [jobs] never affect the answer (DESIGN §10) and
+    are excluded from the key by construction. *)
+
+val plan_batch : t -> Plan_key.scenario list -> Guideline.result list
+(** [plan_batch t scenarios] answers each scenario in input order.
+    Duplicate scenarios dedup through the cache: the first occurrence
+    computes (or table-interpolates), the rest are hits returning the
+    identical result. Runs serially — a warm batch is microseconds per
+    query, so domain fan-out would cost more than it saves; cold
+    heavyweight sweeps belong on {!Guideline.plan_batch}. *)
+
+val stats : t -> stats
+(** Counter snapshot ([size] = currently resident entries). *)

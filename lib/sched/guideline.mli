@@ -51,10 +51,17 @@ val plan_batch :
     bit-identical for any domain count and keeps the input order. This is
     the batch entry point [csctl table] uses to sweep an overhead grid.
 
-    [?obs] observes the whole batch: each scenario records into a private
-    child handle, merged back in scenario order under a
+    Identical scenarios — the same life function (physical equality) at
+    the same overhead (bitwise, {!Tol.exactly}) — are deduplicated before
+    the fan-out: each canonical scenario plans once and its single result
+    is fanned back out to every occurrence (physically shared), keeping
+    input order. Scenario-count-dependent accounting below therefore
+    counts {e unique} scenarios.
+
+    [?obs] observes the whole batch: each unique scenario records into a
+    private child handle, merged back in first-occurrence order under a
     [guideline.plan_batch] span ({!Obs_fork}), so counters like
-    [plan.guideline_calls] count all scenarios and the profile groups
+    [plan.guideline_calls] count unique scenarios and the profile groups
     per-scenario [guideline.plan] spans. *)
 
 val plan_with_t0 :

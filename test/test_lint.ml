@@ -234,6 +234,46 @@ let test_r13 () =
        "let s () = (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0) \
         [@lint.allow \"R13\"]\n")
 
+(* ---- R14: memo/cache state confined to lib/plancache ---- *)
+
+let test_r14 () =
+  let sched = "lib/sched/fixture.ml" in
+  check_rules "toplevel Hashtbl in sched" [ "R14" ]
+    (lint ~path:sched "let memo = Hashtbl.create 16\n");
+  check_rules "toplevel Hashtbl.of_seq in sched" [ "R14" ]
+    (lint ~path:sched "let memo = Hashtbl.of_seq Seq.empty\n");
+  check_rules "toplevel Atomic in sched" [ "R14" ]
+    (lint ~path:sched "let gen = Atomic.make 0\n");
+  check_rules "toplevel ref in sched" [ "R14" ]
+    (lint ~path:sched "let last = ref None\n");
+  (* The allocation can hide under static structure... *)
+  check_rules "tupled cache" [ "R14"; "R14" ]
+    (lint ~path:sched "let caches = (Hashtbl.create 4, Hashtbl.create 4)\n");
+  check_rules "let-bound then returned" [ "R14" ]
+    (lint ~path:sched "let memo = let h = Hashtbl.create 4 in h\n");
+  check_rules "nested module" [ "R14" ]
+    (lint ~path:sched
+       "module Cache = struct let table = Hashtbl.create 8 end\n");
+  (* ...but per-call state inside a function body is not module state. *)
+  check_rules "function-local Hashtbl fine" []
+    (lint ~path:sched
+       "let f xs = let h = Hashtbl.create 16 in List.iter (fun x -> \
+        Hashtbl.replace h x x) xs; h\n");
+  check_rules "function-local ref fine" []
+    (lint ~path:sched "let count xs = let n = ref 0 in List.iter (fun _ -> \
+                       incr n) xs; !n\n");
+  (* Scoped to lib/sched: the same binding is legal where state is the
+     point (lib/plancache) or outside the planning core entirely. *)
+  check_rules "plancache exempt" []
+    (lint ~path:"lib/plancache/fixture.ml" "let memo = Hashtbl.create 16\n");
+  check_rules "other lib dirs exempt" []
+    (lint ~path:"lib/obs/fixture.ml" "let memo = Hashtbl.create 16\n");
+  check_rules "bin exempt" []
+    (lint ~path:"bin/fixture.ml" "let memo = Hashtbl.create 16\n");
+  check_rules "suppressed" []
+    (lint ~path:sched
+       "let memo = (Hashtbl.create 16 [@lint.allow \"R14\"])\n")
+
 (* ---- malformed suppression payloads, parse errors, baseline ---- *)
 
 let test_malformed_allow () =
@@ -533,7 +573,7 @@ let test_rule_metadata_complete () =
     "rule ids"
     [
       "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "R11";
-      "R12"; "R13"; "M1";
+      "R12"; "R13"; "R14"; "M1";
     ]
     (List.map (fun (m : Lint_rules.meta) -> m.id) Lint_rules.all_meta)
 
@@ -567,6 +607,7 @@ let () =
       ("r8", [ Alcotest.test_case "wall-clock reads" `Quick test_r8 ]);
       ("r9", [ Alcotest.test_case "direct Gc stats" `Quick test_r9 ]);
       ("r13", [ Alcotest.test_case "socket I/O fence" `Quick test_r13 ]);
+      ("r14", [ Alcotest.test_case "memo state fence" `Quick test_r14 ]);
       ("m1", [ Alcotest.test_case "unused allows" `Quick test_m1_unused_allow ]);
       ( "deep",
         [

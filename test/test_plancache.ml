@@ -1,0 +1,348 @@
+(* The plan-cache contracts of DESIGN §15: canonical quantized keys,
+   hit-vs-miss bit-identity, LRU eviction order, closed-form and table
+   tiers matching a direct Guideline.plan within the certified bound,
+   and plan_batch dedup. *)
+
+let scen family c = { Plan_key.family; c }
+let uniform l = Plan_key.Uniform { lifespan = l }
+let geo_dec a = Plan_key.Geo_dec { a }
+
+(* Scenarios covering every family constructor, used by the
+   cached-matches-direct property sweep. *)
+let all_family_scenarios =
+  [
+    scen (uniform 100.0) 1.0;
+    scen (Plan_key.Polynomial { d = 3; lifespan = 80.0 }) 1.0;
+    scen (geo_dec (exp 0.05)) 1.0;
+    scen (Plan_key.Geo_inc { lifespan = 30.0 }) 1.0;
+    scen (Plan_key.Weibull { w_shape = 0.8; w_scale = 60.0 }) 1.0;
+    scen (Plan_key.Power_law { d = 2.0 }) 0.5;
+  ]
+
+(* --- key canonicalization --------------------------------------------- *)
+
+let test_key_quantization_collapses () =
+  (* L values closer than the 9-significant-digit grid share one key... *)
+  Alcotest.(check string)
+    "quantized L collapse"
+    (Plan_key.key (scen (uniform 100.0) 1.0))
+    (Plan_key.key (scen (uniform 100.0000001) 1.0));
+  Alcotest.(check string)
+    "quantized c collapse"
+    (Plan_key.key (scen (uniform 100.0) 1.0))
+    (Plan_key.key (scen (uniform 100.0) 1.0000000001));
+  (* ...while genuinely different parameters do not. *)
+  Alcotest.(check bool)
+    "distinct L distinct keys" false
+    (String.equal
+       (Plan_key.key (scen (uniform 100.0) 1.0))
+       (Plan_key.key (scen (uniform 101.0) 1.0)))
+
+let test_key_canonical_aliases () =
+  (* exponential ~rate IS geo-dec with a = exp rate; polynomial d=1 IS
+     uniform: aliases must share a cache line. *)
+  Alcotest.(check string)
+    "exponential folds onto geo-dec"
+    (Plan_key.key (scen (geo_dec (exp 0.05)) 1.0))
+    (Plan_key.key (scen (Plan_key.exponential ~rate:0.05) 1.0));
+  Alcotest.(check string)
+    "polynomial d=1 folds onto uniform"
+    (Plan_key.key (scen (uniform 100.0) 1.0))
+    (Plan_key.key (scen (Plan_key.Polynomial { d = 1; lifespan = 100.0 }) 1.0))
+
+let test_key_excludes_nothing_it_shouldnt () =
+  (* Weibull's two parameters must both be in the key. *)
+  Alcotest.(check bool)
+    "weibull params distinguish" false
+    (String.equal
+       (Plan_key.key (scen (Plan_key.Weibull { w_shape = 0.8; w_scale = 60.0 }) 1.0))
+       (Plan_key.key (scen (Plan_key.Weibull { w_shape = 0.9; w_scale = 60.0 }) 1.0)))
+
+(* --- LRU behavior ------------------------------------------------------ *)
+
+let test_hit_returns_what_miss_computed () =
+  let pc = Plancache.create () in
+  List.iter
+    (fun s ->
+      let miss = Plancache.plan pc s in
+      let hit = Plancache.plan pc s in
+      (* Bit-identity, the strong form: the hit IS the miss's result. *)
+      Alcotest.(check bool) "physically identical" true (miss == hit))
+    all_family_scenarios;
+  let st = Plancache.stats pc in
+  Alcotest.(check int) "misses" (List.length all_family_scenarios) st.Plancache.misses;
+  Alcotest.(check int) "hits" (List.length all_family_scenarios) st.Plancache.hits
+
+let test_quantized_aliases_share_entry () =
+  let pc = Plancache.create () in
+  let a = Plancache.plan pc (scen (uniform 100.0) 1.0) in
+  let b = Plancache.plan pc (scen (uniform 100.0000001) 1.0) in
+  Alcotest.(check bool) "no double store" true (a == b);
+  Alcotest.(check int) "one miss" 1 (Plancache.stats pc).Plancache.misses
+
+let test_lru_eviction_order () =
+  let pc = Plancache.create ~capacity:2 () in
+  let s1 = scen (uniform 100.0) 1.0
+  and s2 = scen (uniform 110.0) 1.0
+  and s3 = scen (uniform 120.0) 1.0 in
+  let r1 = Plancache.plan pc s1 in
+  let _ = Plancache.plan pc s2 in
+  (* Touch s1 so s2 becomes least-recently-used; s3 must evict s2. *)
+  let r1' = Plancache.plan pc s1 in
+  Alcotest.(check bool) "s1 still resident" true (r1 == r1');
+  let _ = Plancache.plan pc s3 in
+  Alcotest.(check int) "one eviction" 1 (Plancache.stats pc).Plancache.evictions;
+  Alcotest.(check int) "size capped" 2 (Plancache.stats pc).Plancache.size;
+  let r1'' = Plancache.plan pc s1 in
+  Alcotest.(check bool) "s1 survived the eviction" true (r1 == r1'');
+  (* s2 was evicted: planning it again is a miss (fresh result). *)
+  let misses_before = (Plancache.stats pc).Plancache.misses in
+  let _ = Plancache.plan pc s2 in
+  Alcotest.(check int) "s2 re-missed" (misses_before + 1)
+    (Plancache.stats pc).Plancache.misses
+
+(* --- cached answers match direct answers ------------------------------- *)
+
+(* The closed-form tier replaces the grid search with the exact optimum,
+   so cached expected work may only differ from the direct search by the
+   search's own refinement error; the table tier is certified by its
+   stored bound. *)
+let check_close name ~bound direct cached =
+  let d = direct.Guideline.expected_work
+  and g = cached.Guideline.expected_work in
+  let rel = abs_float (g -. d) /. Float.max 1.0 (abs_float d) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s relative gap %.3e within %.3e" name rel bound)
+    true (rel <= bound)
+
+let test_cached_matches_direct_all_families () =
+  let pc = Plancache.create () in
+  List.iter
+    (fun s ->
+      let direct =
+        Guideline.plan (Plan_key.life_function s.Plan_key.family)
+          ~c:s.Plan_key.c
+      in
+      let cached = Plancache.plan pc s in
+      check_close
+        (Format.asprintf "%a" Plan_key.pp_scenario s)
+        ~bound:1e-6 direct cached)
+    all_family_scenarios
+
+let test_closed_form_tier_is_exact () =
+  (* Tier 2 must agree with the analytic optimum, not just the search. *)
+  let a = exp 0.05 and c = 1.0 in
+  let pc = Plancache.create () in
+  let cached = Plancache.plan pc (scen (geo_dec a) c) in
+  let t_star = Closed_forms.geo_dec_t_optimal ~a ~c in
+  Alcotest.(check (float 1e-12)) "t0 is the Lambert-W t*" t_star
+    cached.Guideline.t0;
+  (* And it may never fall below the searched optimum. *)
+  let direct = Guideline.plan (Families.geometric_decreasing ~a) ~c in
+  Alcotest.(check bool) "closed form >= searched" true
+    (cached.Guideline.expected_work
+    >= direct.Guideline.expected_work -. 1e-9)
+
+let bake_uniform_table () =
+  match
+    Plan_table.bake ~kind:"uniform" ~c_lo:0.5 ~c_hi:2.0 ~c_steps:4
+      ~param_lo:60.0 ~param_hi:140.0 ~param_steps:4 ()
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_table_within_certified_bound () =
+  let tbl = bake_uniform_table () in
+  let bound = Plan_table.error_bound tbl in
+  Alcotest.(check bool) "bound is sane" true (bound > 0.0 && bound < 0.05);
+  (* Probe a deterministic sweep of off-node points; every interpolated
+     plan must be within the certified relative shortfall of direct. *)
+  for i = 0 to 9 do
+    let frac = float_of_int i /. 9.0 in
+    let l = 60.0 +. (80.0 *. frac) in
+    let c = 0.5 +. (1.5 *. (1.0 -. frac)) in
+    let s = scen (uniform l) c in
+    match Plan_table.plan tbl s with
+    | None -> Alcotest.fail "table should cover the probe"
+    | Some interp ->
+        let direct = Guideline.plan (Families.uniform ~lifespan:l) ~c in
+        let d = direct.Guideline.expected_work in
+        let shortfall = (d -. interp.Guideline.expected_work) /. d in
+        Alcotest.(check bool)
+          (Printf.sprintf "shortfall %.3e <= certified %.3e at L=%g c=%g"
+             shortfall bound l c)
+          true
+          (shortfall <= bound)
+  done
+
+let test_table_roundtrip_and_cache_tier () =
+  let tbl = bake_uniform_table () in
+  let file = Filename.temp_file "cs_plan_table" ".cstable" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      (match Plan_table.save file tbl with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let tbl' =
+        match Plan_table.load file with
+        | Ok t -> t
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check (float 0.0))
+        "error bound round-trips bit-exactly"
+        (Plan_table.error_bound tbl)
+        (Plan_table.error_bound tbl');
+      let s = scen (uniform 77.0) 1.3 in
+      let direct_t0 =
+        match Plan_table.t0_of tbl s with
+        | Some t0 -> t0
+        | None -> Alcotest.fail "covered"
+      in
+      (match Plan_table.t0_of tbl' s with
+      | Some t0 -> Alcotest.(check (float 0.0)) "t0 round-trips" direct_t0 t0
+      | None -> Alcotest.fail "loaded table must cover the same range");
+      (* Wired as tier 3: an uncached covered scenario answers from the
+         table (no interval search), then becomes an LRU hit. *)
+      let pc = Plancache.create ~closed_forms:false () in
+      Plancache.add_table pc tbl';
+      let first = Plancache.plan pc s in
+      Alcotest.(check (float 0.0)) "tier-3 t0 is the interpolant" direct_t0
+        first.Guideline.t0;
+      let again = Plancache.plan pc s in
+      Alcotest.(check bool) "then a bit-identical hit" true (first == again))
+
+let test_table_does_not_cover_foreign_family () =
+  let tbl = bake_uniform_table () in
+  Alcotest.(check bool) "geo-dec not covered" false
+    (Plan_table.covers tbl (scen (geo_dec (exp 0.05)) 1.0));
+  Alcotest.(check bool) "out-of-range c not covered" false
+    (Plan_table.covers tbl (scen (uniform 100.0) 10.0));
+  (* polynomial d=1 canonicalizes to uniform and IS covered. *)
+  Alcotest.(check bool) "poly d=1 covered via canonicalization" true
+    (Plan_table.covers tbl
+       (scen (Plan_key.Polynomial { d = 1; lifespan = 100.0 }) 1.0))
+
+(* --- plan_batch dedup -------------------------------------------------- *)
+
+let test_guideline_batch_dedups () =
+  let lf = Families.uniform ~lifespan:100.0 in
+  let lf2 = Families.geometric_increasing ~lifespan:30.0 in
+  let batch = [ (lf, 1.0); (lf2, 1.0); (lf, 1.0); (lf, 2.0); (lf2, 1.0) ] in
+  let rs = Array.of_list (Guideline.plan_batch batch) in
+  Alcotest.(check int) "result per input" 5 (Array.length rs);
+  (* Duplicates fan out the same computation: physically shared. *)
+  Alcotest.(check bool) "dup scenario shares result" true (rs.(0) == rs.(2));
+  Alcotest.(check bool) "dup scenario shares result (2)" true
+    (rs.(1) == rs.(4));
+  Alcotest.(check bool) "different c not shared" true (rs.(0) != rs.(3));
+  (* And order matches the undeduped map. *)
+  List.iteri
+    (fun i (lf, c) ->
+      let direct = Guideline.plan lf ~c in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "slot %d matches direct" i)
+        direct.Guideline.expected_work
+        rs.(i).Guideline.expected_work)
+    batch
+
+let test_cache_batch_dedups_via_hits () =
+  let pc = Plancache.create ~closed_forms:false () in
+  let s = scen (uniform 100.0) 1.0 in
+  let rs = Plancache.plan_batch pc [ s; s; s ] in
+  (match rs with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "batch dedup" true (a == b && b == c)
+  | _ -> Alcotest.fail "arity");
+  let st = Plancache.stats pc in
+  Alcotest.(check int) "one miss" 1 st.Plancache.misses;
+  Alcotest.(check int) "two hits" 2 st.Plancache.hits
+
+(* --- observability ----------------------------------------------------- *)
+
+let test_cache_counters_registered () =
+  let m = Obs_metrics.create () in
+  let obs = Obs.create ~metrics:m () in
+  let pc = Plancache.create ~obs () in
+  let s = scen (uniform 100.0) 1.0 in
+  let _ = Plancache.plan pc s in
+  let _ = Plancache.plan pc s in
+  let count name = Obs_metrics.count (Obs_metrics.counter m name) in
+  Alcotest.(check int) "cache.misses counter" 1 (count "cache.misses");
+  Alcotest.(check int) "cache.hits counter" 1 (count "cache.hits")
+
+(* --- property sweep ---------------------------------------------------- *)
+
+let prop_cached_matches_direct =
+  QCheck.Test.make ~count:40 ~name:"cached uniform plan matches direct"
+    QCheck.(pair (float_range 40.0 200.0) (float_range 0.3 3.0))
+    (fun (l, c) ->
+      let pc = Plancache.create () in
+      let cached = Plancache.plan pc (scen (uniform l) c) in
+      let direct = Guideline.plan (Families.uniform ~lifespan:l) ~c in
+      abs_float (cached.Guideline.expected_work -. direct.Guideline.expected_work)
+      <= 1e-6 *. Float.max 1.0 direct.Guideline.expected_work)
+
+let prop_table_within_bound =
+  let tbl = lazy (bake_uniform_table ()) in
+  QCheck.Test.make ~count:25 ~name:"table plan within certified bound"
+    QCheck.(pair (float_range 60.0 140.0) (float_range 0.5 2.0))
+    (fun (l, c) ->
+      let tbl = Lazy.force tbl in
+      match Plan_table.plan tbl (scen (uniform l) c) with
+      | None -> false
+      | Some interp ->
+          let direct = Guideline.plan (Families.uniform ~lifespan:l) ~c in
+          let d = direct.Guideline.expected_work in
+          (d -. interp.Guideline.expected_work) /. d
+          <= Plan_table.error_bound tbl)
+
+let () =
+  Alcotest.run "plancache"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "quantization collapses" `Quick
+            test_key_quantization_collapses;
+          Alcotest.test_case "canonical aliases" `Quick
+            test_key_canonical_aliases;
+          Alcotest.test_case "distinct params distinct keys" `Quick
+            test_key_excludes_nothing_it_shouldnt;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "hit is bit-identical to miss" `Quick
+            test_hit_returns_what_miss_computed;
+          Alcotest.test_case "quantized aliases share an entry" `Quick
+            test_quantized_aliases_share_entry;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "cached matches direct, all families" `Quick
+            test_cached_matches_direct_all_families;
+          Alcotest.test_case "closed-form tier is exact" `Quick
+            test_closed_form_tier_is_exact;
+          Alcotest.test_case "table within certified bound" `Quick
+            test_table_within_certified_bound;
+          Alcotest.test_case "table save/load + tier wiring" `Quick
+            test_table_roundtrip_and_cache_tier;
+          Alcotest.test_case "table coverage rules" `Quick
+            test_table_does_not_cover_foreign_family;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "Guideline.plan_batch dedups" `Quick
+            test_guideline_batch_dedups;
+          Alcotest.test_case "cache batch dedups via hits" `Quick
+            test_cache_batch_dedups_via_hits;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "cache counters registered" `Quick
+            test_cache_counters_registered;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cached_matches_direct; prop_table_within_bound ] );
+    ]
