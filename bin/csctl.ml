@@ -263,6 +263,19 @@ let serve_term =
            verdict when $(b,--health) is given), /runs (the .csobs \
            index). $(docv) is $(b,unix:PATH) or $(b,HOST:PORT).")
 
+let emit_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"ADDR"
+        ~doc:
+          "Stream the event trace live to a $(b,cstrace collect) \
+           collector at $(docv) ($(b,unix:PATH) or $(b,HOST:PORT)). \
+           Events are shipped through a bounded non-blocking ring: a \
+           slow or absent collector costs drops (reported after the \
+           run), never simulation time. Composes with $(b,--trace), \
+           which keeps writing the local file.")
+
 (* Build an [Obs.t] from the flags and run [k obs snap res] with it.
    [meta] is a thunk so the git-sha capture only happens when a trace
    file is actually being written. Afterwards: print the registry
@@ -275,7 +288,7 @@ let serve_term =
    that the caller threads to the run's deterministic sampling
    points. *)
 let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
-    ?snapshot ?(resource = false) ?health ?serve k =
+    ?snapshot ?(resource = false) ?health ?serve ?emit k =
   let registry =
     if
       metrics || prom <> None || snapshot <> None || resource
@@ -374,6 +387,42 @@ let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
           at_exit (fun () -> Obs_http.shutdown srv);
           Format.printf "serving on %a@." Obs_http.pp_addr
             (Obs_http.address srv)));
+  (* --emit: a remote sink streaming to a live collector. Closing
+     flushes the ring and sends BYE; it is hooked on at_exit (not a
+     Fun.protect) because the health-verdict paths below leave through
+     [exit], which does not unwind the stack. *)
+  let remote =
+    match emit with
+    | None -> None
+    | Some addr_s ->
+        let addr =
+          match Obs_http.addr_of_string addr_s with
+          | Ok a -> a
+          | Error msg ->
+              prerr_endline ("error: " ^ msg);
+              exit 2
+        in
+        Some (addr_s, Obs_remote.create ~addr ~meta:(meta ()) ())
+  in
+  let remote_reported = ref false in
+  let close_remote () =
+    match remote with
+    | None -> ()
+    | Some (addr_s, r) ->
+        Obs_remote.close r;
+        if not !remote_reported then begin
+          remote_reported := true;
+          let s = Obs_remote.stats r in
+          Format.printf "streamed %d event(s) to %s (%d dropped)@."
+            s.Obs_remote.sent addr_s s.Obs_remote.dropped
+        end
+  in
+  (match remote with Some _ -> at_exit close_remote | None -> ());
+  let sink_of local =
+    match remote with
+    | None -> local
+    | Some (_, r) -> Obs.Sink.tee [ local; Obs_remote.sink r ]
+  in
   let finish obs =
     k obs snap res;
     (match Obs.metrics obs with
@@ -407,15 +456,16 @@ let with_obs ~meta ~trace ~metrics ?prom ?(prom_extra = fun () -> [])
         if code <> 0 then exit code
     | _ -> ()
   in
-  match trace with
-  | None -> finish (Obs.create ?metrics:registry ())
+  (match trace with
+  | None -> finish (Obs.create ~sink:(sink_of Obs.Sink.Null) ?metrics:registry ())
   | Some path -> (
       try
         Obs.Sink.with_jsonl_file ~meta:(meta ()) path (fun sink ->
-            finish (Obs.create ~sink ?metrics:registry ()))
+            finish (Obs.create ~sink:(sink_of sink) ?metrics:registry ()))
       with Sys_error msg ->
         prerr_endline ("error: " ^ msg);
-        exit 1)
+        exit 1));
+  close_remote ()
 
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
@@ -536,7 +586,7 @@ let simulate_cmd =
              on a warn verdict, 2 on critical.")
   in
   let run spec c trials seed jobs trace metrics prom snapshot_every
-      snapshot_out resource health serve plan_cache plan_table =
+      snapshot_out resource health serve emit plan_cache plan_table =
     let meta () =
       Obs.Meta.make ~seed:(Int64.of_int seed) ~jobs
         ~scenario:
@@ -551,7 +601,7 @@ let simulate_cmd =
     with_family spec (fun lf ->
         with_obs ~meta ~trace ~metrics ?prom
           ~prom_extra:(fun () -> !extra)
-          ?snapshot ~resource ?health ?serve
+          ?snapshot ~resource ?health ?serve ?emit
           (fun obs snap res ->
             with_jobs jobs (fun pool ->
             let plan =
@@ -591,7 +641,7 @@ let simulate_cmd =
       const run $ family_term $ c_term $ trials $ seed $ jobs_term
       $ trace_term $ metrics_term $ prom_term $ snapshot_every_term
       $ snapshot_out_term $ resource_term $ health_term $ serve_term
-      $ plan_cache_term $ plan_table_term)
+      $ emit_term $ plan_cache_term $ plan_table_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)

@@ -10,6 +10,7 @@
      cstrace store    add|ls|rm|gc [--root DIR]
      cstrace serve    --addr ADDR [--snapshots F|--trace F] [--once]
      cstrace fetch    ADDR [PATH] [--validate-prom]
+     cstrace collect  --listen ADDR [--http ADDR] [--once] [--store DIR]
 
    [report] filters and summarises one JSONL event trace; [diff]
    compares two runs event-by-event and pinpoints the first divergence
@@ -109,6 +110,11 @@ let report_cmd =
         Format.printf "meta          : %a@." Obs.Meta.pp
           { m with Obs.Meta.git_sha = None }
     | None -> ());
+    (match t.Obs_query.truncated with
+    | Some n ->
+        Format.printf
+          "truncated     : stream ended without BYE after %d event(s)@." n
+    | None -> ());
     let events =
       Obs_query.filter ?kind ?ws ?ep ?since ?until t.Obs_query.events
     in
@@ -159,6 +165,16 @@ let diff_cmd =
              sa sb);
         exit 2
     | _ -> ());
+    List.iter
+      (fun (name, (t : Obs_query.trace)) ->
+        match t.Obs_query.truncated with
+        | Some n ->
+            Format.eprintf
+              "note: %s is truncated (%d event(s) before the producer \
+               vanished); a divergence may just be the missing tail@."
+              name n
+        | None -> ())
+      [ (left, a); (right, b) ];
     match Obs_query.diff ~context a.Obs_query.events b.Obs_query.events with
     | None ->
         Format.printf "traces are identical (%d events)@."
@@ -995,6 +1011,146 @@ let fetch_cmd =
     Term.(const run $ addr $ path $ validate $ attempts)
 
 (* ------------------------------------------------------------------ *)
+(* collect                                                             *)
+
+let collect_cmd =
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Where producers connect: $(b,unix:PATH) or $(b,HOST:PORT) \
+             (port 0 picks one).")
+  in
+  let http =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "http" ] ~docv:"ADDR"
+          ~doc:
+            "Also serve /metrics (live aggregated registry), /health \
+             (503 while any alert fires) and /runs here.")
+  in
+  let producers =
+    Arg.(
+      value & opt int 1
+      & info [ "producers" ] ~docv:"N"
+          ~doc:"With $(b,--once): stop after $(docv) finalized streams.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Exit after the expected number of streams (see \
+             $(b,--producers)) has been finalized — the deterministic \
+             mode for tests and CI.")
+  in
+  let store_root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"File every collected trace in this .csobs registry.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Keep each stream's JSONL trace here as RUN_ID.jsonl \
+             (suffixed on collision).")
+  in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:"Health rules evaluated live against the merged stream.")
+  in
+  let rule_flags =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE" ~doc:"Inline health rule; repeatable.")
+  in
+  let alert_every =
+    Arg.(
+      value & opt int 64
+      & info [ "alert-every" ] ~docv:"N"
+          ~doc:
+            "Evaluate the rules every $(docv) accepted events (plus at \
+             every stream finalization).")
+  in
+  let addr_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound listen address here once accepting — lets \
+             a script poll for readiness instead of racing the bind.")
+  in
+  let run listen http producers once store_root out_dir rules_file rule_flags
+      alert_every addr_file =
+    let listen = addr_of_string_or_die listen in
+    let http = Option.map addr_of_string_or_die http in
+    (* Unlike `check`, alerting is optional: a collector with no rules
+       still merges traces and serves metrics. *)
+    let rules =
+      if rules_file = None && rule_flags = [] then []
+      else gather_rules rules_file rule_flags
+    in
+    (* Log lines come from per-connection threads; one mutex keeps
+       them whole. *)
+    let log_mu = Mutex.create () in
+    let log line =
+      Mutex.lock log_mu;
+      print_endline line;
+      flush stdout;
+      Mutex.unlock log_mu
+    in
+    let ready bound =
+      (match addr_file with
+      | Some f ->
+          write_lines f [ Format.asprintf "%a" Obs_http.pp_addr bound ]
+      | None -> ());
+      log (Format.asprintf "collecting on %a" Obs_http.pp_addr bound)
+    in
+    match
+      Obs_collect.run ?http ~producers ~once ?store_root ?out_dir ~rules
+        ~alert_every ~log ~ready ~listen ()
+    with
+    | Error msg -> die_data msg
+    | Ok summary -> Format.printf "%a@." Obs_collect.pp_summary summary
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:
+         "Run the streaming telemetry collector: accept csctl \
+          --emit producers, merge their event streams into stored \
+          JSONL traces, serve live aggregated /metrics, and raise \
+          streaming alerts."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Producers speak the length-prefixed Obs_stream frame \
+              protocol: HELLO carrying the run's provenance header, \
+              strictly sequenced events, heartbeats carrying drop \
+              counters, and BYE. Each stream is written back out as an \
+              ordinary JSONL trace — $(b,cstrace diff)-identical to \
+              the same run's locally written file — and filed in the \
+              $(b,--store) registry. A stream that ends without BYE is \
+              finalized with an explicit truncation marker instead of \
+              passing for a complete run.";
+         ])
+    Term.(
+      const run $ listen $ http $ producers $ once $ store_root $ out_dir
+      $ rules_file $ rule_flags $ alert_every $ addr_file)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -1016,4 +1172,5 @@ let () =
             store_cmd;
             serve_cmd;
             fetch_cmd;
+            collect_cmd;
           ]))

@@ -163,9 +163,10 @@ the emitted grammar subset before it is written.
   $ grep -c '"ruleId":"R11"' out.sarif
   1
 
-R13 fences socket I/O into lib/obs/obs_http.ml: any other module that
-opens a listening or connecting socket is flagged, so the network
-surface stays in one auditable place.
+R13 fences socket I/O into the lib/obs transport modules (obs_http,
+obs_stream, obs_remote, obs_collect): any other module that opens a
+listening or connecting socket is flagged, so the network surface
+stays in one auditable place.
 
   $ cat > lib/sneaky.ml << 'EOF'
   > let listen path =
@@ -177,8 +178,8 @@ surface stays in one auditable place.
   > val listen : string -> Unix.file_descr
   > EOF
   $ ../bin/cslint.exe lib/sneaky.ml lib/sneaky.mli
-  lib/sneaky.ml:2:11: R13 Unix.socket opens a network surface outside lib/obs/obs_http.ml; serve through Obs_http so the socket code stays in one auditable place
-  lib/sneaky.ml:3:2: R13 Unix.bind opens a network surface outside lib/obs/obs_http.ml; serve through Obs_http so the socket code stays in one auditable place
+  lib/sneaky.ml:2:11: R13 Unix.socket opens a network surface outside the lib/obs transport modules; go through Obs_http / Obs_remote / Obs_collect so the socket code stays in one auditable place
+  lib/sneaky.ml:3:2: R13 Unix.bind opens a network surface outside the lib/obs transport modules; go through Obs_http / Obs_remote / Obs_collect so the socket code stays in one auditable place
   cslint: 2 finding(s), 0 baselined, 0 suppressed, 0 error(s)
   [1]
   $ rm lib/sneaky.ml lib/sneaky.mli

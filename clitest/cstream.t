@@ -1,0 +1,75 @@
+Streaming telemetry (DESIGN.md §16): csctl producers stream their
+event trace live to a cstrace collector over a framed socket protocol
+(--emit), while still writing the local JSONL file (--trace). The
+collector files one output per stream, folds every event into a live
+aggregated metrics registry, and evaluates alert rules as events
+arrive instead of after the run.
+
+One collector, two sequential producers. --producers 2 --once makes
+the shutdown deterministic: the collector exits after the second
+stream finalizes. Sockets live under /tmp because the cram sandbox
+path can exceed the unix socket path limit.
+
+  $ SOCK=$(mktemp -u /tmp/cs_coll_XXXXXX)
+  $ HSOCK=$(mktemp -u /tmp/cs_colh_XXXXXX)
+  $ ../bin/cstrace.exe collect --listen unix:$SOCK --http unix:$HSOCK --producers 2 --once --out collected --rule "warn trace.periods_killed <= 100" > collect.log &
+
+The producer needs no ordering dance: the remote sink retries the
+connect with capped backoff, so it can start before the collector
+binds. On exit it reports its delivery accounting — emit never blocks
+the simulation, so a slow or absent collector costs drops, and drops
+are always counted, never silent. (The full line names the socket;
+grep keeps the deterministic part.)
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 42 --trace local42.jsonl --emit unix:$SOCK | grep -o "streamed [0-9]* event(s)"
+  streamed 2755 event(s)
+
+Between the producers the collector is provably alive (it is waiting
+for the second stream), so its HTTP side can be scraped mid-run:
+/metrics serves the live aggregated registry as validated Prometheus
+exposition, and /health answers 503 while any alert rule is firing —
+the periods_killed budget above was crossed partway through the first
+stream.
+
+  $ ../bin/cstrace.exe fetch unix:$HSOCK /metrics --validate-prom | grep -o "valid exposition"
+  valid exposition
+  $ ../bin/cstrace.exe fetch unix:$HSOCK /health
+  HTTP 503 Service Unavailable
+  alerts firing
+  [1]
+
+  $ ../bin/csctl.exe simulate --family uniform -L 100 -c 1 --trials 200 --seed 43 --trace local43.jsonl --emit unix:$SOCK | grep -o "streamed [0-9]* event(s)"
+  streamed 2585 event(s)
+  $ wait
+
+The collector logged the alert transition once, at the event-count
+boundary where the counter crossed the budget — level-triggered rules
+report edges, not every violating sample — and summarised both
+streams. (Per-stream lines carry run ids derived from the git sha, so
+only the stable lines are pinned here.)
+
+  $ grep -c "collecting on" collect.log
+  1
+  $ grep "ALERT" collect.log
+  ALERT firing: warn trace.periods_killed <= 100 (value 104)
+  $ grep -o "collected 2 stream(s), 5340 event(s), 0 rejected frame(s), alerts fired 1 resolved 0" collect.log
+  collected 2 stream(s), 5340 event(s), 0 rejected frame(s), alerts fired 1 resolved 0
+
+The contract that makes streaming trustworthy: each collected stream
+is byte-for-byte the same trace the producer wrote locally, so every
+cstrace analysis works identically on either copy. The collected
+files are keyed by run id; match them to their seed through the
+provenance header.
+
+  $ ../bin/cstrace.exe diff local42.jsonl $(grep -l '"seed":42' collected/*.jsonl)
+  traces are identical (2755 events)
+  $ ../bin/cstrace.exe diff local43.jsonl $(grep -l '"seed":43' collected/*.jsonl)
+  traces are identical (2585 events)
+
+A collector with no producers left to wait for refuses frames that
+arrive without provenance: streams must open with a HELLO header.
+That rule is exercised in test/test_stream.ml; here the visible
+surface is the help text.
+
+  $ ../bin/cstrace.exe collect --help=plain | grep -c "HELLO"
+  1

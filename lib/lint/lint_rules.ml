@@ -6,7 +6,7 @@ type scope = {
   in_parallel : bool;
   is_clock : bool;
   is_resource : bool;
-  is_http : bool;
+  is_socket : bool;
   in_sched : bool;
 }
 
@@ -99,10 +99,11 @@ let all_meta =
       id = "R13";
       title =
         "no socket I/O (Unix.socket, accept, bind, connect, ...) outside \
-         lib/obs/obs_http.ml";
+         the lib/obs transport: obs_http.ml, obs_stream.ml, obs_remote.ml, \
+         obs_collect.ml";
       remedy =
-        "serve through Obs_http, whose bounded request loop and validated \
-         responses keep the network surface auditable";
+        "go through Obs_http / Obs_remote / Obs_collect, whose bounded \
+         loops and validated exposition keep the network surface auditable";
     };
     {
       id = "R14";
@@ -282,12 +283,12 @@ let make_checker (scope : scope) =
           (( "socket" | "socketpair" | "accept" | "bind" | "listen"
            | "connect" | "setsockopt" | "getsockname" | "getpeername"
            | "send" | "recv" | "sendto" | "recvfrom" ) as fn) )
-      when not scope.is_http ->
+      when not scope.is_socket ->
         report "R13" loc
           (Printf.sprintf
-             "Unix.%s opens a network surface outside lib/obs/obs_http.ml; \
-              serve through Obs_http so the socket code stays in one \
-              auditable place"
+             "Unix.%s opens a network surface outside the lib/obs \
+              transport modules; go through Obs_http / Obs_remote / \
+              Obs_collect so the socket code stays in one auditable place"
              fn)
     | _ -> ());
     (match lid with

@@ -17,7 +17,9 @@ type scope = {
   is_clock : bool;  (** [lib/obs/obs_clock.ml] itself: exempt from R8. *)
   is_resource : bool;
       (** [lib/obs/obs_resource.ml] itself: exempt from R9. *)
-  is_http : bool;  (** [lib/obs/obs_http.ml] itself: exempt from R13. *)
+  is_socket : bool;
+      (** The lib/obs transport modules ([obs_http.ml], [obs_stream.ml],
+          [obs_remote.ml], [obs_collect.ml]): exempt from R13. *)
   in_sched : bool;  (** Under [lib/sched/]: R14 applies. *)
 }
 

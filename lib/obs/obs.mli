@@ -37,6 +37,9 @@ module Watch = Obs_watch
 module Store = Obs_store
 module Trend = Obs_trend
 module Http = Obs_http
+module Stream = Obs_stream
+module Remote = Obs_remote
+module Collect = Obs_collect
 
 type t
 

@@ -19,9 +19,10 @@
     [Content-Length]: the protocol surface is deliberately the smallest
     thing a standard scraper accepts. Request parsing and response
     framing are pure string functions, unit-testable without a socket;
-    only {!serve} and {!fetch} touch [Unix] — and this file is the
-    {e only} place in the tree allowed to open sockets (lint rule
-    R13). *)
+    only {!serve} and {!fetch} touch [Unix]. Socket I/O is fenced by
+    lint rule R13 to this file plus the streaming transport
+    ({!Obs_stream}, {!Obs_remote}, {!Obs_collect}), which reuses the
+    address vocabulary and {!listen_on} plumbing below. *)
 
 (** {1 Pure protocol core} *)
 
@@ -92,6 +93,26 @@ val addr_of_string : string -> (addr, string) result
 
 val pp_addr : Format.formatter -> addr -> unit
 (** Inverse of {!addr_of_string} ([unix:PATH] / [HOST:PORT]). *)
+
+(** {1 Socket plumbing}
+
+    Shared with the streaming transport ({!Obs_remote}'s connector and
+    {!Obs_collect}'s accept loop), so every module behind the R13
+    fence resolves and binds addresses the same way. *)
+
+val sockaddr_of : addr -> Unix.socket_domain * Unix.sockaddr
+(** Resolve an {!addr} to the [Unix] pair a socket call needs
+    (hostnames fall back to the loopback address when resolution
+    fails). *)
+
+val listen_on : addr -> (Unix.file_descr * addr, string) result
+(** Bind and listen on [addr]: unlink a stale Unix socket path first,
+    set [SO_REUSEADDR] on TCP, and return the bound address — with TCP
+    port [0], the ephemeral port the kernel picked. *)
+
+val cleanup : Unix.file_descr -> addr -> unit
+(** Close a listening socket and remove its Unix socket path; errors
+    are swallowed (teardown must not mask the real failure). *)
 
 (** {1 Serving} *)
 

@@ -2,6 +2,7 @@ type trace = {
   path : string;
   meta : Obs_meta.t option;
   events : Obs_event.t list;
+  truncated : int option;
 }
 
 let load path =
@@ -13,6 +14,7 @@ let load path =
         (fun () ->
           let events = ref [] in
           let meta = ref None in
+          let truncated = ref None in
           let line_no = ref 0 in
           let err = ref None in
           let fail msg =
@@ -31,15 +33,34 @@ let load path =
                      | Ok m ->
                          if !meta = None then meta := Some m
                          else fail "duplicate meta header")
+                 | Ok j when Obs_stream.is_truncation_json j -> (
+                     (* The collector's no-BYE marker: a partial trace
+                        is loadable and *reported* partial, not a load
+                        error and not silently complete. *)
+                     match Obs_stream.truncation_of_json j with
+                     | Error msg -> fail msg
+                     | Ok n ->
+                         if !truncated = None then truncated := Some n
+                         else fail "duplicate truncation marker")
                  | Ok j -> (
                      match Obs_event.of_json j with
                      | Error msg -> fail msg
-                     | Ok ev -> events := ev :: !events)
+                     | Ok ev ->
+                         if !truncated <> None then
+                           fail "event after truncation marker"
+                         else events := ev :: !events)
              done
            with End_of_file -> ());
           match !err with
           | Some msg -> Error msg
-          | None -> Ok { path; meta = !meta; events = List.rev !events })
+          | None ->
+              Ok
+                {
+                  path;
+                  meta = !meta;
+                  events = List.rev !events;
+                  truncated = !truncated;
+                })
 
 (* ------------------------------------------------------------------ *)
 (* Filtering                                                          *)

@@ -16,13 +16,20 @@ type trace = {
   path : string;
   meta : Obs_meta.t option;  (** Provenance header, when the file has one. *)
   events : Obs_event.t list;  (** In file order. *)
+  truncated : int option;
+      (** When the file ends with an {!Obs_stream.truncation_marker}
+          (a collector-ingested stream whose producer vanished without
+          BYE): the marker's ingested-event count. [None] for a
+          complete trace. *)
 }
 
 val load : string -> (trace, string) result
 (** Parse a JSONL trace. Blank lines are skipped; a leading meta header
     is validated ({!Obs_meta.of_json}) and surfaced; malformed lines,
     bad headers and duplicate headers are errors with [file:line]
-    positions. *)
+    positions. A trailing truncation marker is accepted and surfaced
+    via [truncated] (events after it, or a second marker, are
+    errors). *)
 
 (** {1 Filtering} *)
 

@@ -1,0 +1,51 @@
+(** A remote {!Obs_sink.t}: stream events to a live collector.
+
+    Instrumented code must never block on the network — a simulation's
+    timing (and the determinism contract behind [cstrace diff]) cannot
+    depend on a collector's health. [emit] therefore only pushes into
+    a bounded in-memory ring; a dedicated sender thread drains the
+    ring over a unix/TCP socket speaking the {!Obs_stream} protocol,
+    reconnecting with capped exponential backoff and re-announcing
+    itself with a fresh HELLO on every connection.
+
+    Delivery is at-most-once with explicit accounting: an event that
+    arrives while the ring is full, or that hits a dead connection, is
+    counted in {!stats}' [dropped] rather than retried or waited for.
+    The producer's cumulative drop counter also rides to the collector
+    in heartbeat and BYE frames, so the stored trace knows it is
+    incomplete even when the producer never reports locally. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?max_backoff_s:float ->
+  addr:Obs_http.addr ->
+  meta:Obs_meta.t ->
+  unit ->
+  t
+(** Start the sender thread. [capacity] bounds the ring (default
+    65536 events — deep enough that a local collector never drops);
+    [max_backoff_s] caps the reconnect backoff (default 1.0s,
+    starting at 50ms and doubling). [meta] is the provenance header
+    announced in every HELLO. *)
+
+val sink : t -> Obs_sink.t
+(** The non-blocking sink to hand to instrumented code (typically
+    teed with a local [Jsonl] sink via {!Obs_sink.tee}). Emitting
+    after {!close} counts the event as dropped. *)
+
+val addr : t -> Obs_http.addr
+
+val close : t -> unit
+(** Flush: wake the sender, let it drain the ring, send BYE on a live
+    connection, and join the thread. If the collector is unreachable
+    the remaining connect attempts are bounded, the undelivered queue
+    is counted as dropped, and close still returns. Idempotent. *)
+
+type stats = { sent : int; dropped : int; hellos : int }
+(** [sent] events delivered to a connection; [dropped] events lost to
+    ring overflow, dead connections, or an unreachable collector at
+    close; [hellos] connections established (>1 means reconnects). *)
+
+val stats : t -> stats

@@ -1,0 +1,275 @@
+(* The framed event protocol the remote sink speaks to the collector.
+   Everything here is pure: frames encode to strings and decode from a
+   [read buf pos len] function, so the codec and the per-producer
+   ordering machine are unit-testable without a socket. The socket
+   shells live in Obs_remote (producer) and Obs_collect (consumer). *)
+
+let protocol_version = 1
+
+(* A single simulate run's trace is a few hundred KiB of ~100-byte
+   lines; one frame carries one line. 1 MiB therefore bounds any
+   legitimate frame with two orders of magnitude to spare, while a
+   peer that streams garbage lengths is cut off after one buffer. *)
+let max_frame_bytes = 1 lsl 20
+
+type frame =
+  | Hello of Obs_meta.t
+  | Event of { seq : int; event : Obs_event.t }
+  | Heartbeat of { seq : int; dropped : int }
+  | Bye of { seq : int; dropped : int }
+
+(* ------------------------------------------------------------------ *)
+(* JSON payloads                                                       *)
+
+let obj ty fields =
+  Jsonx.Obj
+    (("v", Jsonx.Int protocol_version) :: ("type", Jsonx.String ty) :: fields)
+
+let frame_to_json = function
+  | Hello meta -> obj "hello" [ ("meta", Obs_meta.to_json meta) ]
+  | Event { seq; event } ->
+      obj "event" [ ("seq", Jsonx.Int seq); ("event", Obs_event.to_json event) ]
+  | Heartbeat { seq; dropped } ->
+      obj "heartbeat" [ ("seq", Jsonx.Int seq); ("dropped", Jsonx.Int dropped) ]
+  | Bye { seq; dropped } ->
+      obj "bye" [ ("seq", Jsonx.Int seq); ("dropped", Jsonx.Int dropped) ]
+
+let ( let* ) = Result.bind
+
+let int_field name j =
+  match Option.bind (Jsonx.member name j) Jsonx.get_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "frame: missing or ill-typed field %S" name)
+
+let frame_of_json j =
+  let* v = int_field "v" j in
+  if v <> protocol_version then
+    Error
+      (Printf.sprintf "frame: unsupported protocol version %d (want %d)" v
+         protocol_version)
+  else
+    let* ty =
+      match Option.bind (Jsonx.member "type" j) Jsonx.get_string with
+      | Some t -> Ok t
+      | None -> Error "frame: missing or ill-typed field \"type\""
+    in
+    match ty with
+    | "hello" -> (
+        match Jsonx.member "meta" j with
+        | None -> Error "frame: hello without a \"meta\" provenance header"
+        | Some m ->
+            let* meta = Obs_meta.of_json m in
+            Ok (Hello meta))
+    | "event" -> (
+        let* seq = int_field "seq" j in
+        match Jsonx.member "event" j with
+        | None -> Error "frame: event frame without an \"event\" payload"
+        | Some e ->
+            let* event = Obs_event.of_json e in
+            Ok (Event { seq; event }))
+    | "heartbeat" ->
+        let* seq = int_field "seq" j in
+        let* dropped = int_field "dropped" j in
+        Ok (Heartbeat { seq; dropped })
+    | "bye" ->
+        let* seq = int_field "seq" j in
+        let* dropped = int_field "dropped" j in
+        Ok (Bye { seq; dropped })
+    | other -> Error (Printf.sprintf "frame: unknown frame type %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing: 4-byte big-endian payload length, then the payload.   *)
+
+let encode frame =
+  let payload = Jsonx.to_string (frame_to_json frame) in
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let decode_payload s =
+  match Jsonx.of_string s with
+  | Error msg -> Error ("frame: " ^ msg)
+  | Ok j -> frame_of_json j
+
+type read_error = [ `Eof | `Too_large of int | `Malformed of string ]
+
+(* Fill [buf] completely from [read], tolerating partial reads.
+   [`Start_eof] distinguishes a clean end-of-stream (nothing read at
+   all) from a frame truncated midway. *)
+let read_exact read buf =
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos >= len then `Filled
+    else
+      match read buf pos (len - pos) with
+      | n when n <= 0 -> if pos = 0 then `Start_eof else `Mid_eof
+      | n -> go (pos + n)
+  in
+  go 0
+
+let read_frame ?(max_len = max_frame_bytes) read :
+    (frame, read_error) result =
+  let header = Bytes.create 4 in
+  match read_exact read header with
+  | `Start_eof -> Error `Eof
+  | `Mid_eof -> Error (`Malformed "truncated frame length prefix")
+  | `Filled -> (
+      let n = Int32.to_int (Bytes.get_int32_be header 0) in
+      if n < 0 || n > max_len then Error (`Too_large n)
+      else
+        let payload = Bytes.create n in
+        match read_exact read payload with
+        | `Start_eof | `Mid_eof ->
+            Error
+              (`Malformed
+                (Printf.sprintf "stream ended inside a %d-byte frame" n))
+        | `Filled -> (
+            match decode_payload (Bytes.unsafe_to_string payload) with
+            | Ok f -> Ok f
+            | Error msg -> Error (`Malformed msg)))
+
+let pp_read_error ppf = function
+  | `Eof -> Format.pp_print_string ppf "end of stream"
+  | `Too_large n ->
+      Format.fprintf ppf "frame length %d exceeds the %d-byte cap" n
+        max_frame_bytes
+  | `Malformed msg -> Format.pp_print_string ppf msg
+
+(* ------------------------------------------------------------------ *)
+(* Per-producer ordering machine (the collector's view of one stream)  *)
+
+type ingest = {
+  mutable i_meta : Obs_meta.t option;
+  mutable i_last_seq : int option;  (** last accepted event seq *)
+  mutable i_first_seq : int option;
+  mutable i_events : int;
+  mutable i_dropped : int;  (** latest producer-reported drop count *)
+  mutable i_closed : bool;  (** saw BYE *)
+}
+
+let ingest_create () =
+  {
+    i_meta = None;
+    i_last_seq = None;
+    i_first_seq = None;
+    i_events = 0;
+    i_dropped = 0;
+    i_closed = false;
+  }
+
+let ingest_meta i = i.i_meta
+let ingest_events i = i.i_events
+let ingest_dropped i = i.i_dropped
+let ingest_closed i = i.i_closed
+let ingest_first_seq i = i.i_first_seq
+
+type verdict =
+  | Ok_hello of Obs_meta.t
+  | Ok_event of Obs_event.t
+  | Ok_heartbeat
+  | Ok_bye
+  | Reject of string
+
+let position i = match i.i_last_seq with Some s -> s | None -> 0
+
+let ingest i frame =
+  if i.i_closed then Reject "frame after BYE"
+  else
+    match frame with
+    | Hello meta -> (
+        match i.i_meta with
+        | None ->
+            i.i_meta <- Some meta;
+            Ok_hello meta
+        | Some m0 when m0 = meta ->
+            (* A reconnecting producer re-announces itself; identical
+               provenance is a resume, not a conflict. *)
+            Ok_hello meta
+        | Some _ -> Reject "HELLO changes provenance mid-stream")
+    | Event { seq; event } -> (
+        if i.i_meta = None then
+          Reject "headerless stream: expected HELLO before events"
+        else
+          match i.i_last_seq with
+          | None ->
+              (* The first event pins the window; a producer that lost
+                 frames before reaching us starts above 1, which the
+                 collector surfaces via [ingest_first_seq]. *)
+              if seq < 1 then
+                Reject (Printf.sprintf "event seq %d < 1" seq)
+              else begin
+                i.i_last_seq <- Some seq;
+                i.i_first_seq <- Some seq;
+                i.i_events <- i.i_events + 1;
+                Ok_event event
+              end
+          | Some last ->
+              if seq <= last then
+                Reject
+                  (Printf.sprintf
+                     "duplicate or out-of-order event seq %d (stream is at %d)"
+                     seq last)
+              else if seq > last + 1 then
+                Reject
+                  (Printf.sprintf "gap in event seq: got %d after %d" seq last)
+              else begin
+                i.i_last_seq <- Some seq;
+                i.i_events <- i.i_events + 1;
+                Ok_event event
+              end)
+    | Heartbeat { seq; dropped } -> (
+        if i.i_meta = None then
+          Reject "headerless stream: expected HELLO before heartbeats"
+        else
+          match i.i_last_seq with
+          | Some last when seq <> last ->
+              Reject
+                (Printf.sprintf
+                   "heartbeat seq %d disagrees with stream position %d" seq
+                   last)
+          | _ ->
+              i.i_dropped <- Stdlib.max i.i_dropped dropped;
+              Ok_heartbeat)
+    | Bye { seq; dropped } ->
+        if i.i_meta = None then
+          Reject "headerless stream: expected HELLO before BYE"
+        else if seq <> position i && i.i_last_seq <> None then
+          Reject
+            (Printf.sprintf "BYE seq %d disagrees with stream position %d" seq
+               (position i))
+        else begin
+          i.i_dropped <- Stdlib.max i.i_dropped dropped;
+          i.i_closed <- true;
+          Ok_bye
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Truncation marker: the line the collector appends when a stream     *)
+(* ends without BYE, so the stored trace says "partial" instead of     *)
+(* silently passing for a complete run.                                *)
+
+let truncation_marker ~events =
+  Jsonx.Obj
+    [
+      ("v", Jsonx.Int protocol_version);
+      ("type", Jsonx.String "truncated");
+      ("events", Jsonx.Int events);
+    ]
+
+let is_truncation_json j =
+  match Jsonx.member "type" j with
+  | Some (Jsonx.String "truncated") -> true
+  | _ -> false
+
+let truncation_of_json j =
+  if not (is_truncation_json j) then
+    Error "not a truncation marker (field \"type\" is not \"truncated\")"
+  else
+    let* v = int_field "v" j in
+    if v <> protocol_version then
+      Error
+        (Printf.sprintf "truncation marker: unsupported version %d (want %d)" v
+           protocol_version)
+    else int_field "events" j

@@ -1,0 +1,121 @@
+(** Framed event protocol for live telemetry streaming.
+
+    A producer (Obs_remote) opens a unix or TCP socket to a collector
+    (Obs_collect) and ships frames: one HELLO announcing the run's
+    {!Obs_meta.t} provenance, then the run's events each tagged with a
+    per-producer sequence number, interleaved heartbeats carrying the
+    producer's drop counter, and a final BYE. Each frame is a 4-byte
+    big-endian payload length followed by that many bytes of JSON.
+
+    This module is the pure core: codec, frame reader over an abstract
+    [read] function, and the per-producer ordering state machine the
+    collector runs. It performs no socket I/O itself (the lint R13
+    fence nonetheless covers it, together with Obs_remote and
+    Obs_collect, as part of the streaming transport). *)
+
+val protocol_version : int
+(** Version stamped into every frame payload as ["v"]. *)
+
+val max_frame_bytes : int
+(** Default cap on a single frame's payload length (1 MiB). A peer
+    announcing a longer frame is rejected before any allocation. *)
+
+type frame =
+  | Hello of Obs_meta.t
+      (** Stream opener: full provenance header. Re-sent on every
+          reconnect; the collector accepts a byte-identical resume and
+          rejects a provenance change mid-stream. *)
+  | Event of { seq : int; event : Obs_event.t }
+      (** One trace event. [seq] starts at 1 and increments by one per
+          event {e sent} (events dropped by the producer's ring leave
+          gaps only in what was never sent, not in the wire stream). *)
+  | Heartbeat of { seq : int; dropped : int }
+      (** Liveness + drop accounting: [seq] echoes the last event seq
+          sent, [dropped] is the producer's cumulative drop counter. *)
+  | Bye of { seq : int; dropped : int }
+      (** Clean close; same fields as a heartbeat. A stream that ends
+          without BYE is finalized as truncated. *)
+
+(** {1 Codec} *)
+
+val encode : frame -> string
+(** Wire bytes for one frame: length prefix + JSON payload. *)
+
+val frame_to_json : frame -> Jsonx.t
+
+val frame_of_json : Jsonx.t -> (frame, string) result
+
+val decode_payload : string -> (frame, string) result
+(** Parse one frame payload (the bytes after the length prefix). *)
+
+type read_error = [ `Eof | `Too_large of int | `Malformed of string ]
+(** [`Eof] is a clean end-of-stream (connection closed between
+    frames); [`Malformed] covers mid-frame EOF and payloads that do
+    not parse; [`Too_large n] is a length prefix beyond the cap. *)
+
+val read_frame :
+  ?max_len:int -> (bytes -> int -> int -> int) -> (frame, read_error) result
+(** [read_frame read] pulls one frame through [read buf pos len]
+    (returning the number of bytes read, 0 or negative at EOF),
+    tolerating partial reads. [max_len] defaults to
+    {!max_frame_bytes}. *)
+
+val pp_read_error : Format.formatter -> read_error -> unit
+
+(** {1 Per-producer ordering machine}
+
+    The collector runs one [ingest] per connection: it enforces
+    HELLO-first, strictly consecutive event sequence numbers, and
+    heartbeat/BYE positions that agree with the stream, and it
+    accumulates the producer's event and drop counts. *)
+
+type ingest
+
+val ingest_create : unit -> ingest
+
+type verdict =
+  | Ok_hello of Obs_meta.t
+  | Ok_event of Obs_event.t
+  | Ok_heartbeat
+  | Ok_bye
+  | Reject of string
+      (** Protocol violation; the collector drops the connection and
+          counts the frame as rejected. *)
+
+val ingest : ingest -> frame -> verdict
+(** Feed one frame through the state machine. Rejected frames do not
+    advance the stream position. *)
+
+val ingest_meta : ingest -> Obs_meta.t option
+(** Provenance from the stream's HELLO, once seen. *)
+
+val ingest_events : ingest -> int
+(** Events accepted so far. *)
+
+val ingest_dropped : ingest -> int
+(** Latest producer-reported cumulative drop count. *)
+
+val ingest_closed : ingest -> bool
+(** [true] once BYE was accepted. *)
+
+val ingest_first_seq : ingest -> int option
+(** Sequence number of the first accepted event. A value above 1
+    means the producer dropped (or sent elsewhere) a prefix of the
+    run before this stream started. *)
+
+(** {1 Truncation marker}
+
+    When a stream ends without BYE the collector appends one marker
+    line to the stored trace, so downstream loaders can tell a partial
+    trace from a complete one. The marker is a transport-level JSON
+    line, deliberately {e not} an {!Obs_event.t}: traces written
+    locally never contain it, and {!Obs_query.load} surfaces it via
+    the trace's [truncated] field. *)
+
+val truncation_marker : events:int -> Jsonx.t
+(** Marker recording how many events were ingested before the cut. *)
+
+val is_truncation_json : Jsonx.t -> bool
+
+val truncation_of_json : Jsonx.t -> (int, string) result
+(** Returns the marker's ingested-event count. *)

@@ -209,7 +209,7 @@ let test_r9 () =
   check_rules "suppressed" []
     (lint "let s () = (Gc.quick_stat () [@lint.allow \"R9\"])\n")
 
-(* ---- R13: socket I/O outside lib/obs/obs_http.ml ---- *)
+(* ---- R13: socket I/O outside the lib/obs transport modules ---- *)
 
 let test_r13 () =
   check_rules "socket in lib" [ "R13" ]
@@ -222,6 +222,18 @@ let test_r13 () =
     (lint "let c fd sa = Unix.connect fd sa\n");
   check_rules "obs_http exempt" []
     (lint ~path:"lib/obs/obs_http.ml"
+       "let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
+  check_rules "obs_stream exempt" []
+    (lint ~path:"lib/obs/obs_stream.ml"
+       "let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
+  check_rules "obs_remote exempt" []
+    (lint ~path:"lib/obs/obs_remote.ml"
+       "let c fd sa = Unix.connect fd sa\n");
+  check_rules "obs_collect exempt" []
+    (lint ~path:"lib/obs/obs_collect.ml" "let a fd = Unix.accept fd\n");
+  (* Only the four transport modules are exempt, not all of lib/obs. *)
+  check_rules "other obs module still fenced" [ "R13" ]
+    (lint ~path:"lib/obs/obs_sink.ml"
        "let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
   (* The rest of Unix stays available — only the socket surface is
      fenced, and a bare [shutdown] is not Unix.shutdown. *)

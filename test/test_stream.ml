@@ -1,0 +1,647 @@
+(* The streaming telemetry pipeline: Obs_stream's codec and ordering
+   machine (pure, over deterministic readers), the truncation-marker
+   contract with Obs_query.load, Obs_remote's drop accounting and
+   reconnect behaviour against real loopback sockets, the Obs_collect
+   alert state machine, and one in-process end-to-end run proving a
+   collector-ingested trace is diff-identical to the locally written
+   one. *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* A reader over a fixed string yielding at most [chunk] bytes per call
+   — the socket partial-read case, made deterministic. *)
+let string_reader ?(chunk = max_int) s =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = Stdlib.min (Stdlib.min len chunk) (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n
+
+let temp_sock () =
+  let p = Filename.temp_file "cs_stream" ".sock" in
+  Sys.remove p;
+  p
+
+let meta ?(seed = 7L) () =
+  Obs.Meta.make ~git_sha:"deadbeef" ~seed ~jobs:1 ~scenario:"test stream" ()
+
+let ev_start = Obs_event.Run_started { time = 0.0; source = "test"; seed = None }
+
+let ev_period i =
+  Obs_event.Period_completed
+    {
+      time = float_of_int i;
+      ws = 0;
+      ep = i;
+      period = 2.0;
+      banked = 1.5;
+      overhead = 0.5;
+    }
+
+let ev_finish = Obs_event.Run_finished { time = 99.0 }
+
+let frame_eq : Obs_stream.frame Alcotest.testable =
+  Alcotest.testable
+    (fun ppf f -> Format.fprintf ppf "%s" (Jsonx.to_string (Obs_stream.frame_to_json f)))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let test_frame_roundtrip () =
+  let frames =
+    [
+      Obs_stream.Hello (meta ());
+      Obs_stream.Event { seq = 1; event = ev_start };
+      Obs_stream.Event { seq = 2; event = ev_period 1 };
+      Obs_stream.Heartbeat { seq = 2; dropped = 3 };
+      Obs_stream.Bye { seq = 2; dropped = 3 };
+    ]
+  in
+  (* Whole stream, one byte per read: frames must reassemble across
+     arbitrary partial reads, and the next frame must start exactly
+     where the previous payload ended. *)
+  let wire = String.concat "" (List.map Obs_stream.encode frames) in
+  let read = string_reader ~chunk:1 wire in
+  List.iter
+    (fun expect ->
+      match Obs_stream.read_frame read with
+      | Ok got -> Alcotest.check frame_eq "frame round trip" expect got
+      | Error e ->
+          Alcotest.failf "rejected own encoding: %a" Obs_stream.pp_read_error e)
+    frames;
+  match Obs_stream.read_frame read with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "expected clean EOF after the last frame"
+
+let test_frame_errors () =
+  (* Clean EOF at a frame boundary vs truncation inside one. *)
+  (match Obs_stream.read_frame (string_reader "") with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "empty stream should be `Eof");
+  let whole = Obs_stream.encode (Obs_stream.Heartbeat { seq = 1; dropped = 0 }) in
+  (match
+     Obs_stream.read_frame
+       (string_reader (String.sub whole 0 (String.length whole - 2)))
+   with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "mid-frame EOF should be `Malformed");
+  (match Obs_stream.read_frame (string_reader (String.sub whole 0 2)) with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "truncated length prefix should be `Malformed");
+  (* Oversized length prefix: rejected from the header alone. *)
+  let big = Bytes.create 4 in
+  Bytes.set_int32_be big 0 (Int32.of_int (Obs_stream.max_frame_bytes + 1));
+  (match Obs_stream.read_frame (string_reader (Bytes.to_string big)) with
+  | Error (`Too_large n) ->
+      Alcotest.(check int) "cap carries the announced length"
+        (Obs_stream.max_frame_bytes + 1)
+        n
+  | _ -> Alcotest.fail "oversized frame should be `Too_large");
+  (* A well-framed payload that is not a frame. *)
+  let garbage = "{\"v\":1,\"type\":\"nope\"}" in
+  let b = Bytes.create (4 + String.length garbage) in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length garbage));
+  Bytes.blit_string garbage 0 b 4 (String.length garbage);
+  match Obs_stream.read_frame (string_reader (Bytes.to_string b)) with
+  | Error (`Malformed msg) ->
+      Alcotest.(check bool) "names the unknown type" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "unknown frame type should be `Malformed"
+
+(* ------------------------------------------------------------------ *)
+(* Ordering machine                                                    *)
+
+let reject = function
+  | Obs_stream.Reject _ -> ()
+  | _ -> Alcotest.fail "expected a rejection"
+
+let accept = function
+  | Obs_stream.Reject msg -> Alcotest.failf "unexpected rejection: %s" msg
+  | _ -> ()
+
+let test_ingest_headerless () =
+  (* Every non-HELLO frame is refused until provenance arrives. *)
+  let i = Obs_stream.ingest_create () in
+  reject (Obs_stream.ingest i (Obs_stream.Event { seq = 1; event = ev_start }));
+  reject (Obs_stream.ingest i (Obs_stream.Heartbeat { seq = 0; dropped = 0 }));
+  reject (Obs_stream.ingest i (Obs_stream.Bye { seq = 0; dropped = 0 }));
+  Alcotest.(check int) "rejected frames ingest nothing" 0
+    (Obs_stream.ingest_events i);
+  accept (Obs_stream.ingest i (Obs_stream.Hello (meta ())));
+  accept (Obs_stream.ingest i (Obs_stream.Event { seq = 1; event = ev_start }))
+
+let test_ingest_seq_discipline () =
+  let i = Obs_stream.ingest_create () in
+  accept (Obs_stream.ingest i (Obs_stream.Hello (meta ())));
+  accept (Obs_stream.ingest i (Obs_stream.Event { seq = 1; event = ev_start }));
+  accept
+    (Obs_stream.ingest i (Obs_stream.Event { seq = 2; event = ev_period 1 }));
+  (* Duplicate, out-of-order, and gapped sequence numbers are refused
+     and do not advance the stream. *)
+  reject
+    (Obs_stream.ingest i (Obs_stream.Event { seq = 2; event = ev_period 1 }));
+  reject
+    (Obs_stream.ingest i (Obs_stream.Event { seq = 1; event = ev_start }));
+  reject
+    (Obs_stream.ingest i (Obs_stream.Event { seq = 4; event = ev_period 2 }));
+  Alcotest.(check int) "two events accepted" 2 (Obs_stream.ingest_events i);
+  accept
+    (Obs_stream.ingest i (Obs_stream.Event { seq = 3; event = ev_period 2 }));
+  (* Heartbeats must agree with the stream position. *)
+  reject (Obs_stream.ingest i (Obs_stream.Heartbeat { seq = 7; dropped = 0 }));
+  accept (Obs_stream.ingest i (Obs_stream.Heartbeat { seq = 3; dropped = 5 }));
+  Alcotest.(check int) "heartbeat carries the drop counter" 5
+    (Obs_stream.ingest_dropped i);
+  accept (Obs_stream.ingest i (Obs_stream.Bye { seq = 3; dropped = 5 }));
+  Alcotest.(check bool) "closed after BYE" true (Obs_stream.ingest_closed i);
+  reject (Obs_stream.ingest i (Obs_stream.Event { seq = 4; event = ev_finish }))
+
+let test_ingest_hello_rules () =
+  let i = Obs_stream.ingest_create () in
+  let m = meta () in
+  accept (Obs_stream.ingest i (Obs_stream.Hello m));
+  accept (Obs_stream.ingest i (Obs_stream.Event { seq = 1; event = ev_start }));
+  (* A reconnecting producer re-announces identical provenance. *)
+  accept (Obs_stream.ingest i (Obs_stream.Hello m));
+  (* ... but cannot switch runs mid-stream. *)
+  reject (Obs_stream.ingest i (Obs_stream.Hello (meta ~seed:8L ())));
+  (* A first event above 1 is accepted (a lost prefix) and reported. *)
+  let j = Obs_stream.ingest_create () in
+  accept (Obs_stream.ingest j (Obs_stream.Hello m));
+  accept
+    (Obs_stream.ingest j (Obs_stream.Event { seq = 41; event = ev_start }));
+  Alcotest.(check (option int)) "lost prefix visible" (Some 41)
+    (Obs_stream.ingest_first_seq j);
+  reject
+    (Obs_stream.ingest j (Obs_stream.Event { seq = 41; event = ev_start }))
+
+(* ------------------------------------------------------------------ *)
+(* Truncation marker and Obs_query.load                                *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)
+
+let test_truncation_marker () =
+  let j = Obs_stream.truncation_marker ~events:17 in
+  Alcotest.(check bool) "self-identifies" true (Obs_stream.is_truncation_json j);
+  Alcotest.(check int) "event count round trips" 17
+    (ok (Obs_stream.truncation_of_json j));
+  Alcotest.(check bool) "an event is not a marker" false
+    (Obs_stream.is_truncation_json (Obs_event.to_json ev_start))
+
+let test_load_accepts_marker () =
+  let path = Filename.temp_file "cs_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = meta () in
+      let lines =
+        [
+          Jsonx.to_string (Obs_meta.to_json m);
+          Jsonx.to_string (Obs_event.to_json ev_start);
+          Jsonx.to_string (Obs_event.to_json (ev_period 1));
+          Jsonx.to_string (Obs_stream.truncation_marker ~events:2);
+        ]
+      in
+      write_lines path lines;
+      let t = ok (Obs_query.load path) in
+      Alcotest.(check int) "events load" 2 (List.length t.Obs_query.events);
+      Alcotest.(check (option int)) "marker surfaced" (Some 2)
+        t.Obs_query.truncated;
+      (* A complete trace reports no truncation. *)
+      write_lines path
+        (List.filteri (fun i _ -> i < 3) lines);
+      Alcotest.(check (option int)) "complete trace" None
+        (ok (Obs_query.load path)).Obs_query.truncated;
+      (* Events after the marker, or a second marker, are corruption. *)
+      write_lines path
+        (lines @ [ Jsonx.to_string (Obs_event.to_json ev_finish) ]);
+      (match Obs_query.load path with
+      | Error msg ->
+          Alcotest.(check bool) "event after marker is an error" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "accepted an event after the marker");
+      write_lines path
+        (lines @ [ Jsonx.to_string (Obs_stream.truncation_marker ~events:2) ]);
+      match Obs_query.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted a duplicate marker")
+
+(* ------------------------------------------------------------------ *)
+(* Obs_remote: drop accounting and reconnects                          *)
+
+let test_remote_overflow_drops () =
+  (* No collector at the address: the ring absorbs [capacity] events
+     and every further emit is counted dropped, never blocked on. At
+     close the bounded reconnect gives up and the queue drains into
+     the drop counter too: nothing is silently lost. *)
+  let addr = Obs_http.Unix_sock (temp_sock ()) in
+  let r =
+    Obs_remote.create ~capacity:4 ~max_backoff_s:0.05 ~addr ~meta:(meta ()) ()
+  in
+  let sink = Obs_remote.sink r in
+  for i = 1 to 50 do
+    Obs_sink.emit sink (ev_period i)
+  done;
+  Obs_remote.close r;
+  let s = Obs_remote.stats r in
+  Alcotest.(check int) "nothing delivered" 0 s.Obs_remote.sent;
+  Alcotest.(check int) "every event accounted" 50 s.Obs_remote.dropped;
+  Alcotest.(check int) "no connection made" 0 s.Obs_remote.hellos;
+  (* Emitting after close is a drop, not a crash. *)
+  Obs_sink.emit sink ev_finish;
+  Alcotest.(check int) "post-close emit counted" 51
+    (Obs_remote.stats r).Obs_remote.dropped;
+  (* Close is idempotent. *)
+  Obs_remote.close r
+
+(* A minimal in-process collector endpoint: accept connections on
+   [addr], read frames off each, and count what arrives. [kill_after]
+   closes the nth connection after that many frames — the mid-stream
+   crash the producer must survive by reconnecting. *)
+type drain = {
+  d_mu : Mutex.t;
+  mutable d_hellos : int;
+  mutable d_events : int;
+  mutable d_byes : int;
+  mutable d_conns : int;
+}
+
+let start_drain ?kill_after addr =
+  let lfd, bound = ok (Obs_http.listen_on addr) in
+  let d =
+    { d_mu = Mutex.create (); d_hellos = 0; d_events = 0; d_byes = 0;
+      d_conns = 0 }
+  in
+  let stop = Atomic.make false in
+  let handle conn ~kill =
+    let read buf pos len =
+      try Unix.read conn buf pos len with Unix.Unix_error _ -> 0
+    in
+    let frames = ref 0 in
+    let rec loop () =
+      match Obs_stream.read_frame read with
+      | Error _ -> ()
+      | Ok f ->
+          incr frames;
+          Mutex.lock d.d_mu;
+          (match f with
+          | Obs_stream.Hello _ -> d.d_hellos <- d.d_hellos + 1
+          | Obs_stream.Event _ -> d.d_events <- d.d_events + 1
+          | Obs_stream.Bye _ -> d.d_byes <- d.d_byes + 1
+          | Obs_stream.Heartbeat _ -> ());
+          Mutex.unlock d.d_mu;
+          (match kill with
+          | Some n when !frames >= n -> () (* hang up mid-stream *)
+          | _ -> loop ())
+    in
+    loop ();
+    try Unix.close conn with Unix.Unix_error _ -> ()
+  in
+  let accept_thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          if not (Atomic.get stop) then
+            match Unix.accept lfd with
+            | exception Unix.Unix_error _ -> ()
+            | conn, _ ->
+                if Atomic.get stop then (
+                  (try Unix.close conn with Unix.Unix_error _ -> ());
+                  ())
+                else begin
+                  Mutex.lock d.d_mu;
+                  d.d_conns <- d.d_conns + 1;
+                  let kill =
+                    match kill_after with
+                    | Some (nth, frames) when d.d_conns = nth -> Some frames
+                    | _ -> None
+                  in
+                  Mutex.unlock d.d_mu;
+                  handle conn ~kill;
+                  loop ()
+                end
+        in
+        loop ())
+      ()
+  in
+  let shutdown () =
+    Atomic.set stop true;
+    (* Unpark the accept with a throwaway connect. *)
+    let domain, sockaddr = Obs_http.sockaddr_of bound in
+    (match Unix.socket domain Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try Unix.connect fd sockaddr with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ()));
+    Thread.join accept_thread;
+    Obs_http.cleanup lfd bound
+  in
+  (d, bound, shutdown)
+
+(* [Obs_remote.close] guarantees the bytes are written, not that the
+   drain thread has read them yet. The BYE is the last frame of a
+   segment, so once it is counted every earlier frame is too. *)
+let await_byes d n =
+  let deadline = 500 in
+  let rec loop i =
+    Mutex.lock d.d_mu;
+    let byes = d.d_byes in
+    Mutex.unlock d.d_mu;
+    if byes < n && i < deadline then begin
+      Thread.yield ();
+      Unix.sleepf 0.01;
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let test_remote_delivers_and_says_bye () =
+  let d, bound, shutdown = start_drain (Obs_http.Unix_sock (temp_sock ())) in
+  Fun.protect ~finally:shutdown (fun () ->
+      let r = Obs_remote.create ~addr:bound ~meta:(meta ()) () in
+      let sink = Obs_remote.sink r in
+      for i = 1 to 200 do
+        Obs_sink.emit sink (ev_period i)
+      done;
+      Obs_remote.close r;
+      let s = Obs_remote.stats r in
+      Alcotest.(check int) "all delivered" 200 s.Obs_remote.sent;
+      Alcotest.(check int) "no drops" 0 s.Obs_remote.dropped;
+      Alcotest.(check int) "one connection" 1 s.Obs_remote.hellos;
+      await_byes d 1;
+      Mutex.lock d.d_mu;
+      let hellos, events, byes = (d.d_hellos, d.d_events, d.d_byes) in
+      Mutex.unlock d.d_mu;
+      Alcotest.(check int) "HELLO on the wire" 1 hellos;
+      Alcotest.(check int) "events on the wire" 200 events;
+      Alcotest.(check int) "BYE on the wire" 1 byes)
+
+let test_remote_reconnects_with_fresh_hello () =
+  (* The drain hangs up the first connection after 5 frames. The
+     producer must notice the dead socket, count the lost event(s),
+     reconnect, and open the second segment with a fresh HELLO. *)
+  let d, bound, shutdown =
+    start_drain ~kill_after:(1, 5) (Obs_http.Unix_sock (temp_sock ()))
+  in
+  Fun.protect ~finally:shutdown (fun () ->
+      let r =
+        Obs_remote.create ~max_backoff_s:0.05 ~addr:bound ~meta:(meta ()) ()
+      in
+      let sink = Obs_remote.sink r in
+      for i = 1 to 300 do
+        Obs_sink.emit sink (ev_period i)
+      done;
+      Obs_remote.close r;
+      let s = Obs_remote.stats r in
+      Alcotest.(check int) "reconnected with a fresh HELLO" 2
+        s.Obs_remote.hellos;
+      Alcotest.(check bool) "the break cost at least one event" true
+        (s.Obs_remote.dropped >= 1);
+      Alcotest.(check int) "every event accounted exactly once" 300
+        (s.Obs_remote.sent + s.Obs_remote.dropped);
+      await_byes d 1;
+      Mutex.lock d.d_mu;
+      let hellos = d.d_hellos and byes = d.d_byes in
+      Mutex.unlock d.d_mu;
+      Alcotest.(check int) "both HELLOs observed" 2 hellos;
+      Alcotest.(check int) "clean BYE on the second segment" 1 byes)
+
+(* ------------------------------------------------------------------ *)
+(* Alert state machine                                                 *)
+
+let test_alerts_edges () =
+  let rules =
+    [
+      ok (Obs_health.parse_rule "warn probe.level <= 10");
+      ok (Obs_health.parse_rule "critical absent.metric > 0");
+    ]
+  in
+  let a = Obs_collect.Alerts.create rules in
+  let reg = Obs_metrics.create () in
+  let g = Obs_metrics.gauge reg "probe.level" in
+  (* The absent selector is Missing, not Fail: no alert. *)
+  Obs_metrics.set g 5.0;
+  Alcotest.(check int) "healthy: no transitions" 0
+    (List.length (Obs_collect.Alerts.observe a (Obs_metrics.snapshot reg)));
+  Alcotest.(check bool) "nothing firing" false
+    (Obs_collect.Alerts.any_firing a);
+  (* Cross the threshold: exactly one firing edge, then silence while
+     the violation persists. *)
+  Obs_metrics.set g 25.0;
+  (match Obs_collect.Alerts.observe a (Obs_metrics.snapshot reg) with
+  | [ tr ] ->
+      Alcotest.(check bool) "firing edge" true tr.Obs_collect.tr_firing;
+      Alcotest.(check (option (float 1e-9))) "offending value" (Some 25.0)
+        tr.Obs_collect.tr_value
+  | l -> Alcotest.failf "expected one transition, got %d" (List.length l));
+  Alcotest.(check bool) "now firing" true (Obs_collect.Alerts.any_firing a);
+  Alcotest.(check int) "level holds: no repeat" 0
+    (List.length (Obs_collect.Alerts.observe a (Obs_metrics.snapshot reg)));
+  (* Recover: one resolved edge. *)
+  Obs_metrics.set g 3.0;
+  (match Obs_collect.Alerts.observe a (Obs_metrics.snapshot reg) with
+  | [ tr ] ->
+      Alcotest.(check bool) "resolved edge" false tr.Obs_collect.tr_firing
+  | l -> Alcotest.failf "expected one transition, got %d" (List.length l));
+  Alcotest.(check bool) "all clear" false (Obs_collect.Alerts.any_firing a)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: collector run                                           *)
+
+let with_temp_dir k =
+  let path = Filename.temp_file "cs_stream" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm path) (fun () -> k path)
+
+let events_for_run = ev_start :: List.map ev_period [ 1; 2; 3 ] @ [ ev_finish ]
+
+let run_collector ?rules ?(producers = 1) ~out_dir () =
+  let listen = Obs_http.Unix_sock (temp_sock ()) in
+  let result = ref (Error "collector did not run") in
+  let th =
+    Thread.create
+      (fun () ->
+        result :=
+          Obs_collect.run ?rules ~producers ~once:true ~out_dir ~listen ())
+      ()
+  in
+  (* The producer connects with retries, so racing the bind is fine. *)
+  (listen, th, result)
+
+let test_collect_end_to_end () =
+  with_temp_dir (fun dir ->
+      let m = meta () in
+      let listen, th, result = run_collector ~out_dir:dir () in
+      let r = Obs_remote.create ~addr:listen ~meta:m () in
+      let sink = Obs_remote.sink r in
+      List.iter (Obs_sink.emit sink) events_for_run;
+      Obs_remote.close r;
+      Thread.join th;
+      let summary = ok !result in
+      (match summary.Obs_collect.streams with
+      | [ ss ] ->
+          Alcotest.(check int) "all events ingested" 5 ss.Obs_collect.ss_events;
+          Alcotest.(check bool) "clean BYE" false ss.Obs_collect.ss_truncated;
+          Alcotest.(check int) "no producer drops" 0 ss.Obs_collect.ss_dropped
+      | l -> Alcotest.failf "expected one stream, got %d" (List.length l));
+      Alcotest.(check int) "no rejected frames" 0 summary.Obs_collect.rejected;
+      (* The collected file is a valid trace, provenance first, and
+         diff-identical to the same events written locally. *)
+      let collected =
+        match (List.hd summary.Obs_collect.streams).Obs_collect.ss_path with
+        | Some p -> p
+        | None -> Alcotest.fail "stream has no output path"
+      in
+      let local = Filename.concat dir "local.jsonl" in
+      Obs_sink.with_jsonl_file ~meta:m local (fun sink ->
+          List.iter (Obs_sink.emit sink) events_for_run);
+      let ct = ok (Obs_query.load collected) in
+      let lt = ok (Obs_query.load local) in
+      Alcotest.(check (option int)) "not truncated" None ct.Obs_query.truncated;
+      (match ct.Obs_query.meta with
+      | Some cm ->
+          Alcotest.(check (option int64)) "provenance survives the hop"
+            m.Obs_meta.seed cm.Obs_meta.seed
+      | None -> Alcotest.fail "collected trace lost its header");
+      match Obs_query.diff ct.Obs_query.events lt.Obs_query.events with
+      | None -> ()
+      | Some _ -> Alcotest.fail "streamed trace diverges from local trace")
+
+let test_collect_truncated_stream () =
+  with_temp_dir (fun dir ->
+      let listen, th, result = run_collector ~out_dir:dir () in
+      (* A producer that crashes: speak the protocol by hand and hang
+         up without BYE. Retry the connect while the collector binds. *)
+      let domain, sockaddr = Obs_http.sockaddr_of listen in
+      let rec connect attempts =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sockaddr with
+        | () -> fd
+        | exception Unix.Unix_error _ when attempts > 0 ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Unix.sleepf 0.02;
+            connect (attempts - 1)
+      in
+      let fd = connect 100 in
+      let send frame =
+        let s = Obs_stream.encode frame in
+        ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+      in
+      send (Obs_stream.Hello (meta ()));
+      send (Obs_stream.Event { seq = 1; event = ev_start });
+      send (Obs_stream.Event { seq = 2; event = ev_period 1 });
+      Unix.close fd;
+      Thread.join th;
+      let summary = ok !result in
+      let ss =
+        match summary.Obs_collect.streams with
+        | [ ss ] -> ss
+        | l -> Alcotest.failf "expected one stream, got %d" (List.length l)
+      in
+      Alcotest.(check bool) "finalized as truncated" true
+        ss.Obs_collect.ss_truncated;
+      Alcotest.(check int) "events before the cut" 2 ss.Obs_collect.ss_events;
+      let t =
+        ok (Obs_query.load (Option.get ss.Obs_collect.ss_path))
+      in
+      Alcotest.(check (option int)) "marker in the stored trace" (Some 2)
+        t.Obs_query.truncated)
+
+let test_collect_rejects_headerless () =
+  with_temp_dir (fun dir ->
+      let listen, th, result = run_collector ~out_dir:dir () in
+      let domain, sockaddr = Obs_http.sockaddr_of listen in
+      let rec connect attempts =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sockaddr with
+        | () -> fd
+        | exception Unix.Unix_error _ when attempts > 0 ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Unix.sleepf 0.02;
+            connect (attempts - 1)
+      in
+      (* Headerless stream: refused, no stream opened, collector keeps
+         waiting for a real producer. *)
+      let fd = connect 100 in
+      let s = Obs_stream.encode (Obs_stream.Event { seq = 1; event = ev_start }) in
+      ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s));
+      Unix.close fd;
+      (* Now a well-behaved producer completes the run. *)
+      let r = Obs_remote.create ~addr:listen ~meta:(meta ()) () in
+      List.iter (Obs_sink.emit (Obs_remote.sink r)) events_for_run;
+      Obs_remote.close r;
+      Thread.join th;
+      let summary = ok !result in
+      Alcotest.(check bool) "headerless frame rejected" true
+        (summary.Obs_collect.rejected >= 1);
+      Alcotest.(check int) "only the real stream counted" 1
+        (List.length summary.Obs_collect.streams))
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "frame round trips over partial reads" `Quick
+            test_frame_roundtrip;
+          Alcotest.test_case "eof, cap and malformed frames" `Quick
+            test_frame_errors;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "headerless streams refused" `Quick
+            test_ingest_headerless;
+          Alcotest.test_case "sequence discipline" `Quick
+            test_ingest_seq_discipline;
+          Alcotest.test_case "hello resume and conflict" `Quick
+            test_ingest_hello_rules;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "marker round trip" `Quick test_truncation_marker;
+          Alcotest.test_case "Obs_query.load accepts and reports" `Quick
+            test_load_accepts_marker;
+        ] );
+      ( "remote",
+        [
+          Alcotest.test_case "ring overflow drop accounting" `Quick
+            test_remote_overflow_drops;
+          Alcotest.test_case "delivers all and says BYE" `Quick
+            test_remote_delivers_and_says_bye;
+          Alcotest.test_case "reconnects with a fresh HELLO" `Quick
+            test_remote_reconnects_with_fresh_hello;
+        ] );
+      ( "alerts",
+        [ Alcotest.test_case "firing and resolved edges" `Quick
+            test_alerts_edges ] );
+      ( "collect",
+        [
+          Alcotest.test_case "streamed trace equals local trace" `Quick
+            test_collect_end_to_end;
+          Alcotest.test_case "no BYE finalizes as truncated" `Quick
+            test_collect_truncated_stream;
+          Alcotest.test_case "headerless producer rejected" `Quick
+            test_collect_rejects_headerless;
+        ] );
+    ]
